@@ -1,0 +1,22 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+The full (12 workloads x 6 configurations) simulation matrix is built
+once per pytest session and shared by every figure benchmark; building
+it takes a few minutes of simulation.
+"""
+
+import pytest
+
+from repro.experiments import run_matrix
+from repro.params import experiment_machine
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    """The fully-populated small-scale result matrix."""
+    return run_matrix(scale="small", machine=experiment_machine())
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return experiment_machine()

@@ -1,0 +1,22 @@
+"""Regenerates the Section VI-E area-overhead analysis."""
+
+import pytest
+
+from repro.experiments import area_wss
+
+
+def test_area_rows(benchmark):
+    data = benchmark.pedantic(area_wss.compute_area, rounds=1,
+                              iterations=1)
+    print("\n" + area_wss.format_area(data))
+    assert data["io"]["per_cluster_pct"] == pytest.approx(1.9, rel=0.15)
+    assert data["io"]["chip_pct"] == pytest.approx(0.3, rel=0.4)
+    assert data["cgra"]["per_cluster_pct"] == pytest.approx(2.9, rel=0.15)
+    assert data["cgra"]["chip_pct"] == pytest.approx(0.48, rel=0.4)
+
+
+def test_area_bench(benchmark):
+    data = benchmark.pedantic(
+        area_wss.compute_area, rounds=5, iterations=1
+    )
+    assert data["chip_area_mm2"] > 0

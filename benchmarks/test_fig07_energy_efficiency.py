@@ -1,0 +1,32 @@
+"""Regenerates Figure 7 (normalized energy efficiency)."""
+
+from repro.experiments import fig07
+from repro.sim import simulate_workload
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_fig07_rows(benchmark, matrix):
+    data = benchmark.pedantic(fig07.compute, args=(matrix,), rounds=1,
+                              iterations=1)
+    print("\n" + fig07.format_rows(data))
+    h = data["headline"]
+    # paper: 3.3x GM over OoO — require the same order of magnitude and
+    # the same winner ordering
+    assert 2.0 < h["dist_da_f_vs_ooo"] < 6.0
+    assert h["dist_da_f_vs_mono_da_io"] > 1.1     # paper 1.46x
+    assert h["dist_da_f_vs_mono_ca"] > 1.0        # paper 2.46x
+    assert 1.0 < h["compute_specialization"] < 1.6  # paper 1.23x
+    assert h["dist_da_io_vs_ooo"] > 1.8           # paper 2.67x
+    # every accelerator configuration beats the OoO baseline on energy
+    for config, gm in data["gm"].items():
+        assert gm > 1.0, f"{config} should be more efficient than OoO"
+
+
+def test_fig07_bench(benchmark, machine):
+    """Times one representative energy-efficiency simulation."""
+    def run():
+        inst = ALL_WORKLOADS["fdt"].build("tiny")
+        return simulate_workload(inst, "dist_da_f", machine=machine)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.validated

@@ -1,0 +1,27 @@
+"""Regenerates Figure 8 (# cache accesses, normalized to OoO)."""
+
+from repro.experiments import fig08
+from repro.sim import simulate_workload
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_fig08_rows(benchmark, matrix):
+    data = benchmark.pedantic(fig08.compute, args=(matrix,), rounds=1,
+                              iterations=1)
+    print("\n" + fig08.format_rows(data))
+    # decentralized accesses cut cache accesses for every DA config
+    for config in ("mono_da_io", "mono_da_f", "dist_da_io", "dist_da_f"):
+        assert data["gm"][config] < 0.7, config
+    # paper: the reduction "remains the same for all DA configurations"
+    da = [data["gm"][c] for c in
+          ("mono_da_io", "mono_da_f", "dist_da_io", "dist_da_f")]
+    assert max(da) / min(da) < 1.5
+
+
+def test_fig08_bench(benchmark, machine):
+    def run():
+        inst = ALL_WORKLOADS["sei"].build("tiny")
+        return simulate_workload(inst, "dist_da_io", machine=machine)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.cache_stats.l1 == 0  # accelerators never touch L1

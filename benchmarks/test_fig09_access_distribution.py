@@ -1,0 +1,42 @@
+"""Regenerates Figure 9 (dynamic access distribution intra/D-A/A-A)."""
+
+from repro.experiments import fig09
+from repro.sim import simulate_workload
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_fig09_rows(benchmark, matrix):
+    data = benchmark.pedantic(fig09.compute, args=(matrix,), rounds=1,
+                              iterations=1)
+    print("\n" + fig09.format_rows(data))
+    rows = data["per_workload"]
+    for workload, per_cfg in rows.items():
+        for config, fr in per_cfg.items():
+            total = fr["intra"] + fr["d_a"] + fr["a_a"]
+            assert abs(total - 1.0) < 1e-6
+    # spatially-local stencils have a high intra share (paper: "all
+    # applications with good spatial locality have a higher percentage
+    # of intra")
+    for workload in ("fdt", "sei", "nw"):
+        assert rows[workload]["dist_da_f"]["intra"] > 0.4, workload
+
+
+def test_fig09_dist_cuts_acc_traffic_vs_mono(benchmark, matrix):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Sub-computation partitioning cuts inter-accelerator bytes."""
+    wins = 0
+    for workload in matrix.workloads:
+        mono = matrix.get(workload, "mono_da_io").access_dist
+        dist = matrix.get(workload, "dist_da_io").access_dist
+        if dist.a_a <= mono.a_a * 1.05:
+            wins += 1
+    assert wins >= len(matrix.workloads) * 0.6
+
+
+def test_fig09_bench(benchmark, machine):
+    def run():
+        inst = ALL_WORKLOADS["dis"].build("tiny")
+        return simulate_workload(inst, "dist_da_f", machine=machine)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.access_dist.total > 0

@@ -1,0 +1,34 @@
+"""Regenerates Figure 10 (NoC traffic breakdown by class)."""
+
+from repro.experiments import fig10
+from repro.sim import simulate_workload
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_fig10_rows(benchmark, matrix):
+    data = benchmark.pedantic(fig10.compute, args=(matrix,), rounds=1,
+                              iterations=1)
+    print("\n" + fig10.format_rows(data))
+    rows = data["per_workload"]
+    for workload in matrix.workloads:
+        # host control is a small fraction everywhere (the %init story)
+        for config in rows[workload]:
+            assert rows[workload][config]["ctrl"] < 0.5
+    # Dist-DA reduces inter-accelerator traffic versus Mono-DA for the
+    # multi-operand workloads the paper names (§VI-B)
+    better = 0
+    for workload in ("dis", "tra", "fdt", "cho", "sei", "nw"):
+        mono = fig10.acc_traffic_total(data, workload, "mono_da_io")
+        dist = fig10.acc_traffic_total(data, workload, "dist_da_io")
+        if dist <= mono * 1.1:
+            better += 1
+    assert better >= 4
+
+
+def test_fig10_bench(benchmark, machine):
+    def run():
+        inst = ALL_WORKLOADS["pr"].build("tiny")
+        return simulate_workload(inst, "mono_da_io", machine=machine)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert sum(result.traffic_breakdown.values()) > 0

@@ -1,0 +1,45 @@
+"""Regenerates Figure 11 (memory-op rate, IPC, speedup)."""
+
+from repro.experiments import fig11, geomean
+from repro.sim import simulate_workload
+from repro.workloads import ALL_WORKLOADS
+
+
+def test_fig11_rows(benchmark, matrix):
+    data = benchmark.pedantic(fig11.compute, args=(matrix,), rounds=1,
+                              iterations=1)
+    print("\n" + fig11.format_rows(data))
+    h = data["headline"]
+    # paper: 1.59x over OoO, 1.43x over Mono-CA, 1.65x over Mono-DA-IO
+    assert h["dist_da_f_vs_ooo"] > 1.0
+    assert h["dist_da_f_vs_mono_ca"] > 1.0
+    assert h["dist_da_f_vs_mono_da_io"] > 1.3
+
+
+def test_fig11_irregular_workloads_favor_da(benchmark, matrix):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Paper §VI-C: bfs and pointer chase do better on DA configs."""
+    for workload in ("bfs", "pch"):
+        da = matrix.speedup(workload, "dist_da_f")
+        ca = matrix.speedup(workload, "mono_ca")
+        assert da >= ca * 0.95, (workload, da, ca)
+
+
+def test_fig11_mono_ca_wins_complex_arithmetic(benchmark, matrix):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Paper §VI-C: seidel/cholesky perform best on Mono-CA@2GHz."""
+    wins = 0
+    for workload in ("sei", "cho", "adi"):
+        if (matrix.speedup(workload, "mono_ca")
+                >= matrix.speedup(workload, "dist_da_io")):
+            wins += 1
+    assert wins >= 2
+
+
+def test_fig11_bench(benchmark, machine):
+    def run():
+        inst = ALL_WORKLOADS["bfs"].build("tiny")
+        return simulate_workload(inst, "dist_da_f", machine=machine)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.ipc > 0

@@ -1,0 +1,39 @@
+"""Regenerates Figure 13 (accelerator clocking sensitivity)."""
+
+from repro.experiments import fig13
+
+
+#: a representative subset keeps the 3-frequency sweep affordable
+SWEEP = ("fdt", "sei", "pch", "pr")
+
+
+def test_fig13_rows(benchmark, machine):
+    data = benchmark.pedantic(
+        fig13.compute,
+        kwargs=dict(workloads=SWEEP, machine=machine, scale="small"),
+        rounds=1, iterations=1,
+    )
+    print("\n" + fig13.format_rows(data))
+    for workload in SWEEP:
+        spd = data["speedup"][workload]
+        ipc = data["ipc"][workload]
+        # speedup never degrades with clock
+        assert spd[3.0] >= spd[1.0] * 0.98
+        # IPC at the accelerator clock drops for access-dominated
+        # workloads (paper: "the IPC reduces prominently for the
+        # access-dominated benchmarks")
+        if workload in ("pch", "pr"):
+            assert ipc[3.0] < ipc[1.0]
+    # seidel's arithmetic density keeps its IPC loss the smallest
+    sei_drop = data["ipc"]["sei"][3.0]
+    pch_drop = data["ipc"]["pch"][3.0]
+    assert sei_drop >= pch_drop
+
+
+def test_fig13_bench(benchmark, machine):
+    def run():
+        return fig13.compute(workloads=("pch",), machine=machine,
+                             scale="tiny")
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 1.0 in data["speedup"]["pch"]

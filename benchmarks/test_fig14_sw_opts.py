@@ -1,0 +1,32 @@
+"""Regenerates Figure 14 (software-optimization sensitivity)."""
+
+from repro.experiments import fig14
+
+SWEEP = ("fdt", "cho", "pr", "pca")
+
+
+def test_fig14_rows(benchmark, machine):
+    data = benchmark.pedantic(
+        fig14.compute,
+        kwargs=dict(workloads=SWEEP, machine=machine, scale="small"),
+        rounds=1, iterations=1,
+    )
+    print("\n" + fig14.format_rows(data))
+    # software prefetching + wider issue helps overall (paper: most
+    # prominently for the indirect-access benchmarks pca and pr)
+    assert data["gm_speedup"]["dist_da_io_sw"] > 1.0
+    for workload in ("pr", "pca"):
+        assert data["speedup"][workload]["dist_da_io_sw"] > 1.0, workload
+    # allocation tuning gives minor improvements on top of Dist-DA-F
+    # (paper: "we find minor improvements in speedup and energy
+    # efficiency")
+    assert data["gm_speedup"]["dist_da_f_alloc"] > 1.0
+
+
+def test_fig14_bench(benchmark, machine):
+    def run():
+        return fig14.compute(workloads=("pr",), machine=machine,
+                             scale="tiny")
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert "pr" in data["speedup"]

@@ -1,0 +1,39 @@
+"""Regenerates Table VI (offload characteristics for Dist-DA)."""
+
+from repro.experiments import table6
+from repro.workloads import PAPER_ORDER
+
+
+def test_table6_rows(benchmark):
+    data = benchmark.pedantic(
+        table6.compute,
+        kwargs=dict(workloads=PAPER_ORDER, scale="small"),
+        rounds=1, iterations=1,
+    )
+    print("\n" + table6.format_rows(data))
+    rows = data["rows"]
+    for workload, r in rows.items():
+        # the offloads dominate dynamic instructions & accesses (paper:
+        # %cc 74-99, %dc 60-99.98)
+        assert r["pct_cc"] > 60, workload
+        assert r["pct_dc"] > 50, workload
+        # MMIO initialization overhead is a small fraction (paper <2%)
+        assert r["pct_init"] < 6.0, workload
+        # microcode bytes are 8x the instruction count by construction
+        assert r["ucode_bytes"] % 8 == 0
+        depth, width = r["dfg_dims"]
+        assert depth >= 1 and width >= 1
+
+    # the paper's qualitative orderings
+    assert rows["tra"]["max_insts"] >= rows["cho"]["max_insts"]
+    assert rows["pch"]["max_insts"] <= min(
+        r["max_insts"] for r in rows.values() if r["max_insts"]
+    ) + 2  # pointer chase has the smallest DFG (paper: 4 insts)
+
+
+def test_table6_bench(benchmark):
+    def run():
+        return table6.compute(workloads=("cho",), scale="tiny")
+
+    data = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert data["rows"]["cho"]["max_insts"] > 0

@@ -1,0 +1,28 @@
+"""Regenerates the Section VI-E working-set-size sensitivity study."""
+
+from repro.experiments import area_wss
+
+
+def test_wss_rows(benchmark, machine):
+    data = benchmark.pedantic(area_wss.compute_wss,
+                              kwargs=dict(machine=machine),
+                              rounds=1, iterations=1)
+    print("\n" + area_wss.format_wss(data))
+    rows = data["rows"]
+    sizes = sorted(rows)
+    # Dist-DA keeps reducing on-chip movement vs Mono-DA at every size
+    for n in sizes:
+        assert rows[n]["movement_reduction"] > 1.0, n
+    # once the working set dwarfs the LLC, DRAM dominates and the energy
+    # gain compresses toward the paper's ~9.5% (still positive)
+    biggest = rows[sizes[-1]]
+    assert biggest["ws_over_llc"] > 2.0
+    assert biggest["energy_gain"] > 1.0
+
+
+def test_wss_bench(benchmark, machine):
+    def run():
+        return area_wss.compute_wss(machine=machine, sizes=(48,))
+
+    data = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert 48 in data["rows"]

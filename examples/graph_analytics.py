@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Graph analytics near data: BFS, PageRank and pointer chasing.
+
+Irregular, indirect memory accesses are where near-data execution pays
+most (paper §VI-C: "all the workloads with irregular memory accesses
+show better performance in DA configurations, owing to better access
+locality and bandwidth"). This example contrasts how each configuration
+serves an indirect access:
+
+* OoO        — the element climbs DRAM -> L3 -> L2 -> L1;
+* Mono-CA    — a full 64 B line crosses the mesh to the L3-bus unit;
+* Dist-DA    — a cp_read executes at the element's home bank and only
+               the element crosses back.
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro.params import experiment_machine
+from repro.sim import simulate_workload
+from repro.workloads import ALL_WORKLOADS
+
+WORKLOADS = ("bfs", "pr", "pch")
+CONFIGS = ("ooo", "mono_ca", "dist_da_f")
+
+
+def main() -> None:
+    machine = experiment_machine()
+    for short in WORKLOADS:
+        workload = ALL_WORKLOADS[short]
+        print(f"\n=== {workload.name} ===")
+        baseline = None
+        for config in CONFIGS:
+            run = simulate_workload(workload.build("small"), config,
+                                    machine=machine)
+            if baseline is None:
+                baseline = run
+            dist = run.access_dist
+            extras = ""
+            if config != "ooo":
+                extras = (f"  [intra/D-A/A-A = {dist.intra / 1024:.0f}/"
+                          f"{dist.d_a / 1024:.0f}/"
+                          f"{dist.a_a / 1024:.0f} KB]")
+            print(f"  {config:<10} ok={run.validated}  "
+                  f"EE={run.energy_efficiency_vs(baseline):5.2f}x  "
+                  f"speedup={run.speedup_vs(baseline):5.2f}x  "
+                  f"moved={run.movement_bytes / 1024:8.1f} KB{extras}")
+    print("\nNote how Mono-CA's centralized pulls move line-granular "
+          "traffic across\nthe mesh while Dist-DA's cp_read/cp_write "
+          "touch elements in place.")
+
+
+if __name__ == "__main__":
+    main()

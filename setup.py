@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` keeps working on machines without the ``wheel``
+package (PEP 660 editable installs need it, the legacy develop path
+does not).
+"""
+
+from setuptools import setup
+
+setup()

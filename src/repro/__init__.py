@@ -1,0 +1,31 @@
+"""repro — a reproduction of the Dist-DA near-data offload model.
+
+Paper: "An architecture interface and offload model for low-overhead,
+near-data, distributed accelerators" (MICRO 2022).
+
+Public API tour:
+
+* :mod:`repro.ir` — write kernels (loop nests over memory objects).
+* :mod:`repro.compiler` — compile kernels into distributed offloads.
+* :mod:`repro.interface` — the cp_* offload interface itself.
+* :mod:`repro.sim` — simulate workloads on the six paper configurations.
+* :mod:`repro.workloads` — the Table IV benchmark suite.
+* :mod:`repro.experiments` — regenerate every paper table and figure.
+"""
+
+from .params import (
+    MachineParams,
+    default_machine,
+    experiment_machine,
+    mono_da_cgra_machine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineParams",
+    "default_machine",
+    "experiment_machine",
+    "mono_da_cgra_machine",
+    "__version__",
+]

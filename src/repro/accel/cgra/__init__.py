@@ -1,0 +1,11 @@
+"""Statically-mapped heterogeneous CGRA fabric (CGRA-Mapper substitute)."""
+
+from .fabric import CgraFabric, PeType
+from .mapper import CgraMapping, map_dfg_partition
+from .backend import CgraBackend
+
+__all__ = [
+    "CgraFabric", "PeType",
+    "CgraMapping", "map_dfg_partition",
+    "CgraBackend",
+]

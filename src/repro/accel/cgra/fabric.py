@@ -1,0 +1,99 @@
+"""CGRA fabric geometry: a grid of heterogeneous processing elements.
+
+The paper provisions, per 5x5 tile: fifteen integer ALUs, four floating-
+point ALUs and four complex (div/sqrt-class) units, distributed
+heterogeneously for area efficiency. PEs are laid out so that float and
+complex units interleave through the grid (distance to a specialized unit
+stays small from anywhere).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ...errors import MappingError
+from ...params import CgraParams
+
+
+class PeType(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    COMPLEX = "complex"
+
+    @staticmethod
+    def for_op_class(op_class: str) -> "PeType":
+        try:
+            return PeType(op_class)
+        except ValueError:
+            raise MappingError(f"unknown op class {op_class!r}") from None
+
+
+@dataclass(frozen=True)
+class Pe:
+    index: int
+    row: int
+    col: int
+    pe_type: PeType
+
+
+class CgraFabric:
+    """A rows x cols grid of typed PEs."""
+
+    def __init__(self, params: CgraParams):
+        total_alus = params.int_alus + params.float_alus + params.complex_alus
+        if total_alus > params.num_pes:
+            raise MappingError(
+                f"ALU budget {total_alus} exceeds {params.num_pes} PEs"
+            )
+        self.params = params
+        self.pes: List[Pe] = []
+        types = self._interleaved_types(params)
+        for idx in range(params.num_pes):
+            row, col = divmod(idx, params.cols)
+            self.pes.append(Pe(idx, row, col, types[idx]))
+
+    @staticmethod
+    def _interleaved_types(params: CgraParams) -> List[PeType]:
+        """Spread specialized units evenly through the grid."""
+        n = params.num_pes
+        types = [PeType.INT] * n
+        specials: List[PeType] = (
+            [PeType.FLOAT] * params.float_alus
+            + [PeType.COMPLEX] * params.complex_alus
+        )
+        if specials:
+            stride = max(1, n // len(specials))
+            pos = stride // 2
+            for ptype in specials:
+                while types[pos % n] is not PeType.INT:
+                    pos += 1
+                types[pos % n] = ptype
+                pos += stride
+        # remaining INT slots beyond the int_alu budget stay as routing
+        # passthroughs; capacity accounting uses counts, not slots
+        return types
+
+    def count(self, pe_type: PeType) -> int:
+        budget = {
+            PeType.INT: self.params.int_alus,
+            PeType.FLOAT: self.params.float_alus,
+            PeType.COMPLEX: self.params.complex_alus,
+        }
+        return budget[pe_type]
+
+    def pes_of(self, pe_type: PeType) -> List[Pe]:
+        return [pe for pe in self.pes if pe.pe_type is pe_type]
+
+    def distance(self, a: int, b: int) -> int:
+        pa, pb = self.pes[a], self.pes[b]
+        return abs(pa.row - pb.row) + abs(pa.col - pb.col)
+
+    @property
+    def size(self) -> Tuple[int, int]:
+        return (self.params.rows, self.params.cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        r, c = self.size
+        return f"<CgraFabric {r}x{c} @ {self.params.freq_ghz} GHz>"

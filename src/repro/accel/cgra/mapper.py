@@ -1,0 +1,125 @@
+"""Modulo mapper for statically-mapped CGRAs (CGRA-Mapper substitute).
+
+Maps a partition's compute DFG onto the heterogeneous PE grid:
+
+* the initiation interval II starts at the resource minimum
+  (``ceil(ops_of_class / units_of_class)`` per class) and grows until a
+  feasible placement exists;
+* placement walks the DFG in topological order, putting each op on a
+  type-compatible PE with spare capacity (a PE hosts at most II ops)
+  that minimizes Manhattan distance to its producers;
+* nearest-neighbor routing contributes hop delay to the schedule depth.
+
+The mapping is *static*: op-to-PE bindings are fixed for the offload's
+lifetime, as in the paper's "statically-mapped CGRA architecture".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...dfg.graph import Dfg
+from ...dfg.node import ComputeNode
+from ...errors import MappingError
+from .fabric import CgraFabric, PeType
+
+MAX_II = 64
+
+
+@dataclass
+class CgraMapping:
+    """A legal static mapping of one partition onto one fabric."""
+
+    ii: int
+    #: schedule depth in cycles including routing delays
+    depth_cycles: int
+    #: compute-node id -> (pe index, time slot)
+    placement: Dict[int, Tuple[int, int]]
+    routing_hops: int
+    #: 64-bit configuration words to load at setup
+    config_words: int
+
+
+def map_dfg_partition(dfg: Dfg, fabric: CgraFabric,
+                      node_ids: Optional[List[int]] = None) -> CgraMapping:
+    """Map the compute nodes of ``dfg`` (or a partition subset) onto
+    ``fabric``; raises :class:`MappingError` when no II <= MAX_II fits."""
+    subset = set(node_ids) if node_ids is not None else set(dfg.nodes)
+    compute = [
+        n for n in dfg.nodes.values()
+        if isinstance(n, ComputeNode) and n.id in subset
+    ]
+    if not compute:
+        return CgraMapping(ii=1, depth_cycles=1, placement={},
+                           routing_hops=0, config_words=1)
+    counts = {ptype: 0 for ptype in PeType}
+    for node in compute:
+        counts[PeType.for_op_class(node.op_class)] += 1
+    ii = 1
+    for ptype, need in counts.items():
+        have = fabric.count(ptype)
+        if need and have == 0:
+            raise MappingError(
+                f"fabric has no {ptype.value} units but DFG needs {need}"
+            )
+        if need:
+            ii = max(ii, math.ceil(need / have))
+    while ii <= MAX_II:
+        mapping = _try_place(dfg, fabric, compute, subset, ii)
+        if mapping is not None:
+            return mapping
+        ii += 1
+    raise MappingError(
+        f"DFG {dfg.name!r}: no feasible mapping within II <= {MAX_II}"
+    )
+
+
+def _try_place(dfg: Dfg, fabric: CgraFabric, compute: List[ComputeNode],
+               subset: set, ii: int) -> Optional[CgraMapping]:
+    capacity: Dict[int, int] = {pe.index: 0 for pe in fabric.pes}
+    budget_used = {ptype: 0 for ptype in PeType}
+    placement: Dict[int, Tuple[int, int]] = {}
+    levels = dfg.levels()
+    routing_hops = 0
+    depth = 0
+    compute_ids = {n.id for n in compute}
+    order = [nid for nid in dfg.topo_order() if nid in compute_ids]
+    by_id = {n.id: n for n in compute}
+    for nid in order:
+        node = by_id[nid]
+        ptype = PeType.for_op_class(node.op_class)
+        if budget_used[ptype] >= fabric.count(ptype) * ii:
+            return None
+        candidates = [
+            pe for pe in fabric.pes_of(ptype) if capacity[pe.index] < ii
+        ]
+        if not candidates:
+            return None
+        producer_pes = [
+            placement[e.src][0] for e in dfg.predecessors(nid)
+            if e.src in placement
+        ]
+
+        def route_cost(pe) -> int:
+            if not producer_pes:
+                return 0
+            return sum(fabric.distance(src, pe.index) for src in producer_pes)
+
+        best = min(candidates, key=lambda pe: (route_cost(pe), pe.index))
+        slot = levels[nid]
+        placement[nid] = (best.index, slot)
+        capacity[best.index] += 1
+        budget_used[ptype] += 1
+        hops = route_cost(best)
+        routing_hops += hops
+        depth = max(depth, slot + 1 + (hops + 1) // 2)
+    config_words = len(placement) + routing_hops
+    return CgraMapping(
+        ii=ii,
+        depth_cycles=max(depth, 1),
+        placement=placement,
+        routing_hops=routing_hops,
+        config_words=max(config_words, 1),
+    )

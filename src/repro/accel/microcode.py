@@ -1,0 +1,193 @@
+"""64-bit microcode for in-order accelerator cores.
+
+The compiler emits "custom 64-bit microcodes" (paper §VI) for the gem5
+simple-CPU-style in-order cores. Encoding, little-endian:
+
+======  =====  =========================================
+bytes   field  meaning
+======  =====  =========================================
+0       op     opcode
+1       dst    destination register (0-255)
+2       src1   first source register
+3       src2   second source register
+4-7     imm    32-bit immediate (access-id, offset, ...)
+======  =====  =========================================
+
+Table VI's ``insts(B)`` column is exactly ``8 * #insts``.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import InterfaceError
+
+INST_BYTES = 8
+_FORMAT = "<BBBBi"
+
+
+class Opcode(enum.Enum):
+    NOP = 0x00
+    # integer ALU
+    IADD = 0x01
+    ISUB = 0x02
+    IMUL = 0x03
+    IDIV = 0x04
+    IMIN = 0x05
+    IMAX = 0x06
+    ICMP = 0x07
+    IAND = 0x08
+    IOR = 0x09
+    IXOR = 0x0A
+    ISHL = 0x0B
+    ISHR = 0x0C
+    # floating point
+    FADD = 0x10
+    FSUB = 0x11
+    FMUL = 0x12
+    FDIV = 0x13
+    FMIN = 0x14
+    FMAX = 0x15
+    FCMP = 0x16
+    FSQRT = 0x17
+    FEXP = 0x18
+    FLOG = 0x19
+    FNEG = 0x1A
+    FABS = 0x1B
+    SELECT = 0x1C
+    MOV = 0x1D
+    # interface ops (imm carries the access-id / obj-id)
+    CONSUME = 0x20   # dst <- cp_consume(imm)
+    PRODUCE = 0x21   # cp_produce(imm, src1)
+    STEP = 0x22      # cp_step(imm, src2-or-1)
+    CP_READ = 0x23   # dst <- cp_read(imm, src1)
+    CP_WRITE = 0x24  # cp_write(imm, src1, src2)
+    LOAD_RF = 0x25
+    SET_RF = 0x26
+    # orchestrator control
+    LOOP_BEGIN = 0x30
+    LOOP_END = 0x31
+    HALT = 0x3F
+
+
+#: opcode -> functional-unit class for energy accounting
+OP_CLASS = {
+    **{op: "int" for op in (
+        Opcode.IADD, Opcode.ISUB, Opcode.IMUL, Opcode.IMIN, Opcode.IMAX,
+        Opcode.ICMP, Opcode.IAND, Opcode.IOR, Opcode.IXOR, Opcode.ISHL,
+        Opcode.ISHR, Opcode.SELECT, Opcode.MOV, Opcode.NOP,
+        Opcode.LOOP_BEGIN, Opcode.LOOP_END, Opcode.HALT,
+    )},
+    **{op: "float" for op in (
+        Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FMIN, Opcode.FMAX,
+        Opcode.FCMP, Opcode.FNEG, Opcode.FABS,
+    )},
+    **{op: "complex" for op in (
+        Opcode.IDIV, Opcode.FDIV, Opcode.FSQRT, Opcode.FEXP, Opcode.FLOG,
+    )},
+    **{op: "iface" for op in (
+        Opcode.CONSUME, Opcode.PRODUCE, Opcode.STEP, Opcode.CP_READ,
+        Opcode.CP_WRITE, Opcode.LOAD_RF, Opcode.SET_RF,
+    )},
+}
+
+
+@dataclass(frozen=True)
+class MicroInst:
+    op: Opcode
+    dst: int = 0
+    src1: int = 0
+    src2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("dst", "src1", "src2"):
+            value = getattr(self, name)
+            if not (0 <= value <= 255):
+                raise InterfaceError(
+                    f"{name}={value} out of register range 0..255"
+                )
+        if not (-(2**31) <= self.imm < 2**31):
+            raise InterfaceError(f"imm={self.imm} out of 32-bit range")
+
+    def encode(self) -> bytes:
+        return struct.pack(
+            _FORMAT, self.op.value, self.dst, self.src1, self.src2, self.imm
+        )
+
+    @property
+    def op_class(self) -> str:
+        return OP_CLASS[self.op]
+
+
+def assemble(insts: Sequence[MicroInst]) -> bytes:
+    """Encode an instruction sequence to a microcode image."""
+    return b"".join(inst.encode() for inst in insts)
+
+
+def disassemble(image: bytes) -> List[MicroInst]:
+    """Decode a microcode image; strict round-trip with :func:`assemble`."""
+    if len(image) % INST_BYTES != 0:
+        raise InterfaceError(
+            f"microcode image length {len(image)} not a multiple of 8"
+        )
+    out: List[MicroInst] = []
+    for pos in range(0, len(image), INST_BYTES):
+        op_val, dst, src1, src2, imm = struct.unpack(
+            _FORMAT, image[pos:pos + INST_BYTES]
+        )
+        try:
+            op = Opcode(op_val)
+        except ValueError:
+            raise InterfaceError(f"bad opcode {op_val:#x} at {pos}") from None
+        out.append(MicroInst(op, dst, src1, src2, imm))
+    return out
+
+
+#: IR operation -> (int opcode, float opcode) for codegen
+_BINOP_TABLE = {
+    "+": (Opcode.IADD, Opcode.FADD),
+    "-": (Opcode.ISUB, Opcode.FSUB),
+    "*": (Opcode.IMUL, Opcode.FMUL),
+    "/": (Opcode.IDIV, Opcode.FDIV),
+    "%": (Opcode.IDIV, Opcode.FDIV),
+    "min": (Opcode.IMIN, Opcode.FMIN),
+    "max": (Opcode.IMAX, Opcode.FMAX),
+    "&": (Opcode.IAND, Opcode.IAND),
+    "|": (Opcode.IOR, Opcode.IOR),
+    "^": (Opcode.IXOR, Opcode.IXOR),
+    "<<": (Opcode.ISHL, Opcode.ISHL),
+    ">>": (Opcode.ISHR, Opcode.ISHR),
+    "==": (Opcode.ICMP, Opcode.FCMP),
+    "!=": (Opcode.ICMP, Opcode.FCMP),
+    "<": (Opcode.ICMP, Opcode.FCMP),
+    "<=": (Opcode.ICMP, Opcode.FCMP),
+    ">": (Opcode.ICMP, Opcode.FCMP),
+    ">=": (Opcode.ICMP, Opcode.FCMP),
+}
+_UNOP_TABLE = {
+    "-": Opcode.FNEG,
+    "abs": Opcode.FABS,
+    "sqrt": Opcode.FSQRT,
+    "exp": Opcode.FEXP,
+    "log": Opcode.FLOG,
+    "floor": Opcode.MOV,
+    "not": Opcode.ICMP,
+}
+
+
+def opcode_for(op: str, op_class: str) -> Opcode:
+    """Pick the opcode for a DFG compute node."""
+    if op == "select":
+        return Opcode.SELECT
+    if op == "mov":
+        return Opcode.MOV
+    if op in _BINOP_TABLE:
+        int_op, float_op = _BINOP_TABLE[op]
+        return int_op if op_class == "int" else float_op
+    if op in _UNOP_TABLE:
+        return _UNOP_TABLE[op]
+    raise InterfaceError(f"no opcode for DFG op {op!r}")

@@ -1,0 +1,19 @@
+"""Compiler support: the automated offload-extraction pipeline (Fig 6).
+
+The paper implements LLVM passes; our equivalent consumes kernel IR and
+runs the same pipeline: profiling -> DFG classification -> partitioning ->
+access-node placement -> access specialization -> offload configuration
+(microcode / CGRA mapping) emission.
+"""
+
+from .pipeline import CompiledOffload, CompileMode, compile_kernel
+from .specialize import specialize_offload
+from .codegen import generate_microcode
+from .profiling import ProfileReport, profile_kernel
+
+__all__ = [
+    "CompiledOffload", "CompileMode", "compile_kernel",
+    "specialize_offload",
+    "generate_microcode",
+    "ProfileReport", "profile_kernel",
+]

@@ -1,0 +1,146 @@
+"""Microcode generation for in-order accelerator partitions.
+
+Walks one partition's DFG subgraph in topological order and emits the
+per-iteration 64-bit microcode body: CONSUME/STEP for buffered reads,
+ALU ops for compute nodes (plus the folded address-generation ops),
+PRODUCE/CP_WRITE for outputs. The orchestrator (LOOP_BEGIN/LOOP_END)
+wraps the body so each accelerator is self-contained in control
+(paper §V: "each unit is self-contained in terms of control").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..dfg.graph import Dfg
+from ..dfg.node import AccessNode, AccessPattern, ComputeNode
+from ..errors import MappingError
+from ..accel.microcode import MicroInst, Opcode, assemble, opcode_for
+
+
+def generate_microcode(dfg: Dfg, node_ids: Sequence[int],
+                       access_ids: Dict[int, int],
+                       obj_ids: Dict[str, int],
+                       channel_inputs: Optional[Dict[int, int]] = None,
+                       channel_outputs: Optional[Dict[int, int]] = None
+                       ) -> bytes:
+    """Emit the microcode image for one partition.
+
+    ``node_ids`` — DFG nodes owned by the partition (any order).
+    ``access_ids`` — access-node id -> configured access-id.
+    ``obj_ids`` — object name -> runtime object id (cp_read/cp_write).
+    ``channel_inputs`` — DFG node id (remote producer) -> access-id of the
+    local channel buffer its value arrives on.
+    ``channel_outputs`` — local DFG node id -> access-id of the channel
+    its value must be produced onto for remote consumers.
+    """
+    channel_inputs = channel_inputs or {}
+    channel_outputs = channel_outputs or {}
+    owned = set(node_ids)
+    regs: Dict[int, int] = {}
+    insts: List[MicroInst] = [MicroInst(Opcode.LOOP_BEGIN)]
+    next_reg = 1
+
+    def reg_for(nid: int) -> int:
+        nonlocal next_reg
+        if nid not in regs:
+            if next_reg > 255:
+                raise MappingError("register file exhausted (255 regs)")
+            regs[nid] = next_reg
+            next_reg += 1
+        return regs[nid]
+
+    def operand_reg(edge_src: int) -> int:
+        """Register holding a producer's value, consuming remote inputs."""
+        if edge_src in regs:
+            return regs[edge_src]
+        if edge_src in channel_inputs:
+            dst = reg_for(edge_src)
+            acc = channel_inputs[edge_src]
+            insts.append(MicroInst(Opcode.CONSUME, dst=dst, imm=acc))
+            insts.append(MicroInst(Opcode.STEP, imm=acc))
+            return dst
+        raise MappingError(
+            f"operand node {edge_src} neither local nor a channel input"
+        )
+
+    order = [nid for nid in dfg.topo_order() if nid in owned]
+    for nid in order:
+        node = dfg.nodes[nid]
+        if isinstance(node, AccessNode):
+            _emit_access(node, dfg, insts, regs, reg_for, operand_reg,
+                         access_ids, obj_ids)
+        elif isinstance(node, ComputeNode):
+            srcs = [
+                operand_reg(e.src) for e in dfg.predecessors(nid)
+                if not e.is_predicate
+            ]
+            insts.append(MicroInst(
+                opcode_for(node.op, node.op_class),
+                dst=reg_for(nid),
+                src1=srcs[0] if srcs else 0,
+                src2=srcs[1] if len(srcs) > 1 else 0,
+            ))
+        else:  # pragma: no cover - only two node kinds exist
+            raise MappingError(f"cannot emit node {node!r}")
+        if nid in channel_outputs:
+            acc = channel_outputs[nid]
+            insts.append(MicroInst(
+                Opcode.PRODUCE, src1=regs.get(nid, 0), imm=acc
+            ))
+            insts.append(MicroInst(Opcode.STEP, imm=acc))
+    insts.append(MicroInst(Opcode.LOOP_END))
+    return assemble(insts)
+
+
+def _emit_access(node: AccessNode, dfg: Dfg, insts: List[MicroInst],
+                 regs: Dict[int, int], reg_for, operand_reg,
+                 access_ids: Dict[int, int],
+                 obj_ids: Dict[str, int]) -> None:
+    acc = access_ids.get(node.id)
+    if acc is None:
+        raise MappingError(f"access node {node.id} has no access-id")
+    # folded address computation
+    for _ in range(node.addr_ops):
+        insts.append(MicroInst(Opcode.IADD, dst=reg_for(node.id)))
+    buffered = node.pattern in (AccessPattern.STREAM, AccessPattern.INVARIANT)
+    if not node.is_write:
+        if buffered:
+            insts.append(MicroInst(
+                Opcode.CONSUME, dst=reg_for(node.id), imm=acc
+            ))
+            if node.pattern is AccessPattern.STREAM:
+                insts.append(MicroInst(Opcode.STEP, imm=acc))
+        else:
+            index_srcs = [
+                operand_reg(e.src) for e in dfg.predecessors(node.id)
+                if e.is_index
+            ]
+            insts.append(MicroInst(
+                Opcode.CP_READ, dst=reg_for(node.id),
+                src1=index_srcs[0] if index_srcs else 0,
+                imm=obj_ids.get(node.obj, 0),
+            ))
+    else:
+        value_srcs = [
+            operand_reg(e.src) for e in dfg.predecessors(node.id)
+            if not e.is_predicate and not e.is_index
+        ]
+        value_reg = value_srcs[0] if value_srcs else 0
+        if buffered:
+            insts.append(MicroInst(
+                Opcode.PRODUCE, src1=value_reg, imm=acc
+            ))
+            if node.pattern is AccessPattern.STREAM:
+                insts.append(MicroInst(Opcode.STEP, imm=acc))
+        else:
+            index_regs = [
+                operand_reg(e.src) for e in dfg.predecessors(node.id)
+                if e.is_index
+            ]
+            insts.append(MicroInst(
+                Opcode.CP_WRITE,
+                src1=index_regs[0] if index_regs else 0,
+                src2=value_reg,
+                imm=obj_ids.get(node.obj, 0),
+            ))

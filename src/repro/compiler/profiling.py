@@ -1,0 +1,65 @@
+"""Hot-region profiling (paper §V-A-1).
+
+The paper profiles on small *train* inputs to find code regions with high
+dynamic instruction coverage; our kernels are those regions, and the
+profiler measures their dynamic coverage against the host-side remainder
+of the application (outer control, setup, I/O), yielding the %cc and %dc
+columns of Table VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..ir.interp import Interpreter
+from ..ir.program import Kernel
+
+
+@dataclass
+class ProfileReport:
+    """Dynamic coverage of an offload candidate."""
+
+    kernel_insts: int
+    kernel_accesses: int
+    host_insts: int
+    host_accesses: int
+    inner_iterations: int
+
+    @property
+    def pct_code_coverage(self) -> float:
+        """%cc: fraction of dynamic instructions inside the offload."""
+        total = self.kernel_insts + self.host_insts
+        return 100.0 * self.kernel_insts / total if total else 0.0
+
+    @property
+    def pct_data_coverage(self) -> float:
+        """%dc: fraction of memory accesses inside the offload."""
+        total = self.kernel_accesses + self.host_accesses
+        return 100.0 * self.kernel_accesses / total if total else 0.0
+
+    @property
+    def hot(self) -> bool:
+        """Profitability gate: offload only regions that dominate."""
+        return self.pct_code_coverage >= 50.0
+
+
+def profile_kernel(kernel: Kernel, arrays: Dict[str, np.ndarray],
+                   scalars: Optional[Dict[str, float]] = None,
+                   host_insts: int = 0,
+                   host_accesses: int = 0) -> ProfileReport:
+    """Run the kernel on a train input and report coverage.
+
+    ``host_insts``/``host_accesses`` describe the application outside the
+    kernel (workloads provide these from their drivers).
+    """
+    result = Interpreter().run(kernel, arrays, scalars)
+    return ProfileReport(
+        kernel_insts=result.counts.total_insts,
+        kernel_accesses=result.counts.loads + result.counts.stores,
+        host_insts=host_insts,
+        host_accesses=host_accesses,
+        inner_iterations=result.inner_iterations,
+    )

@@ -1,0 +1,221 @@
+"""Access specialization: DFG partitions -> distributed accelerator
+definitions (paper §V-A-5/6).
+
+Every access node becomes a configured access-id (stream accesses get
+``cp_config_stream`` + FSM service; indirect/random accesses get
+``cp_config_random`` + ``cp_read``/``cp_write``), and every cross-
+partition DFG edge becomes a produce/consume channel pair mapped on the
+access-unit buffers (Figure 4). The used interface mechanisms are
+recorded for Table V.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..dfg.graph import Dfg
+from ..dfg.node import AccessNode, AccessPattern
+from ..errors import InterfaceError
+from ..interface.config import (
+    AccessConfig,
+    AccessKind,
+    ChannelConfig,
+    OffloadConfig,
+    PartitionConfig,
+)
+from ..interface.intrinsics import CoverageRecorder, Intrinsic
+from ..ir.program import Kernel
+from ..partition.iterate import DfgPartitioning
+from .codegen import generate_microcode
+
+
+def specialize_offload(dfg: Dfg, partitioning: DfgPartitioning,
+                       kernel: Kernel, offload_id: int,
+                       coverage: Optional[CoverageRecorder] = None,
+                       trip_count: Optional[int] = None,
+                       disable_stream_spec: bool = False) -> OffloadConfig:
+    """Emit the OffloadConfig for one partitioned DFG."""
+    coverage = coverage if coverage is not None else CoverageRecorder()
+    obj_ids = {name: k for k, name in enumerate(dfg.objects())}
+    next_access = _Counter()
+    parts: List[PartitionConfig] = []
+    access_ids: Dict[int, int] = {}  # DFG access node -> access-id
+
+    coverage.record(Intrinsic.CP_CONFIG)
+    coverage.record(Intrinsic.CP_RUN)
+
+    for p in range(partitioning.num_partitions):
+        node_ids = partitioning.nodes_of(p)
+        accesses: List[AccessConfig] = []
+        compute_ops: Dict[str, int] = {}
+        addr_ops = 0
+        for nid in node_ids:
+            node = dfg.nodes[nid]
+            if isinstance(node, AccessNode):
+                acc = _specialize_access(
+                    node, next_access(), trip_count, coverage,
+                    disable_stream_spec,
+                )
+                access_ids[nid] = acc.access_id
+                accesses.append(acc)
+                addr_ops += node.addr_ops
+            else:
+                compute_ops[node.op_class] = (
+                    compute_ops.get(node.op_class, 0) + 1
+                )
+        rf_presets = {
+            k: float(v) for k, v in enumerate(kernel.scalars.values())
+        }
+        if rf_presets:
+            coverage.record(Intrinsic.CP_SET_RF)
+            coverage.record(Intrinsic.CP_LOAD_RF)
+        parts.append(PartitionConfig(
+            partition_index=p,
+            anchor_object=partitioning.safe_anchor(p),
+            accesses=accesses,
+            compute_ops=compute_ops,
+            addr_ops=addr_ops,
+            dfg_nodes=tuple(node_ids),
+            rf_presets=rf_presets,
+        ))
+
+    channels = _build_channels(
+        dfg, partitioning, parts, next_access, coverage
+    )
+
+    # per-partition channel endpoints: remote producer node -> local
+    # consumer access id; local producer node -> producer access id
+    channel_in_by_part: Dict[int, Dict[int, int]] = {
+        p: {} for p in range(partitioning.num_partitions)
+    }
+    channel_out_by_part: Dict[int, Dict[int, int]] = {
+        p: {} for p in range(partitioning.num_partitions)
+    }
+    for ch, src_node in channels:
+        channel_in_by_part[ch.consumer_partition][src_node] = (
+            ch.consumer_access_id
+        )
+        channel_out_by_part[ch.producer_partition][src_node] = (
+            ch.producer_access_id
+        )
+
+    for part in parts:
+        part.microcode = generate_microcode(
+            dfg, part.dfg_nodes,
+            access_ids={nid: access_ids[nid] for nid in part.dfg_nodes
+                        if nid in access_ids},
+            obj_ids=obj_ids,
+            channel_inputs=channel_in_by_part[part.partition_index],
+            channel_outputs=channel_out_by_part[part.partition_index],
+        )
+
+    return OffloadConfig(
+        offload_id=offload_id,
+        kernel_name=kernel.name,
+        partitions=parts,
+        channels=[ch for ch, _ in channels],
+        scalars=dict(kernel.scalars),
+    )
+
+
+def _specialize_access(node: AccessNode, access_id: int,
+                       trip_count: Optional[int],
+                       coverage: CoverageRecorder,
+                       disable_stream_spec: bool = False) -> AccessConfig:
+    streamable = node.pattern in (AccessPattern.STREAM,
+                                  AccessPattern.INVARIANT)
+    if streamable and disable_stream_spec:
+        # multithreading case study: parallel loop iterations are
+        # scheduled to threads individually, so the stream-based access
+        # specialization step is skipped (paper Fig 12b)
+        streamable = False
+    if streamable:
+        kind = (AccessKind.STREAM_WRITE if node.is_write
+                else AccessKind.STREAM_READ)
+        coverage.record(Intrinsic.CP_CONFIG_STREAM)
+        if node.is_write:
+            coverage.record(Intrinsic.CP_PRODUCE)
+            coverage.record(Intrinsic.CP_DRAIN_BUF)
+        else:
+            coverage.record(Intrinsic.CP_CONSUME)
+            coverage.record(Intrinsic.CP_FILL_BUF)
+        if node.pattern is AccessPattern.STREAM:
+            coverage.record(Intrinsic.CP_STEP)
+        stride = node.stride_elems or 0
+    else:
+        kind = AccessKind.INDIRECT
+        coverage.record(Intrinsic.CP_CONFIG_RANDOM)
+        coverage.record(
+            Intrinsic.CP_WRITE if node.is_write else Intrinsic.CP_READ
+        )
+        stride = 0
+    if node.dtype is None:
+        raise InterfaceError(f"access node {node.id} lacks a dtype")
+    return AccessConfig(
+        access_id=access_id,
+        kind=kind,
+        obj=node.obj,
+        elem_bytes=node.dtype.size_bytes,
+        stride_elems=stride,
+        start_offset=node.base_offset or 0,
+        length=trip_count,
+        is_write=node.is_write,
+        dfg_nodes=(node.id,),
+        site_ids=node.site_ids,
+    )
+
+
+class _Counter:
+    def __init__(self) -> None:
+        self._next = 0
+
+    def __call__(self) -> int:
+        value = self._next
+        self._next += 1
+        return value
+
+
+def _build_channels(dfg: Dfg, partitioning: DfgPartitioning,
+                    parts: List[PartitionConfig], next_access: _Counter,
+                    coverage: CoverageRecorder
+                    ) -> List[Tuple[ChannelConfig, int]]:
+    """One channel per (producer node, consumer partition) pair."""
+    seen: Dict[Tuple[int, int], ChannelConfig] = {}
+    out: List[Tuple[ChannelConfig, int]] = []
+    next_channel = _Counter()
+    for edge in partitioning.cross_edges():
+        src_part = partitioning.assignment[edge.src]
+        dst_part = partitioning.assignment[edge.dst]
+        key = (edge.src, dst_part)
+        if key in seen:
+            continue
+        producer_acc = next_access()
+        consumer_acc = next_access()
+        ch = ChannelConfig(
+            channel_id=next_channel(),
+            producer_partition=src_part,
+            consumer_partition=dst_part,
+            producer_access_id=producer_acc,
+            consumer_access_id=consumer_acc,
+            width_bits=edge.width_bits,
+            is_predicate=edge.is_predicate,
+        )
+        seen[key] = ch
+        out.append((ch, edge.src))
+        coverage.record(Intrinsic.CP_PRODUCE)
+        coverage.record(Intrinsic.CP_CONSUME)
+        coverage.record(Intrinsic.CP_STEP)
+        coverage.record(Intrinsic.CP_CONFIG_STREAM)
+        parts[src_part].accesses.append(AccessConfig(
+            access_id=producer_acc, kind=AccessKind.CHANNEL,
+            elem_bytes=ch.payload_bytes, is_write=True,
+            dfg_nodes=(edge.src,),
+        ))
+        parts[src_part].produces.append(ch.channel_id)
+        parts[dst_part].accesses.append(AccessConfig(
+            access_id=consumer_acc, kind=AccessKind.CHANNEL,
+            elem_bytes=ch.payload_bytes, is_write=False,
+            dfg_nodes=(edge.dst,),
+        ))
+        parts[dst_part].consumes.append(ch.channel_id)
+    return out

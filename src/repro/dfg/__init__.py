@@ -1,0 +1,30 @@
+"""Dataflow-graph abstraction of offloadable code regions (paper §IV-A).
+
+An innermost-loop body lifts to a DFG of *access nodes* (one per static
+load/store site, annotated with its access pattern from recurrence
+analysis) and *compute nodes* (one per arithmetic operation on values).
+Address-computation instructions are folded into their access node,
+mirroring the paper: "all the address computation instructions leading to
+load or store instruction are grouped together as accessors".
+"""
+
+from .node import (
+    AccessNode,
+    AccessPattern,
+    ComputeNode,
+    Edge,
+    Node,
+    NodeKind,
+)
+from .graph import Dfg
+from .scev import AffineRec, analyze_index
+from .build import build_dfg
+from .classify import Classification, classify_kernel_loop
+
+__all__ = [
+    "Node", "NodeKind", "AccessNode", "ComputeNode", "Edge", "AccessPattern",
+    "Dfg",
+    "AffineRec", "analyze_index",
+    "build_dfg",
+    "Classification", "classify_kernel_loop",
+]

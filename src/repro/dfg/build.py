@@ -1,0 +1,238 @@
+"""Lift an innermost-loop body into a DFG (paper Figure 3, step 2).
+
+Grouping rules follow §V-A-2:
+
+* every static load/store site becomes an **access node**; its address
+  computation ops are folded into the node (``addr_ops``);
+* structurally identical loads within one iteration share one access node
+  (common-subexpression elimination at the accessor level);
+* all other operations become **compute nodes**;
+* ``When`` control dependencies become predicate edges into the stores
+  they guard ("control-dependencies ... converted to data dependencies by
+  predication").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import DFGError
+from ..ir.expr import (
+    BinOp,
+    Const,
+    Expr,
+    Load,
+    LoopVar,
+    Scalar,
+    Select,
+    Temp,
+    UnaryOp,
+    COMPLEX_OPS,
+)
+from ..ir.program import Kernel
+from ..ir.stmt import Assign, Loop, Store, When
+from .graph import Dfg
+from .node import AccessNode, AccessPattern, ComputeNode, NodeKind
+from .scev import analyze_index, classify_pattern
+
+
+def build_dfg(loop: Loop, kernel: Kernel, name: Optional[str] = None) -> Dfg:
+    """Build the DFG of ``loop``'s body w.r.t. its induction variable."""
+    if not loop.is_innermost:
+        raise DFGError(
+            f"build_dfg requires an innermost loop, got nest over {loop.var!r}"
+        )
+    builder = _Builder(loop, kernel, name or f"{kernel.name}.{loop.var}")
+    return builder.build()
+
+
+class _Builder:
+    def __init__(self, loop: Loop, kernel: Kernel, name: str):
+        self.loop = loop
+        self.kernel = kernel
+        self.dfg = Dfg(name)
+        self.var = loop.var
+        self._load_cse: Dict[str, int] = {}
+        self._temps: Dict[str, int] = {}
+        self._sites = kernel.site_ids()
+
+    def build(self) -> Dfg:
+        for stmt in self.loop.body:
+            self._lower_stmt(stmt, pred=None)
+        self.dfg.validate()
+        return self.dfg
+
+    # ------------------------------------------------------------------
+    def _lower_stmt(self, stmt, pred: Optional[int]) -> None:
+        if isinstance(stmt, Assign):
+            node = self._lower_expr(stmt.value)
+            if node is None:
+                node = self._make_compute("mov", stmt.value)
+            self._temps[stmt.name] = node
+        elif isinstance(stmt, Store):
+            self._lower_store(stmt, pred)
+        elif isinstance(stmt, When):
+            cond = self._lower_expr(stmt.cond)
+            if cond is None:
+                cond = self._make_compute("mov", stmt.cond)
+            for inner in stmt.body:
+                self._lower_stmt(inner, pred=cond)
+        else:
+            raise DFGError(f"cannot lower statement {stmt!r}")
+
+    def _lower_store(self, stmt: Store, pred: Optional[int]) -> None:
+        value_node = self._lower_expr(stmt.value)
+        store_node = self._make_access(
+            stmt.obj, stmt.index, is_write=True, origin=stmt
+        )
+        if value_node is not None:
+            src = self.dfg.nodes[value_node]
+            width = getattr(src, "width_bits", 32)
+            self.dfg.add_edge(value_node, store_node, width)
+        if pred is not None:
+            self.dfg.add_edge(pred, store_node, 1, is_predicate=True)
+
+    # ------------------------------------------------------------------
+    def _lower_expr(self, expr: Expr) -> Optional[int]:
+        """Lower a value expression; returns node id or None for immediates."""
+        kind = expr.__class__
+        if kind in (Const, LoopVar, Scalar):
+            return None
+        if kind is Temp:
+            node = self._temps.get(expr.name)
+            if node is None:
+                raise DFGError(f"temp %{expr.name} used before definition")
+            return node
+        if kind is Load:
+            return self._make_access(
+                expr.obj, expr.index, is_write=False, origin=expr
+            )
+        if kind is BinOp:
+            lhs = self._lower_expr(expr.lhs)
+            rhs = self._lower_expr(expr.rhs)
+            node = self._make_compute(expr.op, expr)
+            for operand in (lhs, rhs):
+                if operand is not None:
+                    width = getattr(self.dfg.nodes[operand], "width_bits", 32)
+                    self._add_edge_once(operand, node, width)
+            return node
+        if kind is UnaryOp:
+            operand = self._lower_expr(expr.operand)
+            node = self._make_compute(expr.op, expr)
+            if operand is not None:
+                width = getattr(self.dfg.nodes[operand], "width_bits", 32)
+                self._add_edge_once(operand, node, width)
+            return node
+        if kind is Select:
+            cond = self._lower_expr(expr.cond)
+            t = self._lower_expr(expr.if_true)
+            f = self._lower_expr(expr.if_false)
+            node = self._make_compute("select", expr)
+            for operand in (cond, t, f):
+                if operand is not None:
+                    width = getattr(self.dfg.nodes[operand], "width_bits", 32)
+                    self._add_edge_once(operand, node, width)
+            return node
+        raise DFGError(f"cannot lower expression {expr!r}")
+
+    def _add_edge_once(self, src: int, dst: int, width: int) -> None:
+        for edge in self.dfg.successors(src):
+            if edge.dst == dst and not edge.is_predicate:
+                return
+        self.dfg.add_edge(src, dst, width)
+
+    # ------------------------------------------------------------------
+    def _make_access(self, obj: str, index: Expr, is_write: bool,
+                     origin=None) -> int:
+        key = f"{'W' if is_write else 'R'}:{obj}:{index!r}"
+        site = self._sites.get(id(origin)) if origin is not None else None
+        if not is_write and key in self._load_cse:
+            merged = self.dfg.nodes[self._load_cse[key]]
+            if site is not None and site not in merged.site_ids:
+                merged.site_ids = merged.site_ids + (site,)
+            return self._load_cse[key]
+        pattern = classify_pattern(index, self.var)
+        rec = analyze_index(index, self.var)
+        dtype = self.kernel.objects[obj].dtype
+        inner_loads = self._top_level_loads(index)
+        addr_ops = index.op_count()
+        for inner in inner_loads:
+            addr_ops -= inner.index.op_count()
+        node = AccessNode(
+            id=self.dfg.new_id(),
+            kind=NodeKind.ACCESS,
+            label=f"{'st' if is_write else 'ld'} {obj}",
+            obj=obj,
+            is_write=is_write,
+            pattern=pattern,
+            stride_elems=rec.stride if rec else None,
+            base_offset=(
+                rec.const_offset
+                if rec and not rec.outer_dependent else None
+            ),
+            addr_ops=addr_ops,
+            dtype=dtype,
+            site_ids=(site,) if site is not None else (),
+        )
+        self.dfg.add_node(node)
+        for inner in inner_loads:
+            inner_id = self._lower_expr(inner)
+            width = self.kernel.objects[inner.obj].dtype.size_bytes * 8
+            self.dfg.add_edge(inner_id, node.id, width, is_index=True)
+        if not is_write:
+            self._load_cse[key] = node.id
+        return node.id
+
+    @staticmethod
+    def _top_level_loads(index: Expr):
+        """Loads directly inside ``index`` (not nested within other loads)."""
+        found = []
+
+        def visit(expr: Expr) -> None:
+            if isinstance(expr, Load):
+                found.append(expr)
+                return  # loads nested deeper belong to this inner access
+            for child in expr.children():
+                visit(child)
+
+        visit(index)
+        return found
+
+    def _make_compute(self, op: str, expr: Expr) -> int:
+        is_float = self._is_float(expr)
+        if op in COMPLEX_OPS:
+            op_class = "complex"
+        elif is_float:
+            op_class = "float"
+        else:
+            op_class = "int"
+        node = ComputeNode(
+            id=self.dfg.new_id(),
+            kind=NodeKind.COMPUTE,
+            label=op,
+            op=op,
+            op_class=op_class,
+            width_bits=64 if self._is_wide(expr) else 32,
+        )
+        self.dfg.add_node(node)
+        return node.id
+
+    def _is_float(self, expr: Expr) -> bool:
+        for node in expr.walk():
+            if isinstance(node, Load):
+                if self.kernel.objects[node.obj].dtype.is_float:
+                    return True
+            elif isinstance(node, Const) and isinstance(node.value, float):
+                return True
+            elif isinstance(node, Scalar):
+                default = self.kernel.scalars.get(node.name)
+                if isinstance(default, float):
+                    return True
+        return False
+
+    def _is_wide(self, expr: Expr) -> bool:
+        for node in expr.walk():
+            if isinstance(node, Load):
+                if self.kernel.objects[node.obj].dtype.size_bytes == 8:
+                    return True
+        return False

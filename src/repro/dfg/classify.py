@@ -1,0 +1,162 @@
+"""Dependence-based offload classification (paper §V-A-2).
+
+Each candidate innermost loop is conservatively classified as:
+
+1. **PARALLELIZABLE** — partitionable accesses/computations with no memory
+   dependence cycles across loop iterations;
+2. **SERIAL** — non-partitionable (unresolved pointers or cross-iteration
+   memory dependence cycles that defeat per-object ordering);
+3. **PIPELINABLE** — partitionable but non-parallelizable due to irregular
+   or loop-carried write accesses; decoupled pipelined execution is legal
+   because every object has a single serializing access point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..ir.program import Kernel
+from ..ir.stmt import Loop, Store, When
+from .node import AccessPattern
+from .scev import analyze_index, classify_pattern
+
+
+class Classification(enum.Enum):
+    PARALLELIZABLE = "parallelizable"
+    PIPELINABLE = "pipelinable"
+    SERIAL = "serial"
+
+    @property
+    def offloadable(self) -> bool:
+        return self is not Classification.SERIAL
+
+
+@dataclass
+class ClassifyResult:
+    kind: Classification
+    reasons: List[str] = field(default_factory=list)
+
+
+def classify_kernel_loop(loop: Loop, kernel: Kernel) -> ClassifyResult:
+    """Classify an innermost loop for offload partitioning."""
+    var = loop.var
+    loads: Dict[str, List] = {}
+    stores: Dict[str, List] = {}
+    for load in loop.all_loads():
+        loads.setdefault(load.obj, []).append(load.index)
+    for stmt in _stores_of(loop):
+        stores.setdefault(stmt.obj, []).append(stmt.index)
+
+    reasons: List[str] = []
+    kind = Classification.PARALLELIZABLE
+    for obj, store_indices in stores.items():
+        store_patterns = [classify_pattern(ix, var) for ix in store_indices]
+        load_indices = loads.get(obj, [])
+        load_patterns = [classify_pattern(ix, var) for ix in load_indices]
+
+        if AccessPattern.RANDOM in store_patterns:
+            if AccessPattern.RANDOM in load_patterns:
+                return ClassifyResult(
+                    Classification.SERIAL,
+                    [f"{obj}: unanalyzable read & write indices"],
+                )
+            kind = Classification.PIPELINABLE
+            reasons.append(f"{obj}: irregular write access")
+            continue
+        if AccessPattern.INDIRECT in store_patterns:
+            kind = Classification.PIPELINABLE
+            reasons.append(f"{obj}: indirect (data-dependent) write")
+            continue
+        if not load_indices:
+            continue  # write-only object: no cycle through it
+
+        dep = _affine_dependence(store_indices, load_indices, var)
+        if dep == "none":
+            continue
+        kind = Classification.PIPELINABLE
+        reasons.append(f"{obj}: {dep}")
+
+    return ClassifyResult(kind, reasons)
+
+
+def _affine_dependence(store_indices, load_indices, var: str) -> str:
+    """Compare affine store/load recurrences on one object.
+
+    Returns "none" when every (store, load) pair provably touches the same
+    element in the same iteration (RMW), otherwise names the dependence.
+    """
+    for s_ix in store_indices:
+        s_rec = analyze_index(s_ix, var)
+        for l_ix in load_indices:
+            l_rec = analyze_index(l_ix, var)
+            if l_rec is None:
+                return "indirect read of written object"
+            if s_rec is None:
+                return "unanalyzable write index"
+            if s_rec.stride == 0:
+                # store hits the same element every iteration: a reduction
+                # through memory, unless the load provably reads a
+                # *different* invariant element.
+                provably_disjoint = (
+                    l_rec.stride == 0
+                    and s_rec.const_offset is not None
+                    and l_rec.const_offset is not None
+                    and s_rec.const_offset != l_rec.const_offset
+                    and not s_rec.outer_dependent
+                    and not l_rec.outer_dependent
+                )
+                if provably_disjoint:
+                    continue
+                return "reduction (loop-carried accumulator)"
+            if l_rec.stride == s_rec.stride:
+                if (s_rec.const_offset is not None
+                        and s_rec.const_offset == l_rec.const_offset
+                        and not s_rec.outer_dependent
+                        and not l_rec.outer_dependent):
+                    continue  # same element, same iteration: plain RMW
+                if (s_rec.const_offset is not None
+                        and l_rec.const_offset is not None
+                        and s_rec.const_offset != l_rec.const_offset):
+                    return "loop-carried affine dependence"
+                # outer-dependent offsets: cannot prove independence
+                return "possibly overlapping affine accesses"
+            return "cross-stride affine dependence"
+    return "none"
+
+
+def has_serial_chain(loop: Loop, kernel: Kernel) -> bool:
+    """Detect a loop-carried *address* dependence chain (pointer chasing).
+
+    True when some object is written at a loop-invariant index (a carried
+    scalar through memory) and an indirect access's address computation
+    reads that same object — each iteration's address then depends on the
+    previous iteration's loaded value, so no access parallelism exists
+    for *any* execution substrate.
+    """
+    var = loop.var
+    carried_objects = set()
+    for stmt in _stores_of(loop):
+        rec = analyze_index(stmt.index, var)
+        if rec is not None and rec.stride == 0:
+            carried_objects.add(stmt.obj)
+    if not carried_objects:
+        return False
+    for load in loop.all_loads():
+        for inner in load.index.loads():
+            if inner.obj in carried_objects:
+                return True
+    return False
+
+
+def _stores_of(loop: Loop) -> List[Store]:
+    out: List[Store] = []
+    for stmt in loop.body:
+        if isinstance(stmt, Store):
+            out.append(stmt)
+        elif isinstance(stmt, When):
+            out.extend(s for s in stmt.body if isinstance(s, Store))
+        elif isinstance(stmt, Loop):
+            out.extend(_stores_of(stmt))
+    return out

@@ -1,0 +1,159 @@
+"""DFG container with traversal, validation and shape metrics."""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import DFGError
+from .node import AccessNode, ComputeNode, Edge, Node, NodeKind
+
+
+class Dfg:
+    """A directed acyclic dataflow graph for one offloadable region."""
+
+    def __init__(self, name: str = "dfg"):
+        self.name = name
+        self.nodes: Dict[int, Node] = {}
+        self.edges: List[Edge] = []
+        self._succ: Dict[int, List[Edge]] = defaultdict(list)
+        self._pred: Dict[int, List[Edge]] = defaultdict(list)
+        self._next_id = 0
+
+    # -- construction ------------------------------------------------------
+    def new_id(self) -> int:
+        nid = self._next_id
+        self._next_id += 1
+        return nid
+
+    def add_node(self, node: Node) -> Node:
+        if node.id in self.nodes:
+            raise DFGError(f"duplicate node id {node.id}")
+        self.nodes[node.id] = node
+        return node
+
+    def add_edge(self, src: int, dst: int, width_bits: int = 32,
+                 is_predicate: bool = False, is_index: bool = False) -> Edge:
+        if src not in self.nodes or dst not in self.nodes:
+            raise DFGError(f"edge ({src}->{dst}) references unknown node")
+        if src == dst:
+            raise DFGError(f"self edge on node {src}")
+        edge = Edge(src, dst, width_bits, is_predicate, is_index)
+        self.edges.append(edge)
+        self._succ[src].append(edge)
+        self._pred[dst].append(edge)
+        return edge
+
+    # -- queries -------------------------------------------------------------
+    def successors(self, nid: int) -> List[Edge]:
+        return self._succ.get(nid, [])
+
+    def predecessors(self, nid: int) -> List[Edge]:
+        return self._pred.get(nid, [])
+
+    def access_nodes(self) -> List[AccessNode]:
+        return [n for n in self.nodes.values() if isinstance(n, AccessNode)]
+
+    def compute_nodes(self) -> List[ComputeNode]:
+        return [n for n in self.nodes.values() if isinstance(n, ComputeNode)]
+
+    def objects(self) -> List[str]:
+        seen: List[str] = []
+        for node in self.access_nodes():
+            if node.obj not in seen:
+                seen.append(node.obj)
+        return seen
+
+    def num_insts(self) -> int:
+        """Static instruction count: compute ops + accesses + addr ops."""
+        insts = len(self.compute_nodes())
+        for acc in self.access_nodes():
+            insts += 1 + acc.addr_ops
+        return insts
+
+    # -- structure ------------------------------------------------------------
+    def topo_order(self) -> List[int]:
+        indeg = {nid: len(self._pred.get(nid, ())) for nid in self.nodes}
+        queue = deque(sorted(nid for nid, d in indeg.items() if d == 0))
+        order: List[int] = []
+        while queue:
+            nid = queue.popleft()
+            order.append(nid)
+            for edge in self._succ.get(nid, ()):
+                indeg[edge.dst] -= 1
+                if indeg[edge.dst] == 0:
+                    queue.append(edge.dst)
+        if len(order) != len(self.nodes):
+            raise DFGError(f"cycle detected in DFG {self.name!r}")
+        return order
+
+    def levels(self) -> Dict[int, int]:
+        """ASAP level (longest path from any source) per node."""
+        level: Dict[int, int] = {}
+        for nid in self.topo_order():
+            preds = self._pred.get(nid, ())
+            level[nid] = (
+                max(level[e.src] for e in preds) + 1 if preds else 0
+            )
+        return level
+
+    def dims(self) -> Tuple[int, int]:
+        """(depth, max-width) when topologically leveled — Table VI's
+        "DFG dim" column."""
+        if not self.nodes:
+            return (0, 0)
+        levels = self.levels()
+        width: Dict[int, int] = defaultdict(int)
+        for lv in levels.values():
+            width[lv] += 1
+        return (max(levels.values()) + 1, max(width.values()))
+
+    def validate(self) -> None:
+        self.topo_order()  # raises on cycles
+        for edge in self.edges:
+            if edge.width_bits <= 0:
+                raise DFGError(f"edge {edge} has non-positive width")
+
+    # -- partition views ---------------------------------------------------------
+    def cut_edges(self, assignment: Dict[int, int]) -> List[Edge]:
+        """Edges crossing partitions under a node->partition assignment."""
+        missing = set(self.nodes) - set(assignment)
+        if missing:
+            raise DFGError(f"assignment missing nodes: {sorted(missing)}")
+        return [
+            e for e in self.edges if assignment[e.src] != assignment[e.dst]
+        ]
+
+    def cut_cost_bits(self, assignment: Dict[int, int]) -> int:
+        return sum(e.width_bits for e in self.cut_edges(assignment))
+
+    def partition_objects(self, assignment: Dict[int, int]
+                          ) -> Dict[int, Set[str]]:
+        """Distinct memory objects referenced per partition."""
+        out: Dict[int, Set[str]] = defaultdict(set)
+        for node in self.access_nodes():
+            out[assignment[node.id]].add(node.obj)
+        return dict(out)
+
+    def subgraph(self, node_ids: Iterable[int],
+                 name: Optional[str] = None) -> "Dfg":
+        """Induced subgraph over ``node_ids`` (ids preserved)."""
+        ids = set(node_ids)
+        sub = Dfg(name or f"{self.name}-sub")
+        sub._next_id = self._next_id
+        for nid in ids:
+            if nid not in self.nodes:
+                raise DFGError(f"unknown node {nid} in subgraph request")
+            sub.nodes[nid] = self.nodes[nid]
+        for edge in self.edges:
+            if edge.src in ids and edge.dst in ids:
+                sub.edges.append(edge)
+                sub._succ[edge.src].append(edge)
+                sub._pred[edge.dst].append(edge)
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Dfg {self.name}: {len(self.nodes)} nodes, "
+            f"{len(self.edges)} edges>"
+        )

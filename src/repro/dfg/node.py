@@ -1,0 +1,90 @@
+"""DFG node and edge types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir.types import DType
+
+
+class NodeKind(enum.Enum):
+    ACCESS = "access"
+    COMPUTE = "compute"
+
+
+class AccessPattern(enum.Enum):
+    """Memory access pattern of an access node (from SCEV-like analysis)."""
+
+    #: affine in the innermost induction variable, nonzero stride
+    STREAM = "stream"
+    #: loop-invariant w.r.t. the innermost variable (reuse within the loop)
+    INVARIANT = "invariant"
+    #: index depends on loaded data (e.g. B[A[i]])
+    INDIRECT = "indirect"
+    #: statically unanalyzable (neither affine nor data-dependent)
+    RANDOM = "random"
+
+
+@dataclass
+class Node:
+    """Base DFG node."""
+
+    id: int
+    kind: NodeKind
+    label: str
+
+    def __hash__(self) -> int:
+        return self.id
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Node) and other.id == self.id
+
+
+@dataclass(eq=False)
+class AccessNode(Node):
+    """A static load/store site plus its folded address computation."""
+
+    obj: str = ""
+    is_write: bool = False
+    pattern: AccessPattern = AccessPattern.RANDOM
+    #: element stride w.r.t. the innermost loop var (STREAM pattern only)
+    stride_elems: Optional[int] = None
+    #: constant element offset at iteration 0 of the innermost loop, when
+    #: statically known (used for multi-access combining, Fig. 2d)
+    base_offset: Optional[int] = None
+    #: address-computation ops folded into this accessor
+    addr_ops: int = 0
+    dtype: Optional[DType] = None
+    #: interpreter site ids merged into this accessor (CSE may merge
+    #: several static sites), to join access nodes with traces
+    site_ids: tuple = ()
+
+    @property
+    def width_bits(self) -> int:
+        return (self.dtype.size_bytes if self.dtype else 8) * 8
+
+
+@dataclass(eq=False)
+class ComputeNode(Node):
+    """One arithmetic operation on values."""
+
+    op: str = "+"
+    #: functional-unit class: "int" | "float" | "complex"
+    op_class: str = "int"
+    width_bits: int = 32
+
+
+@dataclass(frozen=True)
+class Edge:
+    """Directed dataflow edge with a communication bit-width."""
+
+    src: int
+    dst: int
+    width_bits: int = 32
+    #: True for predicate (control-converted-to-data) edges
+    is_predicate: bool = False
+    #: True when the edge feeds an access node's *address* port (indirect
+    #: index value) rather than its data port
+    is_index: bool = False

@@ -1,0 +1,141 @@
+"""Scalar-evolution-style recurrence analysis of index expressions.
+
+The paper leverages LLVM's SCEV ("chains of recurrences" [37]) to find
+address-recurrent (streaming) access patterns. Our equivalent decomposes
+an index expression with respect to one induction variable ``var`` into
+
+    index = stride * var + invariant
+
+where ``invariant`` may reference outer loop variables and scalars but not
+``var`` itself. Expressions containing loads are data-dependent
+(indirect); non-affine uses of ``var`` are unanalyzable (random).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.expr import (
+    BinOp,
+    Const,
+    Expr,
+    Load,
+    LoopVar,
+    Scalar,
+    Select,
+    Temp,
+    UnaryOp,
+)
+from .node import AccessPattern
+
+
+@dataclass(frozen=True)
+class AffineRec:
+    """``stride * var + invariant`` decomposition."""
+
+    stride: int
+    #: the invariant addend when it is a compile-time constant, else None
+    const_offset: Optional[int]
+    #: True when the invariant part references outer loop variables
+    outer_dependent: bool
+
+    @property
+    def pattern(self) -> AccessPattern:
+        if self.stride == 0:
+            return AccessPattern.INVARIANT
+        return AccessPattern.STREAM
+
+
+def analyze_index(index: Expr, var: str) -> Optional[AffineRec]:
+    """Decompose ``index`` w.r.t. induction variable ``var``.
+
+    Returns None when the expression is indirect (contains loads) or not
+    affine in ``var``.
+    """
+    result = _affine(index, var)
+    if result is None:
+        return None
+    stride, const_offset, outer_dep = result
+    return AffineRec(stride, const_offset, outer_dep)
+
+
+def classify_pattern(index: Expr, var: str) -> AccessPattern:
+    """Full pattern classification including indirect/random cases."""
+    if any(True for _ in index.loads()):
+        return AccessPattern.INDIRECT
+    rec = analyze_index(index, var)
+    if rec is None:
+        return AccessPattern.RANDOM
+    return rec.pattern
+
+
+def _affine(expr: Expr, var: str):
+    """Returns (stride, const_offset | None, outer_dependent) or None."""
+    kind = expr.__class__
+    if kind is Const:
+        return (0, int(expr.value), False)
+    if kind is LoopVar:
+        if expr.name == var:
+            return (1, 0, False)
+        return (0, None, True)
+    if kind is Scalar or kind is Temp:
+        # runtime-constant w.r.t. the loop, value unknown statically
+        return (0, None, False)
+    if kind is Load:
+        return None
+    if kind is UnaryOp:
+        if expr.op == "-":
+            inner = _affine(expr.operand, var)
+            if inner is None:
+                return None
+            stride, off, outer = inner
+            return (-stride, -off if off is not None else None, outer)
+        return None
+    if kind is Select:
+        return None
+    if kind is BinOp:
+        return _affine_binop(expr, var)
+    return None
+
+
+def _affine_binop(expr: BinOp, var: str):
+    left = _affine(expr.lhs, var)
+    right = _affine(expr.rhs, var)
+    if left is None or right is None:
+        return None
+    ls, lo, louter = left
+    rs, ro, router = right
+    outer = louter or router
+
+    def add_off(a, b, sign=1):
+        if a is None or b is None:
+            return None
+        return a + sign * b
+
+    if expr.op == "+":
+        return (ls + rs, add_off(lo, ro), outer)
+    if expr.op == "-":
+        return (ls - rs, add_off(lo, ro, -1), outer)
+    if expr.op == "*":
+        # affine only when one side is entirely invariant *and* constant
+        if ls == 0 and lo is not None and not louter:
+            return (lo * rs, lo * ro if ro is not None else None, router)
+        if rs == 0 and ro is not None and not router:
+            return (ro * ls, ro * lo if lo is not None else None, louter)
+        if ls == 0 and rs == 0:
+            # product of two invariants: invariant, offset unknown unless
+            # both constant
+            off = lo * ro if (lo is not None and ro is not None) else None
+            return (0, off, outer)
+        return None
+    # division/modulo/shifts of the induction variable break affinity
+    if expr.op in ("/", "%", ">>", "<<"):
+        if ls == 0 and rs == 0:
+            return (0, None, outer)
+        return None
+    if expr.op in ("min", "max"):
+        if ls == 0 and rs == 0:
+            return (0, None, outer)
+        return None
+    return None

@@ -1,0 +1,20 @@
+"""Dynamic-energy and area models (McPAT/Cacti substitute, 32 nm).
+
+The paper models dynamic energy for processor, caches, interconnect,
+accelerators, access buffers and memory using McPAT and Cacti at 32 nm.
+We replace those tools with per-event energy tables whose magnitudes come
+from the same published sources, and an area table reproducing the
+Section VI-E overhead analysis.
+"""
+
+from .tables import EnergyTable, default_energy_table
+from .model import EnergyLedger
+from .area import AreaModel, default_area_model
+
+__all__ = [
+    "EnergyTable",
+    "default_energy_table",
+    "EnergyLedger",
+    "AreaModel",
+    "default_area_model",
+]

@@ -1,0 +1,308 @@
+"""Discrete-event simulation kernel.
+
+Everything timed in the simulator (accelerators, access-unit FSMs, the
+host) runs as a *process*: a Python generator that yields commands to the
+:class:`Simulator`. Time is kept in integer **picoseconds** so components
+in different clock domains (2 GHz host/IO cores vs. 1 GHz CGRA) compose
+without rounding drift.
+
+Commands a process may yield:
+
+* :class:`Delay` — advance this process by N picoseconds.
+* :class:`Get` — take one item from a :class:`Channel` (blocks when empty).
+* :class:`Put` — add one item to a :class:`Channel` (blocks when full).
+* :class:`WaitProcess` — block until another process terminates.
+
+Example::
+
+    sim = Simulator()
+    ch = Channel(sim, capacity=2)
+
+    def producer():
+        for i in range(4):
+            yield Put(ch, i)
+            yield Delay(500)
+
+    def consumer(out):
+        while True:
+            item = yield Get(ch)
+            out.append(item)
+
+    sim.spawn("prod", producer())
+    sim.spawn("cons", consumer(out := []))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, Generator, Iterator, List, Optional
+
+from .errors import DeadlockError, SimulationError
+
+PS_PER_NS = 1000
+
+
+def cycles_to_ps(cycles: float, freq_ghz: float) -> int:
+    """Convert a cycle count at ``freq_ghz`` into integer picoseconds."""
+    if freq_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return int(round(cycles * PS_PER_NS / freq_ghz))
+
+
+def ps_to_cycles(ps: int, freq_ghz: float) -> float:
+    """Convert picoseconds into (fractional) cycles at ``freq_ghz``."""
+    return ps * freq_ghz / PS_PER_NS
+
+
+class Command:
+    """Base class for commands a process can yield to the simulator."""
+
+    def arm(self, sim: "Simulator", proc: "Process") -> None:
+        raise NotImplementedError
+
+
+class Delay(Command):
+    """Suspend the yielding process for ``ps`` picoseconds."""
+
+    __slots__ = ("ps",)
+
+    def __init__(self, ps: int):
+        if ps < 0:
+            raise SimulationError(f"negative delay: {ps}")
+        self.ps = int(ps)
+
+    def arm(self, sim: "Simulator", proc: "Process") -> None:
+        sim._schedule(sim.now + self.ps, proc, None)
+
+
+class Get(Command):
+    """Take the oldest item from ``channel``; blocks while empty."""
+
+    __slots__ = ("channel",)
+
+    def __init__(self, channel: "Channel"):
+        self.channel = channel
+
+    def arm(self, sim: "Simulator", proc: "Process") -> None:
+        self.channel._arm_get(proc)
+
+
+class Put(Command):
+    """Append ``item`` to ``channel``; blocks while full."""
+
+    __slots__ = ("channel", "item")
+
+    def __init__(self, channel: "Channel", item: Any):
+        self.channel = channel
+        self.item = item
+
+    def arm(self, sim: "Simulator", proc: "Process") -> None:
+        self.channel._arm_put(proc, self.item)
+
+
+class WaitProcess(Command):
+    """Block until ``target`` terminates; resumes with its return value."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: "Process"):
+        self.target = target
+
+    def arm(self, sim: "Simulator", proc: "Process") -> None:
+        if self.target.done:
+            sim._schedule(sim.now, proc, self.target.result)
+        else:
+            self.target._waiters.append(proc)
+
+
+class Process:
+    """Handle to a running simulation process."""
+
+    __slots__ = (
+        "name", "_gen", "done", "result", "_waiters", "blocked_on", "daemon"
+    )
+
+    def __init__(self, name: str, gen: Generator[Command, Any, Any],
+                 daemon: bool = False):
+        self.name = name
+        self._gen = gen
+        self.done = False
+        self.result: Any = None
+        self._waiters: List["Process"] = []
+        #: human-readable description of what the process is blocked on,
+        #: used in deadlock diagnostics.
+        self.blocked_on: Optional[str] = None
+        #: daemon processes (e.g. sinks, FSMs that serve forever) may remain
+        #: blocked at end of simulation without signalling deadlock.
+        self.daemon = daemon
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else (self.blocked_on or "ready")
+        return f"<Process {self.name}: {state}>"
+
+
+class Channel:
+    """Bounded FIFO channel with blocking put/get semantics.
+
+    Models a hardware buffer: ``capacity`` is the number of slots. A
+    ``capacity`` of ``None`` means unbounded (useful for statistics sinks).
+    """
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None,
+                 name: str = "chan"):
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"channel capacity must be >= 1: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Process] = deque()
+        self._putters: Deque[tuple] = deque()  # (process, item)
+        self.total_puts = 0
+        self.total_gets = 0
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._items
+
+    def try_peek(self) -> Any:
+        """Non-blocking peek; raises if empty."""
+        if not self._items:
+            raise SimulationError(f"peek on empty channel {self.name}")
+        return self._items[0]
+
+    def _arm_get(self, proc: Process) -> None:
+        if self._items:
+            item = self._items.popleft()
+            self.total_gets += 1
+            self.sim._schedule(self.sim.now, proc, item)
+            self._drain_putters()
+        else:
+            proc.blocked_on = f"get({self.name})"
+            self._getters.append(proc)
+
+    def _arm_put(self, proc: Process, item: Any) -> None:
+        if not self.full:
+            self._accept(item)
+            self.sim._schedule(self.sim.now, proc, None)
+        else:
+            proc.blocked_on = f"put({self.name})"
+            self._putters.append((proc, item))
+
+    def _accept(self, item: Any) -> None:
+        self.total_puts += 1
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.blocked_on = None
+            self.total_gets += 1
+            self.sim._schedule(self.sim.now, getter, item)
+        else:
+            self._items.append(item)
+            self.max_occupancy = max(self.max_occupancy, len(self._items))
+
+    def _drain_putters(self) -> None:
+        while self._putters and not self.full:
+            putter, item = self._putters.popleft()
+            putter.blocked_on = None
+            self._accept(item)
+            self.sim._schedule(self.sim.now, putter, None)
+
+
+class Simulator:
+    """Heap-scheduled discrete-event simulator with generator processes."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._processes: List[Process] = []
+        self.events_executed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    def spawn(self, name: str, gen: Generator[Command, Any, Any],
+              daemon: bool = False) -> Process:
+        """Register ``gen`` as a new process, runnable at the current time.
+
+        Daemon processes are allowed to remain blocked forever; they model
+        hardware that services requests for the lifetime of the system.
+        """
+        if not isinstance(gen, Iterator):
+            raise SimulationError(
+                f"process {name!r} must be a generator, got {type(gen)!r}"
+            )
+        proc = Process(name, gen, daemon=daemon)
+        self._processes.append(proc)
+        self._schedule(self._now, proc, None)
+        return proc
+
+    def call_at(self, time_ps: int, fn: Callable[[], None]) -> None:
+        """Schedule a plain callback (no process) at an absolute time."""
+        self._seq += 1
+        heapq.heappush(self._heap, (time_ps, self._seq, None, fn))
+
+    def _schedule(self, time_ps: int, proc: Process, value: Any) -> None:
+        proc.blocked_on = None
+        self._seq += 1
+        heapq.heappush(self._heap, (time_ps, self._seq, proc, value))
+
+    def _step(self, proc: Process, value: Any) -> None:
+        try:
+            cmd = proc._gen.send(value)
+        except StopIteration as stop:
+            proc.done = True
+            proc.result = stop.value
+            for waiter in proc._waiters:
+                self._schedule(self._now, waiter, proc.result)
+            proc._waiters.clear()
+            return
+        if not isinstance(cmd, Command):
+            raise SimulationError(
+                f"process {proc.name!r} yielded {cmd!r}, expected a Command"
+            )
+        cmd.arm(self, proc)
+
+    def run(self, until_ps: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run until the event heap drains (or a limit is hit).
+
+        Returns the final simulation time in picoseconds. Raises
+        :class:`DeadlockError` if processes remain blocked with no
+        pending events.
+        """
+        while self._heap:
+            time_ps, _seq, proc, value = heapq.heappop(self._heap)
+            if until_ps is not None and time_ps > until_ps:
+                self._now = until_ps
+                return self._now
+            self._now = time_ps
+            self.events_executed += 1
+            if max_events is not None and self.events_executed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self._now}ps"
+                )
+            if proc is None:
+                value()  # plain callback
+            else:
+                self._step(proc, value)
+        blocked = [
+            p for p in self._processes
+            if not p.done and p.blocked_on and not p.daemon
+        ]
+        if blocked:
+            detail = ", ".join(f"{p.name} on {p.blocked_on}" for p in blocked)
+            raise DeadlockError(f"deadlock: blocked processes: {detail}")
+        return self._now

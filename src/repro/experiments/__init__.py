@@ -1,0 +1,24 @@
+"""Experiment harness: regenerates every table and figure of §VI.
+
+Each ``figNN``/``tableN`` module exposes ``compute(matrix)`` returning
+structured rows and ``format_rows(rows)`` producing the printable
+table, so benchmarks and examples share one implementation.
+"""
+
+from .runner import (
+    BASELINE,
+    PAPER_CONFIGS,
+    ResultMatrix,
+    geomean,
+    run_matrix,
+)
+from . import (
+    fig07, fig08, fig09, fig10, fig11, fig12, fig13, fig14,
+    table5, table6, area_wss,
+)
+
+__all__ = [
+    "BASELINE", "PAPER_CONFIGS", "ResultMatrix", "geomean", "run_matrix",
+    "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "table5", "table6", "area_wss",
+]

@@ -1,0 +1,83 @@
+"""Regenerate every paper table and figure from the command line.
+
+Usage::
+
+    python -m repro.experiments [--scale small] [--out report.txt]
+
+Runs the full 12-benchmark x 6-configuration matrix plus the case
+studies and sensitivity sweeps, printing each table/figure in the
+paper's order. Expect several minutes of simulation at "small" scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..params import experiment_machine
+from . import (
+    area_wss,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    run_matrix,
+    table5,
+    table6,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation section.",
+    )
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "large"))
+    parser.add_argument("--out", default=None,
+                        help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    machine = experiment_machine()
+    sections = []
+
+    def emit(text: str) -> None:
+        print(text, flush=True)
+        sections.append(text)
+
+    start = time.time()
+    emit(f"== Dist-DA reproduction report (scale={args.scale}) ==\n")
+    matrix = run_matrix(scale=args.scale, machine=machine)
+    emit(f"[matrix populated in {time.time() - start:.0f}s; "
+         f"all validated: {matrix.all_validated()}]\n")
+
+    emit(fig07.format_rows(fig07.compute(matrix)) + "\n")
+    emit(fig08.format_rows(fig08.compute(matrix)) + "\n")
+    emit(fig09.format_rows(fig09.compute(matrix)) + "\n")
+    emit(fig10.format_rows(fig10.compute(matrix)) + "\n")
+    emit(fig11.format_rows(fig11.compute(matrix)) + "\n")
+    emit(fig12.format_rows(fig12.compute(machine, args.scale)) + "\n")
+    emit(fig13.format_rows(
+        fig13.compute(machine=machine, scale=args.scale)) + "\n")
+    emit(fig14.format_rows(
+        fig14.compute(machine=machine, scale=args.scale)) + "\n")
+    emit(table5.format_rows(table5.compute(scale="tiny")) + "\n")
+    emit(table6.format_rows(table6.compute(scale=args.scale)) + "\n")
+    emit(area_wss.format_area(area_wss.compute_area()) + "\n")
+    emit(area_wss.format_wss(area_wss.compute_wss(machine=machine)) + "\n")
+    emit(f"[total {time.time() - start:.0f}s]")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write("\n".join(sections) + "\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

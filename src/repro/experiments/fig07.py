@@ -1,0 +1,59 @@
+"""Figure 7: normalized energy efficiency.
+
+Paper headline: Dist-DA-F achieves geometric-mean energy efficiency of
+3.3x over OoO, 2.46x over Mono-CA and 1.46x over Mono-DA-IO; Dist-DA-IO
+reaches 2.67x over OoO; compute specialization (Dist-DA-F over
+Dist-DA-IO) is worth 1.23x.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .runner import PAPER_CONFIGS, ResultMatrix, format_table, geomean
+
+
+def compute(matrix: ResultMatrix) -> Dict:
+    rows = {
+        workload: {
+            config: matrix.energy_efficiency(workload, config)
+            for config in PAPER_CONFIGS
+        }
+        for workload in matrix.workloads
+    }
+    gm = {
+        config: geomean(rows[w][config] for w in matrix.workloads)
+        for config in PAPER_CONFIGS
+    }
+    dist_f = gm["dist_da_f"]
+    return {
+        "per_workload": rows,
+        "gm": gm,
+        "headline": {
+            "dist_da_f_vs_ooo": dist_f,
+            "dist_da_f_vs_mono_ca": dist_f / gm["mono_ca"],
+            "dist_da_f_vs_mono_da_io": dist_f / gm["mono_da_io"],
+            "dist_da_io_vs_ooo": gm["dist_da_io"],
+            "compute_specialization": dist_f / gm["dist_da_io"],
+        },
+    }
+
+
+def format_rows(data: Dict) -> str:
+    header = ["bench"] + [c for c in PAPER_CONFIGS]
+    rows: List[List[str]] = [
+        [w] + [f"{data['per_workload'][w][c]:.2f}" for c in PAPER_CONFIGS]
+        for w in data["per_workload"]
+    ]
+    rows.append(["GM"] + [f"{data['gm'][c]:.2f}" for c in PAPER_CONFIGS])
+    table = format_table(header, rows)
+    h = data["headline"]
+    notes = (
+        f"\nDist-DA-F vs OoO {h['dist_da_f_vs_ooo']:.2f}x (paper 3.3x) | "
+        f"vs Mono-CA {h['dist_da_f_vs_mono_ca']:.2f}x (paper 2.46x) | "
+        f"vs Mono-DA-IO {h['dist_da_f_vs_mono_da_io']:.2f}x (paper 1.46x)"
+        f"\nDist-DA-IO vs OoO {h['dist_da_io_vs_ooo']:.2f}x (paper 2.67x) | "
+        f"compute specialization {h['compute_specialization']:.2f}x "
+        f"(paper 1.23x)"
+    )
+    return "Figure 7: normalized energy efficiency\n" + table + notes

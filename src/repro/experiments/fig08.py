@@ -1,0 +1,41 @@
+"""Figure 8: number of cache accesses, normalized to OoO.
+
+Decentralizing accesses removes the L1/L2 traversal per operand, so all
+DA configurations show a large reduction that is identical across DA
+variants (the paper: "remains the same for all DA configurations").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .runner import PAPER_CONFIGS, ResultMatrix, format_table, geomean
+
+
+def compute(matrix: ResultMatrix) -> Dict:
+    rows = {}
+    for workload in matrix.workloads:
+        base = matrix.baseline(workload).cache_stats.total_cache_accesses()
+        rows[workload] = {
+            config: (
+                matrix.get(workload, config)
+                .cache_stats.total_cache_accesses() / max(base, 1)
+            )
+            for config in PAPER_CONFIGS
+        }
+    gm = {
+        config: geomean(rows[w][config] for w in matrix.workloads)
+        for config in PAPER_CONFIGS
+    }
+    return {"per_workload": rows, "gm": gm}
+
+
+def format_rows(data: Dict) -> str:
+    header = ["bench"] + list(PAPER_CONFIGS)
+    rows = [
+        [w] + [f"{data['per_workload'][w][c]:.3f}" for c in PAPER_CONFIGS]
+        for w in data["per_workload"]
+    ]
+    rows.append(["GM"] + [f"{data['gm'][c]:.3f}" for c in PAPER_CONFIGS])
+    return ("Figure 8: # cache accesses (normalized to OoO; lower is "
+            "better)\n" + format_table(header, rows))

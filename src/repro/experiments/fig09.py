@@ -1,0 +1,44 @@
+"""Figure 9: dynamic access distribution (intra / D-A / A-A).
+
+For each accelerator configuration: *intra* is traffic internal to an
+accelerator's local buffers, *D-A* external traffic between accelerator
+and cache hierarchy, *A-A* between accelerators. Spatially-local
+workloads show a high intra share (cheaper than cache accesses), and
+Dist-DA cuts A-A versus Mono-DA (sub-computation placement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .runner import ResultMatrix, format_table
+
+#: configurations with accelerators (the OoO baseline has no Fig 9 bars)
+ACCEL_CONFIGS = ("mono_da_io", "dist_da_io", "dist_da_f")
+
+
+def compute(matrix: ResultMatrix) -> Dict:
+    rows = {}
+    for workload in matrix.workloads:
+        rows[workload] = {}
+        for config in ACCEL_CONFIGS:
+            dist = matrix.get(workload, config).access_dist
+            rows[workload][config] = dist.fractions()
+    return {"per_workload": rows}
+
+
+def format_rows(data: Dict) -> str:
+    header = ["bench"] + [
+        f"{c}:{part}" for c in ACCEL_CONFIGS
+        for part in ("intra", "d_a", "a_a")
+    ]
+    rows = []
+    for w, per_cfg in data["per_workload"].items():
+        row = [w]
+        for c in ACCEL_CONFIGS:
+            fr = per_cfg[c]
+            row += [f"{fr['intra']:.2f}", f"{fr['d_a']:.2f}",
+                    f"{fr['a_a']:.2f}"]
+        rows.append(row)
+    return ("Figure 9: dynamic access distribution (fractions)\n"
+            + format_table(header, rows))

@@ -1,0 +1,49 @@
+"""Figure 10: data transferred through the NoC, by class, normalized.
+
+Four components per configuration: host-initiated control (*ctrl*) and
+*data* traffic, and inter-accelerator control (*acc_ctrl*) and data
+(*acc_data*). Dist-DA's partitioning/placement moves computation to the
+cluster, shrinking acc_* versus Mono-DA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .runner import PAPER_CONFIGS, ResultMatrix, format_table
+
+CLASSES = ("ctrl", "data", "acc_ctrl", "acc_data")
+
+
+def compute(matrix: ResultMatrix) -> Dict:
+    rows = {}
+    for workload in matrix.workloads:
+        base_total = sum(
+            matrix.baseline(workload).traffic_breakdown.values()
+        ) or 1.0
+        rows[workload] = {}
+        for config in PAPER_CONFIGS:
+            breakdown = matrix.get(workload, config).traffic_breakdown
+            rows[workload][config] = {
+                cls: breakdown.get(cls, 0.0) / base_total for cls in CLASSES
+            }
+    return {"per_workload": rows}
+
+
+def acc_traffic_total(data: Dict, workload: str, config: str) -> float:
+    row = data["per_workload"][workload][config]
+    return row["acc_ctrl"] + row["acc_data"]
+
+
+def format_rows(data: Dict) -> str:
+    header = ["bench", "config"] + list(CLASSES) + ["total"]
+    rows = []
+    for w, per_cfg in data["per_workload"].items():
+        for c, breakdown in per_cfg.items():
+            rows.append(
+                [w, c]
+                + [f"{breakdown[cls]:.3f}" for cls in CLASSES]
+                + [f"{sum(breakdown.values()):.3f}"]
+            )
+    return ("Figure 10: NoC traffic by class (normalized to OoO total)\n"
+            + format_table(header, rows))

@@ -1,0 +1,76 @@
+"""Figure 11: performance — memory-operation rate, IPC, and speedup.
+
+Paper headline (Fig 11b): Dist-DA-F speedup of 1.59x over OoO, 1.43x
+over Mono-CA and 1.65x over Mono-DA-IO.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .runner import PAPER_CONFIGS, ResultMatrix, format_table, geomean
+
+
+def compute(matrix: ResultMatrix) -> Dict:
+    mem_rate = {}
+    ipc = {}
+    speedup = {}
+    for workload in matrix.workloads:
+        base = matrix.baseline(workload)
+        mem_rate[workload] = {}
+        ipc[workload] = {}
+        speedup[workload] = {}
+        for config in PAPER_CONFIGS:
+            run = matrix.get(workload, config)
+            mem_rate[workload][config] = (
+                run.mem_op_rate / max(base.mem_op_rate, 1e-12)
+            )
+            ipc[workload][config] = run.ipc / max(base.ipc, 1e-12)
+            speedup[workload][config] = run.speedup_vs(base)
+    gm_speedup = {
+        config: geomean(speedup[w][config] for w in matrix.workloads)
+        for config in PAPER_CONFIGS
+    }
+    dist_f = gm_speedup["dist_da_f"]
+    return {
+        "mem_rate": mem_rate,
+        "ipc": ipc,
+        "speedup": speedup,
+        "gm_speedup": gm_speedup,
+        "headline": {
+            "dist_da_f_vs_ooo": dist_f,
+            "dist_da_f_vs_mono_ca": dist_f / gm_speedup["mono_ca"],
+            "dist_da_f_vs_mono_da_io": dist_f / gm_speedup["mono_da_io"],
+        },
+    }
+
+
+def format_rows(data: Dict) -> str:
+    header = ["bench"] + [
+        f"{c}:{m}" for c in PAPER_CONFIGS for m in ("spd", "ipc", "mem")
+    ]
+    rows = []
+    for w in data["speedup"]:
+        row = [w]
+        for c in PAPER_CONFIGS:
+            row += [
+                f"{data['speedup'][w][c]:.2f}",
+                f"{data['ipc'][w][c]:.2f}",
+                f"{data['mem_rate'][w][c]:.2f}",
+            ]
+        rows.append(row)
+    rows.append(
+        ["GM"] + [
+            v for c in PAPER_CONFIGS
+            for v in (f"{data['gm_speedup'][c]:.2f}", "", "")
+        ]
+    )
+    h = data["headline"]
+    notes = (
+        f"\nDist-DA-F speedup vs OoO {h['dist_da_f_vs_ooo']:.2f}x "
+        f"(paper 1.59x) | vs Mono-CA {h['dist_da_f_vs_mono_ca']:.2f}x "
+        f"(paper 1.43x) | vs Mono-DA-IO "
+        f"{h['dist_da_f_vs_mono_da_io']:.2f}x (paper 1.65x)"
+    )
+    return ("Figure 11: normalized speedup / IPC / memory-op rate\n"
+            + format_table(header, rows) + notes)

@@ -1,0 +1,61 @@
+"""Figure 13: accelerator clocking sensitivity (§VI-E).
+
+Dist-DA-IO is re-clocked from 1 to 3 GHz. Speedup improves for most
+benchmarks while IPC *drops* for the access-dominated ones (more cycles
+spent waiting per instruction); seidel's arithmetic density keeps its
+IPC loss small — supporting the paper's argument that distributed ALP
+beats clock scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..params import MachineParams, experiment_machine
+from ..sim.system import simulate_workload
+from ..workloads import ALL_WORKLOADS, PAPER_ORDER
+from .runner import format_table
+
+FREQS_GHZ = (1.0, 2.0, 3.0)
+
+
+def compute(workloads: Sequence[str] = PAPER_ORDER,
+            machine: Optional[MachineParams] = None,
+            scale: str = "small") -> Dict:
+    machine = machine or experiment_machine()
+    speedup: Dict[str, Dict[float, float]] = {}
+    ipc: Dict[str, Dict[float, float]] = {}
+    for workload in workloads:
+        runs = {}
+        for freq in FREQS_GHZ:
+            m = machine.with_accel_freq(freq)
+            runs[freq] = simulate_workload(
+                ALL_WORKLOADS[workload].build(scale), "dist_da_io",
+                machine=m,
+            )
+        base = runs[FREQS_GHZ[0]]
+        speedup[workload] = {
+            f: runs[f].speedup_vs(base) for f in FREQS_GHZ
+        }
+        # IPC at the accelerator clock: insts per accelerator cycle
+        ipc[workload] = {
+            f: (runs[f].insts / (runs[f].time_ps * f / 1000.0))
+            / (base.insts / (base.time_ps * FREQS_GHZ[0] / 1000.0))
+            for f in FREQS_GHZ
+        }
+    return {"speedup": speedup, "ipc": ipc}
+
+
+def format_rows(data: Dict) -> str:
+    header = ["bench"] + [
+        f"{f:g}GHz:{m}" for f in FREQS_GHZ for m in ("spd", "ipc")
+    ]
+    rows = []
+    for w in data["speedup"]:
+        row = [w]
+        for f in FREQS_GHZ:
+            row += [f"{data['speedup'][w][f]:.2f}",
+                    f"{data['ipc'][w][f]:.2f}"]
+        rows.append(row)
+    return ("Figure 13: clocking sensitivity (normalized to "
+            "Dist-DA-IO@1GHz)\n" + format_table(header, rows))

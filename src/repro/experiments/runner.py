@@ -1,0 +1,113 @@
+"""Experiment matrix: run (workload x configuration) simulations once and
+share the results across every figure/table module."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..interface.intrinsics import CoverageRecorder
+from ..params import MachineParams, experiment_machine
+from ..sim.results import RunResult
+from ..sim.system import simulate_workload
+from ..workloads import ALL_WORKLOADS, PAPER_ORDER
+
+#: the accelerator configurations of §VI-A, in presentation order
+PAPER_CONFIGS = (
+    "mono_ca", "mono_da_io", "mono_da_f", "dist_da_io", "dist_da_f",
+)
+BASELINE = "ooo"
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [max(float(v), 1e-12) for v in values]
+    if not vals:
+        raise ConfigError("geomean of empty sequence")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class ResultMatrix:
+    """Lazily-populated (workload, config) -> RunResult matrix."""
+
+    scale: str = "small"
+    machine: Optional[MachineParams] = None
+    workloads: Sequence[str] = PAPER_ORDER
+    configs: Sequence[str] = (BASELINE,) + PAPER_CONFIGS
+    results: Dict[Tuple[str, str], RunResult] = field(default_factory=dict)
+    coverage: Dict[str, CoverageRecorder] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.machine is None:
+            self.machine = experiment_machine()
+
+    def get(self, workload: str, config: str) -> RunResult:
+        key = (workload, config)
+        if key not in self.results:
+            if workload not in ALL_WORKLOADS:
+                raise ConfigError(f"unknown workload {workload!r}")
+            cov = self.coverage.setdefault(workload, CoverageRecorder())
+            instance = ALL_WORKLOADS[workload].build(self.scale)
+            self.results[key] = simulate_workload(
+                instance, config, machine=self.machine, coverage=cov
+            )
+        return self.results[key]
+
+    def baseline(self, workload: str) -> RunResult:
+        return self.get(workload, BASELINE)
+
+    def run_all(self) -> "ResultMatrix":
+        for workload in self.workloads:
+            for config in self.configs:
+                self.get(workload, config)
+        return self
+
+    # -- normalized metric helpers (all relative to the OoO baseline) -----
+    def energy_efficiency(self, workload: str, config: str) -> float:
+        return self.get(workload, config).energy_efficiency_vs(
+            self.baseline(workload)
+        )
+
+    def speedup(self, workload: str, config: str) -> float:
+        return self.get(workload, config).speedup_vs(self.baseline(workload))
+
+    def movement_reduction(self, workload: str, config: str) -> float:
+        return self.get(workload, config).movement_reduction_vs(
+            self.baseline(workload)
+        )
+
+    def gm(self, metric: str, config: str) -> float:
+        fn = {
+            "ee": self.energy_efficiency,
+            "speedup": self.speedup,
+            "movement": self.movement_reduction,
+        }[metric]
+        return geomean(fn(w, config) for w in self.workloads)
+
+    def all_validated(self) -> bool:
+        return all(r.validated for r in self.results.values())
+
+
+def run_matrix(scale: str = "small",
+               machine: Optional[MachineParams] = None,
+               workloads: Sequence[str] = PAPER_ORDER,
+               configs: Sequence[str] = (BASELINE,) + PAPER_CONFIGS
+               ) -> ResultMatrix:
+    """Build and fully populate a result matrix."""
+    return ResultMatrix(
+        scale=scale, machine=machine, workloads=tuple(workloads),
+        configs=tuple(configs),
+    ).run_all()
+
+
+def format_table(header: List[str], rows: List[List[str]]) -> str:
+    widths = [
+        max(len(str(row[col])) for row in [header] + rows)
+        for col in range(len(header))
+    ]
+    def fmt(row):
+        return "  ".join(str(v).rjust(w) for v, w in zip(row, widths))
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    return "\n".join([fmt(header), sep] + [fmt(r) for r in rows])

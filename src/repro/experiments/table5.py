@@ -1,0 +1,63 @@
+"""Table V: coverage of interface mechanisms per benchmark.
+
+'C' marks compiler-automated use, 'U' user-annotated use (the §VI-D case
+studies). The compiler rows come straight from the coverage recorders
+populated during compilation; the user rows from the case studies'
+annotation sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..interface.intrinsics import CoverageRecorder, Intrinsic
+from ..ir.interp import Interpreter
+from ..compiler import CompileMode, compile_kernel
+from ..params import MachineParams
+from ..workloads import ALL_WORKLOADS, PAPER_ORDER
+from .fig12 import user_annotation_coverage
+from .runner import format_table
+
+CASE_STUDIES = (
+    ("spmv (annotated)", "spmv"),
+    ("nw (annotated)", "nw"),
+    ("bfs (multi-thread)", "bfs"),
+    ("pf (multi-thread)", "pf"),
+)
+
+
+def coverage_for_workload(short: str, scale: str = "tiny"
+                          ) -> CoverageRecorder:
+    """Compile every kernel of a workload and collect mechanism use."""
+    cov = CoverageRecorder()
+    instance = ALL_WORKLOADS[short].build(scale)
+    interp = Interpreter()
+    seen = set()
+    for call in instance.calls():
+        if id(call.kernel) in seen:
+            continue
+        seen.add(id(call.kernel))
+        compile_kernel(call.kernel, CompileMode.DIST, coverage=cov)
+        interp.run(call.kernel, instance.arrays, call.scalars)
+    return cov
+
+
+def compute(workloads: Sequence[str] = PAPER_ORDER,
+            scale: str = "tiny") -> Dict:
+    rows: Dict[str, Dict[str, str]] = {}
+    for workload in workloads:
+        rows[workload] = coverage_for_workload(workload, scale).row()
+    for label, short in CASE_STUDIES:
+        rows[label] = user_annotation_coverage(short).row()
+    return {"rows": rows}
+
+
+def format_rows(data: Dict) -> str:
+    mechanisms = [i.mnemonic for i in Intrinsic]
+    header = ["benchmark"] + [m.replace("cp_", "") for m in mechanisms]
+    rows = [
+        [name] + [row.get(m, "") for m in mechanisms]
+        for name, row in data["rows"].items()
+    ]
+    return ("Table V: interface-mechanism coverage (C = compiler, "
+            "U = user)\n" + format_table(header, rows))

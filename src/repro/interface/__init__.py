@@ -1,0 +1,40 @@
+"""The Dist-DA offload interface (paper §IV, Table II).
+
+This package defines the architecture interface itself — the fifteen
+MMIO-mapped ``cp_*`` intrinsics, the offload-configuration records the
+compiler emits ("distributed accelerator definitions"), and the hardware
+scheduler that owns the buffer-allocation table and performs multi-access
+combining (Figure 2b/2d).
+
+The interface deliberately says nothing about the accelerator substrate
+(requirement R3): IO-core and CGRA backends in :mod:`repro.accel` both
+speak it.
+"""
+
+from .intrinsics import (
+    Intrinsic,
+    IntrinsicCall,
+    CoverageRecorder,
+    DATAFLOW_INTRINSICS,
+    HOST_INTRINSICS,
+    RANDOM_INTRINSICS,
+    CTRL_INTRINSICS,
+    mmio_bytes,
+)
+from .config import (
+    AccessKind,
+    AccessConfig,
+    ChannelConfig,
+    PartitionConfig,
+    OffloadConfig,
+)
+from .scheduler import HardwareScheduler, BufferEntry
+
+__all__ = [
+    "Intrinsic", "IntrinsicCall", "CoverageRecorder",
+    "HOST_INTRINSICS", "DATAFLOW_INTRINSICS", "RANDOM_INTRINSICS",
+    "CTRL_INTRINSICS", "mmio_bytes",
+    "AccessKind", "AccessConfig", "ChannelConfig", "PartitionConfig",
+    "OffloadConfig",
+    "HardwareScheduler", "BufferEntry",
+]

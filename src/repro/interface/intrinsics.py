@@ -1,0 +1,128 @@
+"""The cp_* interface mechanisms (paper Table II).
+
+Every mechanism is an MMIO-based software intrinsic. Four classes:
+
+* **Host-initiated** — allocate/configure accelerator resources.
+* **Dataflow** — decoupled producer/consumer operand movement.
+* **Random access** — explicit buffer fill/drain and object-relative
+  read/write for indirect patterns.
+* **Accelerator control** — scalar register transfer and kick-off.
+
+The enum carries each mechanism's operand signature so MMIO traffic (and
+the paper's %init overhead) can be computed mechanically, and
+:class:`CoverageRecorder` reproduces Table V's per-benchmark coverage.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Set, Tuple
+
+#: bytes per MMIO transfer beat (one 64-bit register write/read)
+MMIO_WORD_BYTES = 8
+
+
+class Intrinsic(enum.Enum):
+    """All interface mechanisms of Table II, with operand names."""
+
+    # host-initiated
+    CP_CONFIG = ("cp_config", ("offload_id", "args"))
+    CP_CONFIG_STREAM = (
+        "cp_config_stream", ("access_id", "start", "stride", "length")
+    )
+    CP_CONFIG_RANDOM = ("cp_config_random", ("access_id", "start", "end"))
+    # dataflow
+    CP_PRODUCE = ("cp_produce", ("access_id", "data"))
+    CP_CONSUME = ("cp_consume", ("access_id",))
+    CP_STEP = ("cp_step", ("access_id", "n"))
+    CP_FILL_BUF = ("cp_fill_buf", ("access_id", "num_elements"))
+    CP_DRAIN_BUF = ("cp_drain_buf", ("access_id", "num_elements"))
+    # random access
+    CP_WRITE = ("cp_write", ("obj_id", "obj_offset", "data"))
+    CP_READ = ("cp_read", ("obj_id", "obj_offset"))
+    CP_FILL_RA = ("cp_fill_ra", ("buf_id", "addr", "num_elements"))
+    CP_DRAIN_RA = ("cp_drain_ra", ("buf_id", "addr", "num_elements"))
+    # accelerator control
+    CP_SET_RF = ("cp_set_rf", ("reg_id", "data"))
+    CP_LOAD_RF = ("cp_load_rf", ("reg_id",))
+    CP_RUN = ("cp_run", ("offload_id",))
+
+    def __init__(self, mnemonic: str, operands: Tuple[str, ...]):
+        self.mnemonic = mnemonic
+        self.operands = operands
+
+    @property
+    def mmio_bytes(self) -> int:
+        """MMIO bytes of one invocation: one word per operand + command."""
+        return MMIO_WORD_BYTES * (1 + len(self.operands))
+
+
+HOST_INTRINSICS = frozenset({
+    Intrinsic.CP_CONFIG, Intrinsic.CP_CONFIG_STREAM,
+    Intrinsic.CP_CONFIG_RANDOM,
+})
+DATAFLOW_INTRINSICS = frozenset({
+    Intrinsic.CP_PRODUCE, Intrinsic.CP_CONSUME, Intrinsic.CP_STEP,
+    Intrinsic.CP_FILL_BUF, Intrinsic.CP_DRAIN_BUF,
+})
+RANDOM_INTRINSICS = frozenset({
+    Intrinsic.CP_WRITE, Intrinsic.CP_READ,
+    Intrinsic.CP_FILL_RA, Intrinsic.CP_DRAIN_RA,
+})
+CTRL_INTRINSICS = frozenset({
+    Intrinsic.CP_SET_RF, Intrinsic.CP_LOAD_RF, Intrinsic.CP_RUN,
+})
+
+
+@dataclass(frozen=True)
+class IntrinsicCall:
+    """One static intrinsic occurrence in a compiled offload."""
+
+    intrinsic: Intrinsic
+    args: Tuple = ()
+
+    @property
+    def mmio_bytes(self) -> int:
+        return self.intrinsic.mmio_bytes
+
+
+def mmio_bytes(calls: Sequence[IntrinsicCall]) -> int:
+    """Total MMIO traffic of a call sequence (feeds %init, Table VI)."""
+    return sum(call.mmio_bytes for call in calls)
+
+
+class CoverageRecorder:
+    """Tracks which mechanisms a workload exercised (paper Table V).
+
+    Mechanisms are recorded as compiler-automated ('C') or
+    user-annotated ('U'); user annotations win if both occur.
+    """
+
+    COMPILER = "C"
+    USER = "U"
+
+    def __init__(self) -> None:
+        self._used: Dict[Intrinsic, str] = {}
+
+    def record(self, intrinsic: Intrinsic, source: str = COMPILER) -> None:
+        if source not in (self.COMPILER, self.USER):
+            raise ValueError(f"bad coverage source {source!r}")
+        previous = self._used.get(intrinsic)
+        if previous == self.USER:
+            return
+        self._used[intrinsic] = source
+
+    def used(self) -> Set[Intrinsic]:
+        return set(self._used)
+
+    def row(self) -> Dict[str, str]:
+        """Table V row: mnemonic -> 'C' / 'U' / ''."""
+        return {
+            intr.mnemonic: self._used.get(intr, "")
+            for intr in Intrinsic
+        }
+
+    def merge(self, other: "CoverageRecorder") -> None:
+        for intr, source in other._used.items():
+            self.record(intr, source)

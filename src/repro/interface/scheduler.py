@@ -1,0 +1,169 @@
+"""Hardware accelerator scheduler with buffer-allocation table (Fig 2b/2d).
+
+The scheduler owns the per-cluster buffer pools inside the access units.
+At allocation time it:
+
+* hands out ``buf-id``s for configured accesses, maintaining the
+  access-id -> buf-id mapping per application context;
+* performs **multi-access combining**: stream accesses to the same object
+  whose windows overlap at a constant distance within the buffer limit
+  share one buffer (Figure 2d case 1), enabling spatial reuse; and
+* refuses allocation when a cluster's buffer SRAM is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AllocationError, InterfaceError
+from ..params import AccessUnitParams
+from .config import AccessConfig, AccessKind
+
+
+@dataclass
+class BufferEntry:
+    """One allocated buffer in a cluster's access unit."""
+
+    buf_id: int
+    cluster: int
+    obj: Optional[str]
+    elem_bytes: int
+    capacity_elems: int
+    #: access-ids sharing this buffer (multi-access combining)
+    access_ids: List[int] = field(default_factory=list)
+    #: element offsets of each combined access at iteration 0
+    base_offsets: List[int] = field(default_factory=list)
+    stride_elems: int = 1
+
+
+class HardwareScheduler:
+    """Allocation-time resource manager for all clusters' access units."""
+
+    def __init__(self, num_clusters: int, params: AccessUnitParams):
+        if num_clusters < 1:
+            raise InterfaceError("need at least one cluster")
+        self.num_clusters = num_clusters
+        self.params = params
+        self._buffers: Dict[int, BufferEntry] = {}
+        self._by_cluster: Dict[int, List[int]] = {
+            c: [] for c in range(num_clusters)
+        }
+        self._access_map: Dict[Tuple[int, int], int] = {}  # (ctx, acc) -> buf
+        self._next_buf = 0
+        self.combines = 0
+        self.table_accesses = 0
+
+    # ------------------------------------------------------------------
+    def allocate(self, ctx: int, cluster: int, access: AccessConfig,
+                 capacity_elems: Optional[int] = None) -> int:
+        """Allocate (or combine into) a buffer; returns the buf-id."""
+        if not (0 <= cluster < self.num_clusters):
+            raise InterfaceError(f"bad cluster {cluster}")
+        key = (ctx, access.access_id)
+        if key in self._access_map:
+            raise AllocationError(
+                f"access {access.access_id} already mapped in context {ctx}"
+            )
+        self.table_accesses += 1
+        combined = self._try_combine(ctx, cluster, access)
+        if combined is not None:
+            self._access_map[key] = combined
+            self.combines += 1
+            return combined
+        capacity = capacity_elems or self._default_capacity(access)
+        self._check_cluster_space(cluster, capacity * access.elem_bytes)
+        buf = BufferEntry(
+            buf_id=self._next_buf,
+            cluster=cluster,
+            obj=access.obj,
+            elem_bytes=access.elem_bytes,
+            capacity_elems=capacity,
+            access_ids=[access.access_id],
+            base_offsets=[access.start_offset],
+            stride_elems=access.stride_elems,
+        )
+        self._next_buf += 1
+        self._buffers[buf.buf_id] = buf
+        self._by_cluster[cluster].append(buf.buf_id)
+        self._access_map[key] = buf.buf_id
+        return buf.buf_id
+
+    def _default_capacity(self, access: AccessConfig) -> int:
+        # a quarter of the 4 KB SRAM per buffer by default, in elements
+        return max(8, self.params.buffer_bytes // 4 // access.elem_bytes)
+
+    def _check_cluster_space(self, cluster: int, extra_bytes: int) -> None:
+        used = sum(
+            self._buffers[b].capacity_elems * self._buffers[b].elem_bytes
+            for b in self._by_cluster[cluster]
+        )
+        if used + extra_bytes > self.params.buffer_bytes:
+            raise AllocationError(
+                f"cluster {cluster}: access-unit SRAM exhausted "
+                f"({used}+{extra_bytes} > {self.params.buffer_bytes})"
+            )
+        if len(self._by_cluster[cluster]) >= self.params.max_buffers:
+            raise AllocationError(
+                f"cluster {cluster}: out of buffer ids"
+            )
+
+    # ------------------------------------------------------------------
+    def _try_combine(self, ctx: int, cluster: int,
+                     access: AccessConfig) -> Optional[int]:
+        """Figure 2d case 1: overlapping constant-distance stream windows."""
+        if access.kind not in (AccessKind.STREAM_READ,
+                               AccessKind.STREAM_WRITE):
+            return None
+        if access.obj is None:
+            return None
+        for buf_id in self._by_cluster[cluster]:
+            buf = self._buffers[buf_id]
+            if buf.obj != access.obj:
+                continue
+            if buf.stride_elems != access.stride_elems:
+                continue
+            if buf.elem_bytes != access.elem_bytes:
+                continue
+            distance = abs(access.start_offset - min(buf.base_offsets))
+            if distance < buf.capacity_elems:
+                buf.access_ids.append(access.access_id)
+                buf.base_offsets.append(access.start_offset)
+                return buf_id
+        return None
+
+    # ------------------------------------------------------------------
+    def lookup(self, ctx: int, access_id: int) -> BufferEntry:
+        """Access-id -> buffer (the Figure 2b table walk)."""
+        self.table_accesses += 1
+        try:
+            return self._buffers[self._access_map[(ctx, access_id)]]
+        except KeyError:
+            raise InterfaceError(
+                f"no buffer mapped for access {access_id} in context {ctx}"
+            ) from None
+
+    def buffers_in(self, cluster: int) -> List[BufferEntry]:
+        return [self._buffers[b] for b in self._by_cluster[cluster]]
+
+    def free_context(self, ctx: int) -> int:
+        """Release every buffer of an application context; returns count."""
+        buf_ids = {
+            buf for (c, _), buf in self._access_map.items() if c == ctx
+        }
+        self._access_map = {
+            key: buf for key, buf in self._access_map.items()
+            if key[0] != ctx
+        }
+        freed = 0
+        for buf_id in buf_ids:
+            still_used = buf_id in self._access_map.values()
+            if still_used:
+                continue
+            buf = self._buffers.pop(buf_id)
+            self._by_cluster[buf.cluster].remove(buf_id)
+            freed += 1
+        return freed
+
+    def buffers_allocated(self) -> int:
+        return len(self._buffers)

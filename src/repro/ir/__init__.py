@@ -1,0 +1,41 @@
+"""Typed kernel IR for offloadable loop nests.
+
+The paper's compiler operates on LLVM IR of C/C++ hot loops; our
+substitution is a small typed IR expressing the same class of programs:
+loop nests over flat memory objects with affine and indirect (data-
+dependent) index expressions, scalar temporaries, predication, and
+read-modify-write accumulation through memory.
+
+A kernel in this IR is simultaneously:
+
+* executable — :mod:`repro.ir.interp` runs it against NumPy arrays,
+  producing golden outputs, instruction counts and address traces;
+* analyzable — :mod:`repro.dfg` lifts innermost-loop bodies to dataflow
+  graphs for the offload compiler.
+"""
+
+from .types import DType, INT32, INT64, FLOAT32, FLOAT64
+from .expr import (
+    BinOp,
+    Const,
+    Expr,
+    Load,
+    LoopVar,
+    Scalar,
+    Select,
+    Temp,
+    UnaryOp,
+    COMPLEX_OPS,
+)
+from .stmt import Assign, Loop, Stmt, Store, When
+from .program import Kernel, MemObject
+from .interp import InterpResult, Interpreter, MemAccess, OpCounts
+
+__all__ = [
+    "DType", "INT32", "INT64", "FLOAT32", "FLOAT64",
+    "Expr", "Const", "LoopVar", "Scalar", "Temp", "Load", "BinOp",
+    "UnaryOp", "Select", "COMPLEX_OPS",
+    "Stmt", "Assign", "Store", "When", "Loop",
+    "Kernel", "MemObject",
+    "Interpreter", "InterpResult", "MemAccess", "OpCounts",
+]

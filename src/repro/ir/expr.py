@@ -1,0 +1,231 @@
+"""Expression nodes of the kernel IR.
+
+Expressions are immutable trees. Python operators are overloaded so that
+workload definitions read like the original C loops::
+
+    Store(out, (i, j), a[i, j] * alpha + b[i, j - 1])
+
+``Load`` keeps the *object name* plus a flat index expression; the
+multi-dimensional sugar lives on :class:`~repro.ir.program.MemObject`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple, Union
+
+from ..errors import IRError
+
+#: operations charged at "complex ALU" cost (paper: div/sqrt-class units)
+COMPLEX_OPS = frozenset({"/", "%", "sqrt", "exp", "log", "rsqrt"})
+
+_BINOPS = frozenset({
+    "+", "-", "*", "/", "%", "min", "max",
+    "==", "!=", "<", "<=", ">", ">=", "&", "|", "^", "<<", ">>",
+})
+_UNOPS = frozenset({"-", "abs", "sqrt", "exp", "log", "floor", "not"})
+
+Number = Union[int, float]
+
+
+def as_expr(value: "ExprLike") -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value))
+    if isinstance(value, (int, float)):
+        return Const(value)
+    raise IRError(f"cannot convert {value!r} to an IR expression")
+
+
+class Expr:
+    """Base expression; subclasses are immutable value objects."""
+
+    __slots__ = ()
+
+    # -- operator sugar ---------------------------------------------------
+    def __add__(self, other): return BinOp("+", self, as_expr(other))
+    def __radd__(self, other): return BinOp("+", as_expr(other), self)
+    def __sub__(self, other): return BinOp("-", self, as_expr(other))
+    def __rsub__(self, other): return BinOp("-", as_expr(other), self)
+    def __mul__(self, other): return BinOp("*", self, as_expr(other))
+    def __rmul__(self, other): return BinOp("*", as_expr(other), self)
+    def __truediv__(self, other): return BinOp("/", self, as_expr(other))
+    def __rtruediv__(self, other): return BinOp("/", as_expr(other), self)
+    def __mod__(self, other): return BinOp("%", self, as_expr(other))
+    def __lshift__(self, other): return BinOp("<<", self, as_expr(other))
+    def __rshift__(self, other): return BinOp(">>", self, as_expr(other))
+    def __and__(self, other): return BinOp("&", self, as_expr(other))
+    def __or__(self, other): return BinOp("|", self, as_expr(other))
+    def __xor__(self, other): return BinOp("^", self, as_expr(other))
+    def __neg__(self): return UnaryOp("-", self)
+
+    # comparisons build predicates (used by Select / When)
+    def eq(self, other): return BinOp("==", self, as_expr(other))
+    def ne(self, other): return BinOp("!=", self, as_expr(other))
+    def lt(self, other): return BinOp("<", self, as_expr(other))
+    def le(self, other): return BinOp("<=", self, as_expr(other))
+    def gt(self, other): return BinOp(">", self, as_expr(other))
+    def ge(self, other): return BinOp(">=", self, as_expr(other))
+
+    def min(self, other): return BinOp("min", self, as_expr(other))
+    def max(self, other): return BinOp("max", self, as_expr(other))
+
+    # -- traversal ---------------------------------------------------------
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def loads(self) -> Iterator["Load"]:
+        for node in self.walk():
+            if isinstance(node, Load):
+                yield node
+
+    def loop_vars(self) -> set:
+        return {n.name for n in self.walk() if isinstance(n, LoopVar)}
+
+    def op_count(self) -> int:
+        """Number of arithmetic operation nodes in this tree."""
+        return sum(
+            1 for n in self.walk() if isinstance(n, (BinOp, UnaryOp, Select))
+        )
+
+
+class Const(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Number):
+        if not isinstance(value, (int, float)):
+            raise IRError(f"Const value must be numeric, got {value!r}")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"{self.value}"
+
+
+class LoopVar(Expr):
+    """Reference to an induction variable of an enclosing loop."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Scalar(Expr):
+    """A runtime scalar kernel parameter (read-only inside the kernel)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+class Temp(Expr):
+    """Reference to a loop-local temporary defined by an ``Assign``.
+
+    Temps carry intra-iteration dataflow between statements; reading a
+    temp before any assignment in the same iteration is an error caught
+    by the interpreter.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+class Load(Expr):
+    """Read one element of a memory object at a flat index."""
+
+    __slots__ = ("obj", "index")
+
+    def __init__(self, obj: str, index: "ExprLike"):
+        self.obj = obj
+        self.index = as_expr(index)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.index,)
+
+    @property
+    def is_indirect(self) -> bool:
+        """True when the index itself depends on loaded data."""
+        return any(True for _ in self.index.loads())
+
+    def __repr__(self) -> str:
+        return f"{self.obj}[{self.index!r}]"
+
+
+class BinOp(Expr):
+    __slots__ = ("op", "lhs", "rhs")
+
+    def __init__(self, op: str, lhs: "ExprLike", rhs: "ExprLike"):
+        if op not in _BINOPS:
+            raise IRError(f"unknown binary op {op!r}")
+        self.op = op
+        self.lhs = as_expr(lhs)
+        self.rhs = as_expr(rhs)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.lhs, self.rhs)
+
+    @property
+    def is_complex(self) -> bool:
+        return self.op in COMPLEX_OPS
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+class UnaryOp(Expr):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: "ExprLike"):
+        if op not in _UNOPS:
+            raise IRError(f"unknown unary op {op!r}")
+        self.op = op
+        self.operand = as_expr(operand)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    @property
+    def is_complex(self) -> bool:
+        return self.op in COMPLEX_OPS
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.operand!r})"
+
+
+class Select(Expr):
+    """Predicated choice: ``cond ? if_true : if_false``."""
+
+    __slots__ = ("cond", "if_true", "if_false")
+
+    def __init__(self, cond: "ExprLike", if_true: "ExprLike",
+                 if_false: "ExprLike"):
+        self.cond = as_expr(cond)
+        self.if_true = as_expr(if_true)
+        self.if_false = as_expr(if_false)
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.if_true, self.if_false)
+
+    def __repr__(self) -> str:
+        return f"select({self.cond!r}, {self.if_true!r}, {self.if_false!r})"
+
+
+ExprLike = Union[Expr, int, float]

@@ -1,0 +1,39 @@
+"""Element types for the kernel IR."""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DType(enum.Enum):
+    """Element data types supported by kernels."""
+
+    INT32 = ("i32", 4, False)
+    INT64 = ("i64", 8, False)
+    FLOAT32 = ("f32", 4, True)
+    FLOAT64 = ("f64", 8, True)
+
+    def __init__(self, short: str, size_bytes: int, is_float: bool):
+        self.short = short
+        self.size_bytes = size_bytes
+        self.is_float = is_float
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return {
+            DType.INT32: np.dtype(np.int32),
+            DType.INT64: np.dtype(np.int64),
+            DType.FLOAT32: np.dtype(np.float32),
+            DType.FLOAT64: np.dtype(np.float64),
+        }[self]
+
+    def __repr__(self) -> str:
+        return self.short
+
+
+INT32 = DType.INT32
+INT64 = DType.INT64
+FLOAT32 = DType.FLOAT32
+FLOAT64 = DType.FLOAT64

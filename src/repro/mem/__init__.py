@@ -1,0 +1,29 @@
+"""Memory hierarchy: caches, NUCA L3, DRAM, slab allocator, coherence.
+
+This package models the Table III hierarchy. Caches track tags and dirty
+state only — functional correctness of the program is validated by the IR
+interpreter; the cache model exists to produce the latency, energy and
+data-movement statistics the paper evaluates.
+"""
+
+from .cache import Cache, AccessOutcome
+from .prefetch import StridePrefetcher
+from .nuca import NucaL3
+from .dram import Dram
+from .slab import SlabAllocator, Allocation
+from .hierarchy import MemoryHierarchy, AccessStats
+from .coherence import CoherenceManager, Domain
+
+__all__ = [
+    "Cache",
+    "AccessOutcome",
+    "StridePrefetcher",
+    "NucaL3",
+    "Dram",
+    "SlabAllocator",
+    "Allocation",
+    "MemoryHierarchy",
+    "AccessStats",
+    "CoherenceManager",
+    "Domain",
+]

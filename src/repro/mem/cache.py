@@ -1,0 +1,153 @@
+"""Set-associative write-back cache with true-LRU replacement.
+
+The cache tracks presence and dirtiness of lines, not data values. LRU is
+implemented with ordered dictionaries (oldest entry first), which makes a
+touch an O(1) delete+reinsert.
+
+Addresses are byte addresses; the cache works internally on line numbers
+(``addr >> line_shift``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..params import CacheParams
+
+
+@dataclass
+class AccessOutcome:
+    """Result of a cache lookup."""
+
+    hit: bool
+    #: line evicted to make room (line_number, was_dirty), if any
+    evicted: Optional[Tuple[int, bool]] = None
+
+
+class Cache:
+    """One level of set-associative cache."""
+
+    def __init__(self, params: CacheParams, name: str = "cache"):
+        self.params = params
+        self.name = name
+        line = params.line_bytes
+        self.line_shift = line.bit_length() - 1
+        if (1 << self.line_shift) != line:
+            raise ValueError(f"line size must be a power of two: {line}")
+        self.num_sets = params.num_sets
+        self.ways = params.ways
+        # each set: {tag: dirty}, insertion order == LRU order (oldest first)
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(self.num_sets)]
+        # statistics
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.prefetch_fills = 0
+        self.invalidations = 0
+
+    # -- address helpers ----------------------------------------------------
+    def line_of(self, addr: int) -> int:
+        return addr >> self.line_shift
+
+    def _index(self, line: int) -> Tuple[int, int]:
+        return line % self.num_sets, line // self.num_sets
+
+    # -- operations ----------------------------------------------------------
+    def probe(self, addr: int) -> bool:
+        """Tag check without any state change."""
+        set_idx, tag = self._index(self.line_of(addr))
+        return tag in self._sets[set_idx]
+
+    def access(self, addr: int, is_write: bool) -> AccessOutcome:
+        """Demand access. On miss the line is allocated (write-allocate).
+
+        Returns the outcome, including any dirty victim that the caller
+        must write back to the next level.
+        """
+        self.accesses += 1
+        line = self.line_of(addr)
+        set_idx, tag = self._index(line)
+        cset = self._sets[set_idx]
+        if tag in cset:
+            self.hits += 1
+            dirty = cset.pop(tag) or is_write
+            cset[tag] = dirty  # move to MRU position
+            return AccessOutcome(hit=True)
+        self.misses += 1
+        evicted = self._insert(set_idx, tag, dirty=is_write)
+        return AccessOutcome(hit=False, evicted=evicted)
+
+    def fill(self, addr: int, dirty: bool = False,
+             is_prefetch: bool = False) -> Optional[Tuple[int, bool]]:
+        """Install a line without counting a demand access (e.g. prefetch)."""
+        line = self.line_of(addr)
+        set_idx, tag = self._index(line)
+        cset = self._sets[set_idx]
+        if tag in cset:
+            if dirty:
+                cset.pop(tag)
+                cset[tag] = True
+            return None
+        if is_prefetch:
+            self.prefetch_fills += 1
+        return self._insert(set_idx, tag, dirty)
+
+    def _insert(self, set_idx: int, tag: int,
+                dirty: bool) -> Optional[Tuple[int, bool]]:
+        cset = self._sets[set_idx]
+        evicted = None
+        if len(cset) >= self.ways:
+            victim_tag = next(iter(cset))  # oldest == LRU
+            victim_dirty = cset.pop(victim_tag)
+            if victim_dirty:
+                self.writebacks += 1
+            victim_line = victim_tag * self.num_sets + set_idx
+            evicted = (victim_line, victim_dirty)
+        cset[tag] = dirty
+        return evicted
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line; returns True if it was present and dirty."""
+        set_idx, tag = self._index(self.line_of(addr))
+        cset = self._sets[set_idx]
+        if tag in cset:
+            self.invalidations += 1
+            dirty = cset.pop(tag)
+            if dirty:
+                self.writebacks += 1
+            return dirty
+        return False
+
+    def invalidate_range(self, base: int, size: int) -> int:
+        """Invalidate all lines overlapping [base, base+size); returns the
+        number of dirty lines written back."""
+        first = self.line_of(base)
+        last = self.line_of(base + max(size, 1) - 1)
+        dirty_count = 0
+        for line in range(first, last + 1):
+            addr = line << self.line_shift
+            if self.invalidate(addr):
+                dirty_count += 1
+        return dirty_count
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_lines(self) -> List[int]:
+        out = []
+        for set_idx, cset in enumerate(self._sets):
+            out.extend(tag * self.num_sets + set_idx for tag in cset)
+        return out
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Cache {self.name} {self.params.size_bytes // 1024}KB "
+            f"{self.ways}-way hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,79 @@
+"""Software-managed, object-granular coherence (paper §IV-D).
+
+Accelerator-visible data structures do not participate in the hardware
+coherence protocol. Each memory object is owned by exactly one *domain*
+at a time — the host (cache hierarchy above L3) or an accelerator cluster.
+When ownership changes, the previous owner's cached copies are flushed or
+invalidated (the paper: "the data will need to be invalidated if the scope
+of access changes between processor/accelerator domain"), and the flush
+cost is charged. One serializing point per memory object makes this safe.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import InterfaceError
+from .slab import Allocation
+
+
+class Domain(enum.Enum):
+    HOST = "host"
+    ACCEL = "accel"
+
+
+@dataclass
+class _Ownership:
+    domain: Domain
+    cluster: Optional[int] = None  # meaningful for ACCEL domain
+
+
+class CoherenceManager:
+    """Tracks per-object ownership and triggers flushes on transitions."""
+
+    def __init__(self, hierarchy: "MemoryHierarchy"):  # noqa: F821
+        self.hierarchy = hierarchy
+        self._owner: Dict[int, _Ownership] = {}
+        self.transitions = 0
+        self.flushed_lines = 0
+
+    def owner(self, obj_id: int) -> Optional[_Ownership]:
+        return self._owner.get(obj_id)
+
+    def acquire(self, alloc: Allocation, domain: Domain,
+                cluster: Optional[int] = None) -> int:
+        """Move ``alloc`` into ``domain``; returns dirty lines flushed.
+
+        Acquiring for the same domain (and cluster) is idempotent and free.
+        """
+        if domain is Domain.ACCEL and cluster is None:
+            raise InterfaceError(
+                f"accel acquire of {alloc.name!r} needs a cluster"
+            )
+        current = self._owner.get(alloc.obj_id)
+        if current is not None and current.domain is domain:
+            if domain is Domain.HOST or current.cluster == cluster:
+                return 0
+        flushed = 0
+        if current is not None:
+            flushed = self._flush_for_transition(alloc, current)
+            self.transitions += 1
+        self._owner[alloc.obj_id] = _Ownership(domain, cluster)
+        return flushed
+
+    def release(self, alloc: Allocation) -> int:
+        """Return an object to the host domain (offload scope ends)."""
+        return self.acquire(alloc, Domain.HOST)
+
+    def _flush_for_transition(self, alloc: Allocation,
+                              current: _Ownership) -> int:
+        if current.domain is Domain.HOST:
+            flushed = self.hierarchy.flush_host_range(alloc.base, alloc.size)
+        else:
+            flushed = self.hierarchy.flush_accel_range(
+                current.cluster, alloc.base, alloc.size
+            )
+        self.flushed_lines += flushed
+        return flushed

@@ -1,0 +1,401 @@
+"""Assembled memory hierarchy with host and accelerator access paths.
+
+Two access paths exist, mirroring the paper's architecture (Figure 2a):
+
+* **Host path** — L1 -> L2 (stride prefetcher) -> home L3 slice over the
+  mesh -> DRAM. Used by the OoO baseline and by non-offloaded code.
+* **Accelerator path** — per-cluster ACP (1-way 1 KB) -> home L3 slice
+  (local, or remote over the mesh) -> DRAM. Used by access units; data
+  never climbs into L1/L2, which is where decentralized accesses save
+  their traffic (Figure 8).
+
+The hierarchy charges all energies, NoC traffic (Figure 10 classes) and
+keeps the byte-movement ledger behind the Figure 9 / data-movement
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..energy import EnergyLedger
+from ..noc import HOST_NODE, Mesh, MessageKind, TrafficLedger
+from ..params import CACHE_LINE_BYTES, CacheParams, MachineParams
+from .cache import Cache
+from .dram import Dram
+from .nuca import NucaL3
+from .prefetch import StridePrefetcher
+
+#: mesh node where the memory controller attaches
+MC_NODE = 3
+
+
+@dataclass
+class AccessStats:
+    """Per-level access counters (Figure 8's cache-access metric)."""
+
+    l1: int = 0
+    l2: int = 0
+    l3: int = 0
+    acp: int = 0
+    dram: int = 0
+    prefetches: int = 0
+
+    def total_cache_accesses(self) -> int:
+        return self.l1 + self.l2 + self.l3 + self.acp
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "l1": self.l1, "l2": self.l2, "l3": self.l3,
+            "acp": self.acp, "dram": self.dram,
+            "prefetches": self.prefetches,
+        }
+
+
+class MemoryHierarchy:
+    """The full Table III memory system."""
+
+    def __init__(self, machine: MachineParams, energy: EnergyLedger,
+                 traffic: Optional[TrafficLedger] = None):
+        self.machine = machine
+        self.energy = energy
+        self.mesh = Mesh(machine.noc)
+        self.traffic = traffic or TrafficLedger(self.mesh, energy)
+        self.l1 = Cache(machine.l1, name="l1d")
+        self.l2 = Cache(machine.l2, name="l2")
+        self.l3 = NucaL3(machine)
+        self.dram = Dram(machine.dram, energy)
+        self.prefetcher: Optional[StridePrefetcher] = (
+            StridePrefetcher(line_bytes=machine.l1.line_bytes)
+            if machine.l2_stride_prefetcher else None
+        )
+        acp_params = CacheParams(
+            size_bytes=machine.access_unit.acp_bytes,
+            ways=machine.access_unit.acp_ways,
+            latency_cycles=1,
+            mshrs=4,
+        )
+        self.acps: List[Cache] = [
+            Cache(acp_params, name=f"acp{i}")
+            for i in range(machine.l3_clusters)
+        ]
+        #: total bytes moved between hierarchy levels (fills + writebacks)
+        self.movement_bytes = 0
+        self._line = CACHE_LINE_BYTES
+        self._stats_prefetches = 0
+        #: line -> residual latency a late prefetch exposes to the first
+        #: demand hit (prefetch timeliness model)
+        self._late_prefetch: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # host path
+    # ------------------------------------------------------------------
+    def host_access(self, addr: int, is_write: bool,
+                    stream_id: Optional[int] = None) -> int:
+        """Demand access from the core; returns total latency in cycles."""
+        m = self.machine
+        self.energy.charge("l1", "l1_access")
+        latency = m.l1.latency_cycles
+        out1 = self.l1.access(addr, is_write)
+        if out1.evicted and out1.evicted[1]:
+            self._writeback_into_l2(out1.evicted[0])
+        if out1.hit:
+            return latency
+
+        # L1 miss -> L2
+        self.energy.charge("l2", "l2_access")
+        latency += m.l2.latency_cycles
+        out2 = self.l2.access(addr, is_write=False)
+        self.movement_bytes += self._line  # L2 -> L1 fill
+        if out2.evicted and out2.evicted[1]:
+            self._writeback_into_l3(out2.evicted[0])
+        if self.prefetcher is not None and stream_id is not None:
+            self._run_prefetcher(stream_id, addr)
+        if out2.hit:
+            # a prefetched line may still be in flight: the prefetcher
+            # runs only `degree` lines ahead, so DRAM-sourced fills are
+            # partially exposed to the first demand hit
+            residual = self._late_prefetch.pop(self.l2.line_of(addr), 0)
+            return latency + residual
+
+        # L2 miss -> home L3 slice over the mesh
+        latency += self._l3_demand(addr, from_node=HOST_NODE,
+                                   kind_fill=MessageKind.CACHE_FILL)
+        self.movement_bytes += self._line  # L3 -> L2 fill
+        return latency
+
+    #: fraction of a prefetch fill's latency the first demand hit still
+    #: waits for (the prefetcher runs only a couple of lines ahead)
+    PREFETCH_LATE_FRACTION = 0.5
+
+    def _run_prefetcher(self, stream_id: int, addr: int) -> None:
+        for pf_addr in self.prefetcher.observe(stream_id, addr):
+            if self.l2.probe(pf_addr):
+                continue
+            # fetch from L3/DRAM into L2
+            fill_latency = self._l3_demand(
+                pf_addr, from_node=HOST_NODE,
+                kind_fill=MessageKind.CACHE_FILL,
+            )
+            evicted = self.l2.fill(pf_addr, is_prefetch=True)
+            self.movement_bytes += self._line
+            if evicted and evicted[1]:
+                self._writeback_into_l3(evicted[0])
+            self._late_prefetch[self.l2.line_of(pf_addr)] = int(
+                fill_latency * self.PREFETCH_LATE_FRACTION
+            )
+            self._stats_prefetches += 1
+
+    def _l3_demand(self, addr: int, from_node: int,
+                   kind_fill: MessageKind) -> int:
+        """Access the home L3 slice from ``from_node``; fills from DRAM on
+        miss. Returns latency cycles including mesh traversal."""
+        m = self.machine
+        cluster = self.l3.home_cluster(addr)
+        self.energy.charge("l3", "l3_access")
+        lat_req = self.traffic.record(
+            MessageKind.CACHE_REQ, from_node, cluster, 0
+        )
+        lat_fill = self.traffic.record(
+            kind_fill, cluster, from_node, self._line
+        )
+        latency = m.l3.latency_cycles
+        latency += _ps_to_cycles_int(lat_req + lat_fill, m.core.freq_ghz)
+        out3 = self.l3.access(addr, is_write=False)
+        if out3.evicted and out3.evicted[1]:
+            self._writeback_to_dram(cluster)
+        if not out3.hit:
+            latency += self._dram_fill(cluster)
+        return latency
+
+    def _dram_fill(self, cluster: int) -> int:
+        lat_req = self.traffic.record(
+            MessageKind.CACHE_REQ, cluster, MC_NODE, 0
+        )
+        lat_fill = self.traffic.record(
+            MessageKind.CACHE_FILL, MC_NODE, cluster, self._line
+        )
+        self.movement_bytes += self._line
+        cycles = self.dram.access(is_write=False)
+        return cycles + _ps_to_cycles_int(
+            lat_req + lat_fill, self.machine.core.freq_ghz
+        )
+
+    def _writeback_into_l2(self, line: int) -> None:
+        addr = line * self._line
+        self.energy.charge("l2", "l2_access")
+        self.movement_bytes += self._line
+        evicted = self.l2.fill(addr, dirty=True)
+        if evicted and evicted[1]:
+            self._writeback_into_l3(evicted[0])
+
+    def _writeback_into_l3(self, line: int) -> None:
+        addr = line * self._line
+        cluster = self.l3.home_cluster(addr)
+        self.energy.charge("l3", "l3_access")
+        self.traffic.record(
+            MessageKind.CACHE_WRITEBACK, HOST_NODE, cluster, self._line
+        )
+        self.movement_bytes += self._line
+        evicted = self.l3.fill(addr, dirty=True)
+        if evicted and evicted[1]:
+            self._writeback_to_dram(cluster)
+
+    def _writeback_to_dram(self, cluster: int) -> None:
+        self.traffic.record(
+            MessageKind.CACHE_WRITEBACK, cluster, MC_NODE, self._line
+        )
+        self.movement_bytes += self._line
+        self.dram.access(is_write=True)
+
+    # ------------------------------------------------------------------
+    # accelerator path
+    # ------------------------------------------------------------------
+    def accel_access(self, local_cluster: int, addr: int,
+                     is_write: bool) -> int:
+        """Access from an accelerator at ``local_cluster`` via its ACP.
+
+        Data is served from the home L3 slice (local or remote) without
+        touching L1/L2. Returns latency in cycles (2 GHz domain).
+        """
+        acp = self.acps[local_cluster]
+        self.energy.charge("access_unit", "acp_access")
+        latency = 1  # ACP lookup
+        out = acp.access(addr, is_write)
+        if out.evicted and out.evicted[1]:
+            self._accel_writeback(local_cluster, out.evicted[0])
+        if out.hit:
+            return latency
+        latency += self._l3_demand(
+            addr, from_node=local_cluster, kind_fill=MessageKind.ACC_OPERAND
+        )
+        self.movement_bytes += self._line  # L3 -> ACP fill
+        return latency
+
+    def accel_line_fetch(self, local_cluster: int, addr: int,
+                         is_write: bool) -> int:
+        """Line-granular transfer between an access-unit buffer and the
+        home L3 slice (stride-FSM fill/drain path).
+
+        The ACP is a coherent *port* here, not an allocating cache: one
+        line moves L3 <-> buffer, nothing is installed in between.
+        Returns latency in cycles (2 GHz domain).
+        """
+        self.energy.charge("access_unit", "acp_access")
+        home = self.l3.home_cluster(addr)
+        self.energy.charge("l3", "l3_access")
+        lat_req = self.traffic.record(
+            MessageKind.ACC_HANDSHAKE, local_cluster, home, 0
+        )
+        lat_data = self.traffic.record(
+            MessageKind.ACC_OPERAND,
+            home if not is_write else local_cluster,
+            local_cluster if not is_write else home,
+            self._line,
+        )
+        if home != local_cluster:
+            # remote fill: the line crosses the mesh. A co-located
+            # buffer<->bank transfer is the near-data case and does not
+            # count as hierarchy data movement.
+            self.movement_bytes += self._line
+        latency = 1 + (
+            self.machine.l3_bank_latency if home == local_cluster
+            else self.machine.l3.latency_cycles
+        )
+        latency += _ps_to_cycles_int(
+            lat_req + lat_data, self.machine.core.freq_ghz
+        )
+        out = self.l3.access(addr, is_write=is_write)
+        if out.evicted and out.evicted[1]:
+            self._writeback_to_dram(home)
+        if not out.hit and not is_write:
+            latency += self._dram_fill(home)
+        elif not out.hit and is_write:
+            # write-allocate of a fully-written line needs no DRAM read
+            pass
+        return latency
+
+    def accel_elem_access(self, local_cluster: int, addr: int,
+                          is_write: bool, elem_bytes: int) -> int:
+        """Element-granular in-place access at the home L3 bank.
+
+        This is the near-data cp_read/cp_write path: the access executes
+        at the data's home cluster, where the bank-side ACP coalesces
+        spatially-local indirect accesses into line-granular bank reads;
+        only the *element* crosses the NoC back to the requester. Line
+        moves between a bank and its own ACP are intra-cluster and do not
+        count as hierarchy data movement. Returns latency cycles.
+        """
+        home = self.l3.home_cluster(addr)
+        acp = self.acps[home]
+        self.energy.charge("access_unit", "acp_access")
+        lat_req = self.traffic.record(
+            MessageKind.ACC_HANDSHAKE, local_cluster, home, 0
+        )
+        lat_data = self.traffic.record(
+            MessageKind.ACC_OPERAND,
+            home if not is_write else local_cluster,
+            local_cluster if not is_write else home,
+            elem_bytes,
+        )
+        if home != local_cluster:
+            self.movement_bytes += elem_bytes
+        latency = 1 + _ps_to_cycles_int(
+            lat_req + lat_data, self.machine.core.freq_ghz
+        )
+        out = acp.access(addr, is_write)
+        if out.evicted and out.evicted[1]:
+            # dirty line retires into the local bank
+            self.energy.charge("l3", "l3_access")
+            evicted = self.l3.fill(out.evicted[0] * self._line, dirty=True)
+            if evicted and evicted[1]:
+                self._writeback_to_dram(home)
+        if out.hit:
+            return latency
+        self.energy.charge("l3", "l3_access")
+        latency += self.machine.l3_bank_latency
+        out3 = self.l3.access(addr, is_write=False)
+        if out3.evicted and out3.evicted[1]:
+            self._writeback_to_dram(home)
+        if not out3.hit:
+            latency += self._dram_fill(home)
+        return latency
+
+    def l3_demand(self, addr: int, from_node: int,
+                  as_accel: bool = False) -> int:
+        """Public demand access to the home L3 slice from any mesh node.
+
+        Used by accelerators with private caches (Mono-CA) whose misses go
+        straight to the shared L3. Returns latency cycles.
+        """
+        kind = (MessageKind.ACC_OPERAND if as_accel
+                else MessageKind.CACHE_FILL)
+        latency = self._l3_demand(addr, from_node=from_node, kind_fill=kind)
+        self.movement_bytes += self._line
+        return latency
+
+    def writeback_line_from(self, line: int, from_node: int) -> None:
+        """Public dirty-line writeback into L3 from any mesh node."""
+        addr = line * self._line
+        cluster = self.l3.home_cluster(addr)
+        self.energy.charge("l3", "l3_access")
+        self.traffic.record(
+            MessageKind.CACHE_WRITEBACK, from_node, cluster, self._line
+        )
+        self.movement_bytes += self._line
+        evicted = self.l3.fill(addr, dirty=True)
+        if evicted and evicted[1]:
+            self._writeback_to_dram(cluster)
+
+    def _accel_writeback(self, local_cluster: int, line: int) -> None:
+        addr = line * self._line
+        home = self.l3.home_cluster(addr)
+        self.energy.charge("l3", "l3_access")
+        self.traffic.record(
+            MessageKind.ACC_OPERAND, local_cluster, home, self._line
+        )
+        self.movement_bytes += self._line
+        evicted = self.l3.fill(addr, dirty=True)
+        if evicted and evicted[1]:
+            self._writeback_to_dram(home)
+
+    # ------------------------------------------------------------------
+    # flushes (coherence transitions)
+    # ------------------------------------------------------------------
+    def flush_host_range(self, base: int, size: int) -> int:
+        """Flush [base, base+size) from L1+L2; returns dirty lines."""
+        dirty = self.l1.invalidate_range(base, size)
+        dirty += self.l2.invalidate_range(base, size)
+        # dirty lines stream down to their home L3 slices
+        for _ in range(dirty):
+            self.energy.charge("l3", "l3_access")
+        self.movement_bytes += dirty * self._line
+        return dirty
+
+    def flush_accel_range(self, cluster: Optional[int], base: int,
+                          size: int) -> int:
+        if cluster is None:
+            return 0
+        dirty = self.acps[cluster].invalidate_range(base, size)
+        self.movement_bytes += dirty * self._line
+        return dirty
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> AccessStats:
+        return AccessStats(
+            l1=self.l1.accesses,
+            l2=self.l2.accesses,
+            l3=self.l3.accesses,
+            acp=sum(a.accesses for a in self.acps),
+            dram=self.dram.accesses,
+            prefetches=self._stats_prefetches,
+        )
+
+
+def _ps_to_cycles_int(ps: int, freq_ghz: float) -> int:
+    from ..events import ps_to_cycles
+
+    return int(round(ps_to_cycles(ps, freq_ghz)))

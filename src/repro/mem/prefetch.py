@@ -1,0 +1,67 @@
+"""L2 stride prefetcher (Table III: "stride prefetcher" at L2).
+
+Classic reference-prediction-table design: per-stream (PC surrogate)
+entries track the last address and last stride; after ``confirm``
+consecutive repeats of the same stride the prefetcher issues ``degree``
+prefetches ahead of the demand stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class _Entry:
+    last_addr: int
+    stride: int = 0
+    confidence: int = 0
+
+
+class StridePrefetcher:
+    """Reference prediction table keyed by an access-stream id."""
+
+    def __init__(self, table_size: int = 64, confirm: int = 2,
+                 degree: int = 2, line_bytes: int = 64):
+        if table_size < 1:
+            raise ValueError("table_size must be >= 1")
+        self.table_size = table_size
+        self.confirm = confirm
+        self.degree = degree
+        self.line_bytes = line_bytes
+        self._table: Dict[int, _Entry] = {}
+        self.issued = 0
+
+    def observe(self, stream_id: int, addr: int) -> List[int]:
+        """Record a demand access; returns line-aligned prefetch addresses."""
+        entry = self._table.get(stream_id)
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                self._table.pop(next(iter(self._table)))  # FIFO victim
+            self._table[stream_id] = _Entry(last_addr=addr)
+            return []
+        stride = addr - entry.last_addr
+        if stride != 0 and stride == entry.stride:
+            entry.confidence = min(entry.confidence + 1, self.confirm + 1)
+        else:
+            entry.stride = stride
+            entry.confidence = 1 if stride != 0 else 0
+        entry.last_addr = addr
+        if entry.confidence < self.confirm or entry.stride == 0:
+            return []
+        prefetches = []
+        seen_lines = {addr // self.line_bytes}
+        for k in range(1, self.degree + 1):
+            target = addr + k * entry.stride
+            if target < 0:
+                break
+            line = target // self.line_bytes
+            if line not in seen_lines:
+                seen_lines.add(line)
+                prefetches.append(line * self.line_bytes)
+        self.issued += len(prefetches)
+        return prefetches
+
+    def reset(self) -> None:
+        self._table.clear()

@@ -1,0 +1,107 @@
+"""Mesh topology with dimension-ordered (XY) routing.
+
+Nodes are numbered row-major: node = row * cols + col. The host tile is
+co-located with node :data:`HOST_NODE` (cluster 0), matching the paper's
+single-core system where the core's L2 connects to the L3 mesh at one
+point. XY routing is deadlock-free on a mesh, which is why the credit
+accounting here never needs an escape path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..errors import ConfigError
+from ..params import NocParams
+
+#: mesh node where the host core (and its L1/L2) attaches
+HOST_NODE = 0
+
+
+@dataclass(frozen=True)
+class Coord:
+    row: int
+    col: int
+
+
+class Mesh:
+    """Geometry and routing for the L3-cluster mesh."""
+
+    def __init__(self, params: NocParams):
+        if params.mesh_cols < 1 or params.mesh_rows < 1:
+            raise ConfigError(f"bad mesh dims: {params}")
+        self.params = params
+        self.cols = params.mesh_cols
+        self.rows = params.mesh_rows
+
+    @property
+    def num_nodes(self) -> int:
+        return self.rows * self.cols
+
+    def coord(self, node: int) -> Coord:
+        self._check(node)
+        return Coord(node // self.cols, node % self.cols)
+
+    def node_at(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigError(f"coordinate out of mesh: ({row}, {col})")
+        return row * self.cols + col
+
+    def _check(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise ConfigError(
+                f"node {node} outside mesh of {self.num_nodes} nodes"
+            )
+
+    # -- routing ----------------------------------------------------------
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance (number of link traversals) src -> dst."""
+        a, b = self.coord(src), self.coord(dst)
+        return abs(a.row - b.row) + abs(a.col - b.col)
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """XY route: full node path including both endpoints."""
+        a, b = self.coord(src), self.coord(dst)
+        path = [self.node_at(a.row, a.col)]
+        col = a.col
+        while col != b.col:
+            col += 1 if b.col > col else -1
+            path.append(self.node_at(a.row, col))
+        row = a.row
+        while row != b.row:
+            row += 1 if b.row > row else -1
+            path.append(self.node_at(row, b.col))
+        return path
+
+    def routers_traversed(self, src: int, dst: int) -> int:
+        """Routers a message passes through (endpoints included)."""
+        return self.hops(src, dst) + 1
+
+    # -- timing ------------------------------------------------------------
+    def latency_ps(self, src: int, dst: int, payload_bytes: int,
+                   freq_ghz: float = 2.0) -> int:
+        """Head-to-tail latency of one message at NoC clock ``freq_ghz``.
+
+        Pipeline model: per-hop latency for the head flit plus one cycle
+        per additional flit of serialization.
+        """
+        from ..events import cycles_to_ps
+
+        flits = self.num_flits(payload_bytes)
+        cycles = self.hops(src, dst) * self.params.hop_latency_cycles
+        cycles += max(flits - 1, 0)
+        return cycles_to_ps(cycles, freq_ghz)
+
+    def num_flits(self, payload_bytes: int) -> int:
+        if payload_bytes < 0:
+            raise ConfigError(f"negative payload: {payload_bytes}")
+        if payload_bytes == 0:
+            return 1  # header-only (control) message
+        fb = self.params.flit_bytes
+        return (payload_bytes + fb - 1) // fb
+
+    def all_pairs(self) -> Iterator[Tuple[int, int]]:
+        for s in range(self.num_nodes):
+            for d in range(self.num_nodes):
+                yield s, d

@@ -1,0 +1,99 @@
+"""NoC traffic accounting in the paper's Figure-10 categories.
+
+Every message sent over the mesh is recorded with a
+:class:`TrafficClass`:
+
+* ``HOST_CTRL``  — host-initiated request/response control (MMIO configs,
+  cp_config*/cp_run/cp_set_rf, cache request headers);
+* ``HOST_DATA``  — data moved on behalf of the host (cache line fills and
+  writebacks crossing the mesh, host read/write payloads);
+* ``ACC_CTRL``   — inter-accelerator control (produce/consume handshakes,
+  credits, step notifications);
+* ``ACC_DATA``   — inter-accelerator operand payloads.
+
+The ledger also charges NoC energy (per byte-hop and per router-flit)
+into the shared :class:`~repro.energy.EnergyLedger`.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Dict, Optional, Tuple
+
+from ..energy import EnergyLedger
+from .mesh import Mesh
+
+#: bytes of header carried by every message (request/command encoding)
+HEADER_BYTES = 8
+
+
+class TrafficClass(enum.Enum):
+    HOST_CTRL = "ctrl"
+    HOST_DATA = "data"
+    ACC_CTRL = "acc_ctrl"
+    ACC_DATA = "acc_data"
+
+
+class MessageKind(enum.Enum):
+    """Finer-grained message taxonomy, mapped onto traffic classes."""
+
+    MMIO_CONFIG = TrafficClass.HOST_CTRL
+    MMIO_CTRL = TrafficClass.HOST_CTRL
+    CACHE_REQ = TrafficClass.HOST_CTRL
+    CACHE_FILL = TrafficClass.HOST_DATA
+    CACHE_WRITEBACK = TrafficClass.HOST_DATA
+    HOST_OPERAND = TrafficClass.HOST_DATA
+    ACC_HANDSHAKE = TrafficClass.ACC_CTRL
+    ACC_CREDIT = TrafficClass.ACC_CTRL
+    ACC_OPERAND = TrafficClass.ACC_DATA
+
+
+class TrafficLedger:
+    """Counts bytes, messages and byte-hops per traffic class."""
+
+    def __init__(self, mesh: Mesh, energy: Optional[EnergyLedger] = None):
+        self.mesh = mesh
+        self.energy = energy
+        self.bytes_by_class: Dict[TrafficClass, float] = defaultdict(float)
+        self.byte_hops_by_class: Dict[TrafficClass, float] = defaultdict(float)
+        self.messages_by_class: Dict[TrafficClass, int] = defaultdict(int)
+        self.bytes_by_pair: Dict[Tuple[int, int], float] = defaultdict(float)
+
+    def record(self, kind: MessageKind, src: int, dst: int,
+               payload_bytes: int, count: int = 1) -> int:
+        """Record ``count`` identical messages; returns one-way latency ps.
+
+        Local messages (src == dst) cost no link energy but are still
+        counted as bytes so access-distribution statistics see them.
+        """
+        tclass = kind.value
+        total_bytes = (payload_bytes + HEADER_BYTES) * count
+        hops = self.mesh.hops(src, dst)
+        self.bytes_by_class[tclass] += total_bytes
+        self.byte_hops_by_class[tclass] += total_bytes * hops
+        self.messages_by_class[tclass] += count
+        self.bytes_by_pair[(src, dst)] += total_bytes
+        if self.energy is not None and hops > 0:
+            flits = self.mesh.num_flits(payload_bytes + HEADER_BYTES)
+            self.energy.charge("noc", "noc_byte_hop", total_bytes * hops)
+            self.energy.charge(
+                "noc", "noc_router_flit",
+                flits * self.mesh.routers_traversed(src, dst) * count,
+            )
+        return self.mesh.latency_ps(src, dst, payload_bytes + HEADER_BYTES)
+
+    # -- summaries ---------------------------------------------------------
+    def total_bytes(self) -> float:
+        return sum(self.bytes_by_class.values())
+
+    def total_byte_hops(self) -> float:
+        return sum(self.byte_hops_by_class.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Figure-10 style breakdown: bytes per class name."""
+        return {tc.value: self.bytes_by_class.get(tc, 0.0)
+                for tc in TrafficClass}
+
+    def class_bytes(self, tclass: TrafficClass) -> float:
+        return self.bytes_by_class.get(tclass, 0.0)

@@ -1,0 +1,227 @@
+"""Simulated machine parameters (paper Table III).
+
+All structural and timing parameters of the simulated system live here as
+frozen dataclasses, so a configuration is an immutable value that can be
+copied with :func:`dataclasses.replace` for sensitivity sweeps.
+
+Paper reference (Table III):
+
+* OoO core: 2 GHz, 2x4 decode/issue, x86, 5-way Ice Lake-like.
+* L1 D/I: 8-way 32 KB, 8 MSHRs, latency 2.
+* L2: 128 KB 16-way, 16 MSHRs, latency 4, stride prefetcher.
+* L3: 2 MB static NUCA (256 KB per cluster), 8 clusters (4 banks each) on a
+  mesh NoC, 16-way, 64 MSHRs, latency 10.
+* Memory: LPDDR 2 GB.
+* Accelerators: CGRA @ 1 GHz or 1-issue in-order @ 2 GHz, 4 KB buffer per
+  L3 cluster, ACP 1-way 1 KB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+CACHE_LINE_BYTES = 64
+PAGE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int
+    ways: int
+    latency_cycles: int
+    mshrs: int
+    line_bytes: int = CACHE_LINE_BYTES
+    writeback: bool = True
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.ways
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.line_bytes) != 0:
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"ways*line ({self.ways}*{self.line_bytes})"
+            )
+
+
+@dataclass(frozen=True)
+class NocParams:
+    """Mesh NoC parameters.
+
+    The 8 L3 clusters sit on a 4x2 mesh; the host tile is attached to
+    mesh node 0. Link width is in bytes per flit.
+    """
+
+    mesh_cols: int = 4
+    mesh_rows: int = 2
+    hop_latency_cycles: int = 2
+    flit_bytes: int = 16
+    credits_per_link: int = 8
+
+    @property
+    def num_nodes(self) -> int:
+        return self.mesh_cols * self.mesh_rows
+
+
+@dataclass(frozen=True)
+class DramParams:
+    """LPDDR main-memory model."""
+
+    size_bytes: int = 2 * 1024**3
+    latency_cycles: int = 120
+    bandwidth_bytes_per_cycle: float = 12.8  # ~25.6 GB/s at 2 GHz
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Host out-of-order core (5-way Ice Lake-like in the paper)."""
+
+    freq_ghz: float = 2.0
+    issue_width: int = 5
+    rob_entries: int = 224
+    mem_level_parallelism: int = 6
+
+
+@dataclass(frozen=True)
+class InOrderParams:
+    """Lightweight single-issue in-order accelerator core."""
+
+    freq_ghz: float = 2.0
+    issue_width: int = 1
+    mem_level_parallelism: int = 1
+    sw_prefetch: bool = False
+
+
+@dataclass(frozen=True)
+class CgraParams:
+    """Statically-mapped heterogeneous CGRA fabric (per L3 cluster).
+
+    The paper provisions a 5x5 tile per L3 cluster for Dist-DA-F (four
+    float, four complex, fifteen integer ALUs) and an 8x8 fabric for
+    Mono-DA-F.
+    """
+
+    freq_ghz: float = 1.0
+    rows: int = 5
+    cols: int = 5
+    int_alus: int = 15
+    float_alus: int = 4
+    complex_alus: int = 4
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class AccessUnitParams:
+    """Per-cluster access unit: local SRAM buffers + stride FSM + ACP."""
+
+    buffer_bytes: int = 4096
+    acp_ways: int = 1
+    acp_bytes: int = 1024
+    fill_burst_elems: int = 8
+    max_buffers: int = 16
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Complete parameter set for one simulated machine (Table III)."""
+
+    core: CoreParams = field(default_factory=CoreParams)
+    l1: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            size_bytes=32 * 1024, ways=8, latency_cycles=2, mshrs=8
+        )
+    )
+    l2: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            size_bytes=128 * 1024, ways=16, latency_cycles=4, mshrs=16
+        )
+    )
+    l3: CacheParams = field(
+        default_factory=lambda: CacheParams(
+            size_bytes=2 * 1024 * 1024, ways=16, latency_cycles=10, mshrs=64
+        )
+    )
+    l3_clusters: int = 8
+    l3_banks_per_cluster: int = 4
+    l2_stride_prefetcher: bool = True
+    noc: NocParams = field(default_factory=NocParams)
+    dram: DramParams = field(default_factory=DramParams)
+    inorder: InOrderParams = field(default_factory=InOrderParams)
+    cgra: CgraParams = field(default_factory=CgraParams)
+    access_unit: AccessUnitParams = field(default_factory=AccessUnitParams)
+    #: Mono-CA's private cache on the L3 bus (8 KB in the paper)
+    mono_private_bytes: int = 8 * 1024
+    #: latency of a near-data access straight into a local L3 bank; the
+    #: Table III "latency 10" includes the host-side slice controller and
+    #: queueing that an access unit sitting at the bank does not pay
+    l3_bank_latency: int = 4
+
+    @property
+    def l3_cluster_bytes(self) -> int:
+        return self.l3.size_bytes // self.l3_clusters
+
+    def with_accel_freq(self, freq_ghz: float) -> "MachineParams":
+        """Return a copy with both accelerator substrates re-clocked."""
+        return replace(
+            self,
+            inorder=replace(self.inorder, freq_ghz=freq_ghz),
+            cgra=replace(self.cgra, freq_ghz=freq_ghz),
+        )
+
+
+def default_machine() -> MachineParams:
+    """The paper's Table III machine."""
+    return MachineParams()
+
+
+def mono_da_cgra_machine(base: MachineParams = None) -> MachineParams:
+    """Mono-DA-F machine: one 8x8 CGRA fabric (larger monolithic offloads)."""
+    base = base or MachineParams()
+    big_fabric = replace(
+        base.cgra, rows=8, cols=8, int_alus=40, float_alus=12, complex_alus=12
+    )
+    return replace(base, cgra=big_fabric)
+
+
+#: capacity scale factor of the experiment machine relative to Table III
+EXPERIMENT_SCALE = 16
+
+
+def experiment_machine() -> MachineParams:
+    """The Table III machine with all *capacities* scaled down 16x.
+
+    Pure-Python cycle-approximate simulation cannot execute multi-MB
+    working sets at element granularity; instead every storage capacity
+    (caches, ACP, access buffers, Mono-CA private cache) shrinks by
+    :data:`EXPERIMENT_SCALE` while organization (ways, clusters, banks),
+    latencies, frequencies and compute resources stay at Table III
+    values. Workload "small" datasets are sized so that working-set /
+    LLC ratios match the paper's, which preserves every capacity-driven
+    effect the evaluation depends on (see DESIGN.md §4).
+    """
+    s = EXPERIMENT_SCALE
+    base = MachineParams()
+    return replace(
+        base,
+        l1=replace(base.l1, size_bytes=base.l1.size_bytes // s),
+        l2=replace(base.l2, size_bytes=base.l2.size_bytes // s),
+        # the LLC shrinks further so "small" working sets land in the
+        # paper's 0.5-12x WS/LLC range (Table IV vs the 2 MB L3)
+        l3=replace(base.l3, size_bytes=base.l3.size_bytes // (2 * s)),
+        access_unit=replace(
+            base.access_unit,
+            buffer_bytes=base.access_unit.buffer_bytes // 4,
+            acp_bytes=base.access_unit.acp_bytes // s * 4,
+        ),
+        mono_private_bytes=base.mono_private_bytes // s,
+    )

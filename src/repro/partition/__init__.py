@@ -1,0 +1,22 @@
+"""Graph partitioning for offload extraction (paper §V-A-3).
+
+:mod:`metis_like` is a from-scratch multilevel k-way partitioner in the
+same algorithm family as Metis [38]: heavy-edge-matching coarsening, seeded
+greedy initial partitioning, and Fiduccia–Mattheyses boundary refinement.
+
+:mod:`iterate` wraps it with the paper's strategy: accessors are grouped
+per memory object, the partition count is iterated upward, and the
+solution with the fewest data structures per partition (then the lowest
+communication cost) wins.
+"""
+
+from .problem import PartitionProblem
+from .metis_like import partition_graph
+from .iterate import DfgPartitioning, partition_dfg
+
+__all__ = [
+    "PartitionProblem",
+    "partition_graph",
+    "DfgPartitioning",
+    "partition_dfg",
+]

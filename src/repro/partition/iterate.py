@@ -1,0 +1,155 @@
+"""DFG partitioning with the paper's iteration strategy (§V-A-3).
+
+Accessor nodes are first grouped per memory object (one supernode per
+object — "the compiler groups the accessors based on the underlying memory
+object ... This ensures object-level memory access ordering"). Graph
+partitioning is then iterated with an increasing partition count until
+each partition holds at most one data structure (or the node count is
+reached), and the best recorded solution — fewest objects per partition,
+then lowest inter-partition communication cost — is returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..dfg.graph import Dfg
+from ..dfg.node import AccessNode
+from ..errors import PartitionError
+from .metis_like import partition_graph
+from .problem import PartitionProblem
+
+
+@dataclass
+class DfgPartitioning:
+    """A legal partitioning of one DFG."""
+
+    dfg: Dfg
+    #: DFG node id -> partition index (0..num_partitions-1, all non-empty)
+    assignment: Dict[int, int]
+    num_partitions: int
+    cut_cost_bits: int
+    #: partition index -> memory objects anchored there
+    objects: Dict[int, Set[str]]
+
+    @property
+    def max_objects_per_partition(self) -> int:
+        return max((len(s) for s in self.objects.values()), default=0)
+
+    def nodes_of(self, part: int) -> List[int]:
+        return [nid for nid, p in self.assignment.items() if p == part]
+
+    def anchor_object(self, part: int) -> Optional[str]:
+        """The single memory object of a partition (None for compute-only)."""
+        objs = self.objects.get(part, set())
+        if len(objs) > 1:
+            raise PartitionError(
+                f"partition {part} anchors {len(objs)} objects: {objs}"
+            )
+        return next(iter(objs)) if objs else None
+
+    def safe_anchor(self, part: int) -> Optional[str]:
+        """Like :meth:`anchor_object`, but None for multi-object partitions
+        (monolithic configurations centralize several objects on purpose)."""
+        objs = self.objects.get(part, set())
+        return next(iter(objs)) if len(objs) == 1 else None
+
+    def cross_edges(self):
+        return self.dfg.cut_edges(self.assignment)
+
+
+def partition_dfg(dfg: Dfg, max_partitions: Optional[int] = None,
+                  seed: int = 17) -> DfgPartitioning:
+    """Partition a DFG per the paper's iterated-Metis strategy."""
+    if not dfg.nodes:
+        raise PartitionError("cannot partition an empty DFG")
+    grouping = _ObjectGrouping(dfg)
+    kmax = max_partitions or grouping.num_groups
+    kmax = max(1, min(kmax, grouping.num_groups))
+
+    solutions: List[Tuple[int, int, int, List[int]]] = []
+    for k in range(1, kmax + 1):
+        fixed = grouping.fixed_for(k)
+        problem = PartitionProblem(
+            num_nodes=grouping.num_groups,
+            edges=grouping.edges,
+            node_weights=grouping.weights,
+            fixed=fixed,
+        )
+        # communication cost dominates for offload partitioning; hardware
+        # capacity is enforced later (CGRA II / microcode size), so the
+        # balance slack is nearly unconstrained
+        raw = partition_graph(problem, k, epsilon=8.0, seed=seed)
+        assignment = grouping.expand(raw)
+        objs = dfg.partition_objects(assignment)
+        max_objs = max((len(s) for s in objs.values()), default=0)
+        cut = dfg.cut_cost_bits(assignment)
+        solutions.append((max_objs, cut, k, assignment))
+        if max_objs <= 1:
+            break
+
+    max_objs, cut, k, assignment = min(
+        solutions, key=lambda s: (s[0], s[1], s[2])
+    )
+    assignment, num_parts = _renumber(assignment)
+    return DfgPartitioning(
+        dfg=dfg,
+        assignment=assignment,
+        num_partitions=num_parts,
+        cut_cost_bits=dfg.cut_cost_bits(assignment),
+        objects=dfg.partition_objects(assignment),
+    )
+
+
+class _ObjectGrouping:
+    """Contract all access nodes of one object into a supernode."""
+
+    def __init__(self, dfg: Dfg):
+        self.dfg = dfg
+        self.group_of: Dict[int, int] = {}
+        self.object_groups: Dict[str, int] = {}
+        next_group = 0
+        for node in dfg.nodes.values():
+            if isinstance(node, AccessNode):
+                if node.obj not in self.object_groups:
+                    self.object_groups[node.obj] = next_group
+                    next_group += 1
+                self.group_of[node.id] = self.object_groups[node.obj]
+        for node in dfg.nodes.values():
+            if node.id not in self.group_of:
+                self.group_of[node.id] = next_group
+                next_group += 1
+        self.num_groups = next_group
+        self.weights = [0] * next_group
+        for nid, group in self.group_of.items():
+            node = dfg.nodes[nid]
+            cost = 1 + getattr(node, "addr_ops", 0)
+            self.weights[group] += cost
+        self.edges = [
+            (self.group_of[e.src], self.group_of[e.dst], max(e.width_bits, 1))
+            for e in dfg.edges
+            if self.group_of[e.src] != self.group_of[e.dst]
+        ]
+
+    def fixed_for(self, k: int) -> Dict[int, int]:
+        """Pin object supernodes to distinct partitions when k allows."""
+        if k < len(self.object_groups):
+            return {}
+        return {
+            group: idx
+            for idx, group in enumerate(sorted(self.object_groups.values()))
+        }
+
+    def expand(self, group_assignment: List[int]) -> Dict[int, int]:
+        return {
+            nid: group_assignment[group]
+            for nid, group in self.group_of.items()
+        }
+
+
+def _renumber(assignment: Dict[int, int]) -> Tuple[Dict[int, int], int]:
+    """Drop empty partitions, keeping relative order."""
+    used = sorted(set(assignment.values()))
+    remap = {old: new for new, old in enumerate(used)}
+    return {nid: remap[p] for nid, p in assignment.items()}, len(used)

@@ -1,0 +1,249 @@
+"""Multilevel k-way graph partitioner (Metis-family algorithm).
+
+Three phases, exactly as in [38]:
+
+1. **Coarsening** — heavy-edge matching merges strongly connected node
+   pairs until the graph is small; fixed nodes with different pins never
+   merge.
+2. **Initial partitioning** — fixed nodes seed their partitions; the rest
+   are grown greedily onto the partition where they have the most edge
+   affinity, subject to a balance bound.
+3. **Uncoarsening + refinement** — the assignment is projected back level
+   by level, running Fiduccia–Mattheyses-style boundary passes (best-gain
+   single-node moves with balance constraints) at each level.
+
+DFGs here have tens of nodes, so clarity wins over asymptotic tricks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import PartitionError
+from .problem import PartitionProblem
+
+
+def partition_graph(problem: PartitionProblem, k: int,
+                    epsilon: float = 0.7, seed: int = 17,
+                    refine_passes: int = 6) -> List[int]:
+    """Partition into ``k`` parts; returns node -> partition assignment.
+
+    ``epsilon`` is the balance slack: each partition's node weight may not
+    exceed ``(1 + epsilon) * total / k`` (fixed seeds exempt).
+    """
+    if k < 1:
+        raise PartitionError(f"k must be >= 1, got {k}")
+    if any(p >= k for p in problem.fixed.values()):
+        raise PartitionError("fixed partition id >= k")
+    if k == 1:
+        return [0] * problem.num_nodes
+
+    rng = random.Random(seed)
+    levels = _coarsen(problem, target=max(2 * k, 10))
+    coarsest = levels[-1][0]
+    assignment = _initial_partition(coarsest, k, epsilon, rng)
+    assignment = _refine(coarsest, assignment, k, epsilon, refine_passes)
+    # project back through the levels, refining at each
+    for idx in range(len(levels) - 1, 0, -1):
+        _, mapping = levels[idx]
+        finer_problem = levels[idx - 1][0]
+        projected = [assignment[mapping[node]]
+                     for node in range(finer_problem.num_nodes)]
+        assignment = _refine(finer_problem, projected, k, epsilon,
+                             refine_passes)
+    return assignment
+
+
+# ----------------------------------------------------------------------
+# phase 1: coarsening
+# ----------------------------------------------------------------------
+def _coarsen(problem: PartitionProblem, target: int
+             ) -> List[Tuple[PartitionProblem, Optional[List[int]]]]:
+    """Returns [(level0, None), (level1, map0->1), (level2, map1->2), ...]."""
+    levels: List[Tuple[PartitionProblem, Optional[List[int]]]] = [
+        (problem, None)
+    ]
+    current = problem
+    while current.num_nodes > target:
+        mapping = _heavy_edge_matching(current)
+        coarse_n = max(mapping) + 1
+        if coarse_n >= current.num_nodes:  # no progress
+            break
+        coarse = _contract(current, mapping, coarse_n)
+        levels.append((coarse, mapping))
+        current = coarse
+    # restructure: level i stores the map from level i-1's nodes
+    return levels
+
+
+def _heavy_edge_matching(problem: PartitionProblem) -> List[int]:
+    """Match each node with its heaviest unmatched neighbor."""
+    adj = problem.adjacency()
+    order = sorted(
+        range(problem.num_nodes),
+        key=lambda n: -sum(w for _, w in adj.get(n, ())),
+    )
+    match = [-1] * problem.num_nodes
+    for node in order:
+        if match[node] != -1:
+            continue
+        best, best_w = -1, -1
+        for nbr, w in sorted(adj.get(node, ()), key=lambda t: (-t[1], t[0])):
+            if match[nbr] != -1 or nbr == node:
+                continue
+            if not _mergeable(problem, node, nbr):
+                continue
+            if w > best_w:
+                best, best_w = nbr, w
+        if best >= 0:
+            match[node] = best
+            match[best] = node
+        else:
+            match[node] = node
+    mapping = [-1] * problem.num_nodes
+    next_id = 0
+    for node in range(problem.num_nodes):
+        if mapping[node] != -1:
+            continue
+        mapping[node] = next_id
+        partner = match[node]
+        if partner != node and partner != -1 and mapping[partner] == -1:
+            mapping[partner] = next_id
+        next_id += 1
+    return mapping
+
+
+def _mergeable(problem: PartitionProblem, a: int, b: int) -> bool:
+    pa, pb = problem.fixed.get(a), problem.fixed.get(b)
+    return pa is None or pb is None or pa == pb
+
+
+def _contract(problem: PartitionProblem, mapping: List[int],
+              coarse_n: int) -> PartitionProblem:
+    weights = [0] * coarse_n
+    for node, coarse in enumerate(mapping):
+        weights[coarse] += problem.node_weights[node]
+    edges: Dict[Tuple[int, int], int] = {}
+    for u, v, w in problem.edges:
+        cu, cv = mapping[u], mapping[v]
+        if cu == cv:
+            continue
+        key = (min(cu, cv), max(cu, cv))
+        edges[key] = edges.get(key, 0) + w
+    fixed: Dict[int, int] = {}
+    for node, part in problem.fixed.items():
+        coarse = mapping[node]
+        if coarse in fixed and fixed[coarse] != part:
+            raise PartitionError("coarsening merged conflicting fixed nodes")
+        fixed[coarse] = part
+    return PartitionProblem(
+        num_nodes=coarse_n,
+        edges=[(u, v, w) for (u, v), w in edges.items()],
+        node_weights=weights,
+        fixed=fixed,
+    )
+
+
+# ----------------------------------------------------------------------
+# phase 2: initial partitioning
+# ----------------------------------------------------------------------
+def _initial_partition(problem: PartitionProblem, k: int, epsilon: float,
+                       rng: random.Random) -> List[int]:
+    limit = _balance_limit(problem, k, epsilon)
+    assignment = [-1] * problem.num_nodes
+    loads = [0] * k
+    for node, part in problem.fixed.items():
+        assignment[node] = part
+        loads[part] += problem.node_weights[node]
+    adj = problem.adjacency()
+    unassigned = [n for n in range(problem.num_nodes) if assignment[n] == -1]
+    # seed each empty partition with a node far from everything assigned,
+    # so greedy growth cannot pile the whole graph onto partition 0
+    for part in range(k):
+        if loads[part] > 0 or not unassigned:
+            continue
+
+        def seed_score(n: int) -> tuple:
+            attached = sum(
+                w for nbr, w in adj.get(n, ()) if assignment[nbr] != -1
+            )
+            degree = sum(w for _, w in adj.get(n, ()))
+            return (attached, -degree, n)
+
+        node = min(unassigned, key=seed_score)
+        assignment[node] = part
+        loads[part] += problem.node_weights[node]
+        unassigned.remove(node)
+    # repeatedly pick the unassigned node with the strongest affinity
+    while unassigned:
+        best_node, best_part, best_gain = None, None, -1
+        for node in unassigned:
+            affinity = [0] * k
+            for nbr, w in adj.get(node, ()):
+                if assignment[nbr] != -1:
+                    affinity[assignment[nbr]] += w
+            order = sorted(range(k), key=lambda p: (-affinity[p], loads[p]))
+            for part in order:
+                if loads[part] + problem.node_weights[node] <= limit:
+                    if affinity[part] > best_gain:
+                        best_node, best_part = node, part
+                        best_gain = affinity[part]
+                    break
+        if best_node is None:
+            # everything is over-limit: place on the lightest partition
+            best_node = unassigned[0]
+            best_part = min(range(k), key=lambda p: loads[p])
+        assignment[best_node] = best_part
+        loads[best_part] += problem.node_weights[best_node]
+        unassigned.remove(best_node)
+    return assignment
+
+
+def _balance_limit(problem: PartitionProblem, k: int,
+                   epsilon: float) -> float:
+    return (1.0 + epsilon) * problem.total_node_weight() / k
+
+
+# ----------------------------------------------------------------------
+# phase 3: FM-style refinement
+# ----------------------------------------------------------------------
+def _refine(problem: PartitionProblem, assignment: List[int], k: int,
+            epsilon: float, passes: int) -> List[int]:
+    limit = _balance_limit(problem, k, epsilon)
+    adj = problem.adjacency()
+    assignment = list(assignment)
+    loads = problem.partition_weights(assignment, k)
+    counts = [0] * k
+    for part in assignment:
+        counts[part] += 1
+    for _ in range(passes):
+        improved = False
+        for node in range(problem.num_nodes):
+            if node in problem.fixed:
+                continue
+            here = assignment[node]
+            if counts[here] <= 1:
+                continue  # never empty a partition
+            affinity = [0] * k
+            for nbr, w in adj.get(node, ()):
+                affinity[assignment[nbr]] += w
+            best_part, best_gain = here, 0
+            for part in range(k):
+                if part == here:
+                    continue
+                if loads[part] + problem.node_weights[node] > limit:
+                    continue
+                gain = affinity[part] - affinity[here]
+                if gain > best_gain:
+                    best_part, best_gain = part, gain
+            if best_part != here:
+                assignment[node] = best_part
+                loads[here] -= problem.node_weights[node]
+                loads[best_part] += problem.node_weights[node]
+                counts[here] -= 1
+                counts[best_part] += 1
+                improved = True
+        if not improved:
+            break
+    return assignment

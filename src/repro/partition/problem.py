@@ -1,0 +1,82 @@
+"""Weighted-graph partitioning problem representation."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import PartitionError
+
+
+@dataclass
+class PartitionProblem:
+    """An undirected weighted graph plus optional pre-assigned nodes.
+
+    Edges are (u, v, weight); parallel edges are merged by weight
+    addition. ``fixed`` pins nodes to partitions (used to anchor each
+    memory object's accessor group to its own partition).
+    """
+
+    num_nodes: int
+    edges: Sequence[Tuple[int, int, int]] = ()
+    node_weights: Optional[Sequence[int]] = None
+    fixed: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise PartitionError(f"num_nodes must be >= 1: {self.num_nodes}")
+        if self.node_weights is None:
+            self.node_weights = [1] * self.num_nodes
+        if len(self.node_weights) != self.num_nodes:
+            raise PartitionError("node_weights length mismatch")
+        merged: Dict[Tuple[int, int], int] = defaultdict(int)
+        for u, v, w in self.edges:
+            self._check_node(u)
+            self._check_node(v)
+            if u == v:
+                continue  # self loops never affect cuts
+            if w < 0:
+                raise PartitionError(f"negative edge weight on ({u},{v})")
+            key = (min(u, v), max(u, v))
+            merged[key] += w
+        self.edges = [(u, v, w) for (u, v), w in sorted(merged.items())]
+        for node, part in self.fixed.items():
+            self._check_node(node)
+            if part < 0:
+                raise PartitionError(f"negative partition for fixed node {node}")
+        self._adj: Optional[Dict[int, List[Tuple[int, int]]]] = None
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.num_nodes):
+            raise PartitionError(f"node {node} out of range")
+
+    def adjacency(self) -> Dict[int, List[Tuple[int, int]]]:
+        if self._adj is None:
+            adj: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+            for u, v, w in self.edges:
+                adj[u].append((v, w))
+                adj[v].append((u, w))
+            self._adj = dict(adj)
+        return self._adj
+
+    def total_node_weight(self) -> int:
+        return sum(self.node_weights)
+
+    def cut_cost(self, assignment: Sequence[int]) -> int:
+        if len(assignment) != self.num_nodes:
+            raise PartitionError("assignment length mismatch")
+        return sum(
+            w for u, v, w in self.edges if assignment[u] != assignment[v]
+        )
+
+    def partition_weights(self, assignment: Sequence[int],
+                          k: int) -> List[int]:
+        weights = [0] * k
+        for node, part in enumerate(assignment):
+            if not (0 <= part < k):
+                raise PartitionError(
+                    f"node {node} assigned to invalid partition {part}"
+                )
+            weights[part] += self.node_weights[node]
+        return weights

@@ -1,0 +1,18 @@
+"""Access/compute node placement in the memory hierarchy (paper §V-A-4).
+
+Two decisions, made at different times:
+
+* **Vertical** (compile time) — is a partition's access unit worth placing
+  at the LLC, or should it stay near the host? "Long strided accesses are
+  marked to be placed at L3, whereas irregular accesses to shorter
+  sequences are placed closer to the host."
+* **Horizontal** (allocation time) — which L3 cluster hosts the access
+  unit? The greedy policy anchors it to the home cluster of the first
+  access's address; compute-only partitions follow their heaviest
+  communication partner.
+"""
+
+from .vertical import PlacementLevel, vertical_placement
+from .horizontal import place_partitions
+
+__all__ = ["PlacementLevel", "vertical_placement", "place_partitions"]

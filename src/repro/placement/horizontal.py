@@ -1,0 +1,78 @@
+"""Horizontal placement: assigning partitions to L3 clusters.
+
+Greedy allocation-time policy (paper §V-A-4 / §V-B): "At allocation time,
+the access nodes are assigned a home LLC cluster based on the address of
+its first access." Compute-only partitions (no anchored object) are
+placed at the cluster of the partition they exchange the most bits with.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional
+
+from ..errors import PlacementError
+from ..mem.nuca import NucaL3
+from ..mem.slab import Allocation
+from ..partition.iterate import DfgPartitioning
+
+
+def place_partitions(partitioning: DfgPartitioning,
+                     allocations: Dict[str, Allocation],
+                     nuca: NucaL3,
+                     first_offsets: Optional[Dict[str, int]] = None
+                     ) -> Dict[int, int]:
+    """Map each partition to an L3 cluster; returns partition -> cluster.
+
+    ``first_offsets`` optionally gives the byte offset of the first
+    dynamic access per object (defaults to 0 — the object base).
+    """
+    first_offsets = first_offsets or {}
+    clusters: Dict[int, int] = {}
+    # anchored partitions: home cluster of the first access's address
+    for part in range(partitioning.num_partitions):
+        objs = partitioning.objects.get(part, set())
+        if not objs:
+            continue
+        if len(objs) > 1:
+            raise PlacementError(
+                f"partition {part} anchors several objects: {sorted(objs)}"
+            )
+        obj = next(iter(objs))
+        alloc = allocations.get(obj)
+        if alloc is None:
+            raise PlacementError(f"object {obj!r} has no allocation")
+        addr = alloc.base + first_offsets.get(obj, 0)
+        clusters[part] = nuca.home_cluster(addr)
+
+    # compute-only partitions: follow the heaviest-communication partner
+    affinity: Dict[int, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+    for edge in partitioning.dfg.edges:
+        src_part = partitioning.assignment[edge.src]
+        dst_part = partitioning.assignment[edge.dst]
+        if src_part != dst_part:
+            affinity[src_part][dst_part] += edge.width_bits
+            affinity[dst_part][src_part] += edge.width_bits
+
+    pending = [
+        p for p in range(partitioning.num_partitions) if p not in clusters
+    ]
+    # iterate until fixed point (chains of compute-only partitions)
+    for _ in range(len(pending) + 1):
+        progressed = False
+        for part in list(pending):
+            partners = affinity.get(part, {})
+            placed = [
+                (bits, other) for other, bits in partners.items()
+                if other in clusters
+            ]
+            if placed:
+                _, best = max(placed, key=lambda t: (t[0], -t[1]))
+                clusters[part] = clusters[best]
+                pending.remove(part)
+                progressed = True
+        if not pending or not progressed:
+            break
+    for part in pending:  # isolated compute-only partition: cluster 0
+        clusters[part] = 0
+    return clusters

@@ -1,0 +1,42 @@
+"""Vertical placement: LLC cluster vs. near-host (paper §V-A-4)."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..dfg.node import AccessNode, AccessPattern
+from ..ir.program import MemObject
+
+#: below this per-invocation trip count, offloading a short irregular
+#: sequence to the LLC does not amortize the control transfer
+SHORT_SEQUENCE_ITERS = 16
+
+
+class PlacementLevel(enum.Enum):
+    L3_CLUSTER = "l3"
+    NEAR_HOST = "host"
+
+
+def vertical_placement(access: AccessNode, obj: Optional[MemObject],
+                       expected_trip_count: Optional[int] = None
+                       ) -> PlacementLevel:
+    """Choose the hierarchy level for one access node.
+
+    Long strided accesses amortize at the LLC. Irregular (indirect/random)
+    accesses over short sequences need more control data per useful byte
+    and stay near the host; over long sequences locality at the LLC still
+    wins (the paper offloads bfs/pointer-chase indirections to the LLC).
+    """
+    trips = expected_trip_count if expected_trip_count is not None else 10**9
+    if access.pattern in (AccessPattern.STREAM, AccessPattern.INVARIANT):
+        if trips < SHORT_SEQUENCE_ITERS:
+            return PlacementLevel.NEAR_HOST
+        return PlacementLevel.L3_CLUSTER
+    # indirect / random
+    if trips < SHORT_SEQUENCE_ITERS:
+        return PlacementLevel.NEAR_HOST
+    if obj is not None and obj.size_bytes <= 4 * 1024:
+        # a tiny irregular structure fits next to the host anyway
+        return PlacementLevel.NEAR_HOST
+    return PlacementLevel.L3_CLUSTER

@@ -1,0 +1,12 @@
+"""Runtime: the execution flow of paper §V-B.
+
+Hosts configure compiled offloads over the MMIO interface; distributed
+partitions then execute as decoupled producer/consumer processes on the
+discrete-event engine, with stride-FSM fill/drain processes serving the
+access-unit buffers and all traffic/energy charged to the shared ledgers.
+"""
+
+from .streams import SiteStreams
+from .engine import EngineStats, OffloadEngine
+
+__all__ = ["SiteStreams", "EngineStats", "OffloadEngine"]

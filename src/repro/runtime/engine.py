@@ -1,0 +1,678 @@
+"""Discrete-event execution of a compiled offload (paper §V-B, Fig 3-5).
+
+Each partition runs as a simulation process; stream accesses are served
+by fill/drain FSM processes through bounded buffer channels (decoupling +
+backpressure), indirect accesses go through the ACP/L3 path, and cross-
+partition operands travel over the mesh as acc_data traffic. Iterations
+are simulated in *chunks* (many iterations per event) — buffers are sized
+in chunk tokens, so pipelining, decoupled run-ahead and backpressure all
+emerge at chunk resolution while event counts stay tractable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..accel.base import PartitionProfile
+from ..compiler.pipeline import CompiledOffload
+from ..energy import EnergyLedger
+from ..errors import SimulationError
+from ..events import Channel, Delay, Get, Put, Simulator, cycles_to_ps
+from ..interface.config import AccessConfig, AccessKind, PartitionConfig
+from ..interface.intrinsics import mmio_bytes
+from ..interface.scheduler import HardwareScheduler
+from ..ir.expr import Load
+from ..mem.cache import Cache
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.slab import SlabAllocator
+from ..noc import HOST_NODE, MessageKind
+from ..params import MachineParams
+from .streams import SiteStreams
+
+#: target number of chunks an innermost loop is simulated in
+TARGET_CHUNKS = 128
+#: outstanding fills the stride FSM sustains (burst MLP)
+FSM_OVERLAP = 4
+#: host->accelerator launch/sync round trip, cycles at 2 GHz
+HOST_SYNC_CYCLES = 40
+#: memory clock domain for latency accounting
+MEM_FREQ_GHZ = 2.0
+
+
+@dataclass
+class EngineStats:
+    """Timing and data-movement results of one offload execution."""
+
+    time_ps: int = 0
+    accel_iterations: int = 0
+    #: Figure 9 components, in bytes
+    intra_bytes: float = 0.0
+    d_a_bytes: float = 0.0
+    a_a_bytes: float = 0.0
+    mmio_bytes: int = 0
+    relaunches: int = 0
+
+    def merged(self, other: "EngineStats") -> "EngineStats":
+        return EngineStats(
+            time_ps=self.time_ps + other.time_ps,
+            accel_iterations=self.accel_iterations + other.accel_iterations,
+            intra_bytes=self.intra_bytes + other.intra_bytes,
+            d_a_bytes=self.d_a_bytes + other.d_a_bytes,
+            a_a_bytes=self.a_a_bytes + other.a_a_bytes,
+            mmio_bytes=self.mmio_bytes + other.mmio_bytes,
+            relaunches=self.relaunches + other.relaunches,
+        )
+
+
+class OffloadEngine:
+    """Executes compiled offloads on a machine model."""
+
+    def __init__(self, machine: MachineParams, hierarchy: MemoryHierarchy,
+                 energy: EnergyLedger, slab: SlabAllocator, backend,
+                 scheduler: Optional[HardwareScheduler] = None,
+                 private_cache: Optional[Cache] = None,
+                 io_overlap: float = 1.0,
+                 localized_control: bool = False,
+                 user_scheduled: bool = False):
+        self.machine = machine
+        self.hierarchy = hierarchy
+        self.energy = energy
+        self.slab = slab
+        self.backend = backend
+        self.scheduler = scheduler or HardwareScheduler(
+            machine.l3_clusters, machine.access_unit
+        )
+        #: Mono-CA's 8 KB private cache on the L3 bus (None otherwise)
+        self.private_cache = private_cache
+        #: outstanding indirect accesses an accelerator core sustains
+        #: (1 = blocking in-order; >1 with SW prefetch or dataflow)
+        self.io_overlap = max(io_overlap, 1.0)
+        #: DA configurations re-place each access unit at the cluster of
+        #: the data it is currently sweeping (paper §V-B: "for every
+        #: outer loop iteration, the home node placement decision is
+        #: repeated"); the centralized Mono-CA accelerator cannot move
+        self.migrating = private_cache is None
+        #: BN annotation: the orchestrators own nested-loop control, so
+        #: data-dependent inner bounds need no per-invocation host sync
+        self.localized_control = localized_control
+        #: BNS annotation: user fill_ra/drain_ra block schedule pipelines
+        #: across innermost-loop invocations
+        self.user_scheduled = user_scheduled
+        self._configured_offloads: set = set()
+        self._offload_ctx: Dict[int, int] = {}
+        self._ctx = 0
+
+    def buffer_key(self, offload: CompiledOffload, access_id: int) -> int:
+        """Scheduler buffer id serving an access (combining-aware)."""
+        ctx = self._offload_ctx.get(id(offload))
+        if ctx is None:
+            return access_id
+        try:
+            return self.scheduler.lookup(ctx, access_id).buf_id
+        except Exception:
+            return 10_000_000 + access_id  # fell back to uncombined
+
+    # ------------------------------------------------------------------
+    # memory access paths
+    # ------------------------------------------------------------------
+    def _line_fetch(self, cluster: int, addr: int, is_write: bool) -> int:
+        """One line between buffer and memory system; returns cycles."""
+        if self.private_cache is None:
+            return self.hierarchy.accel_line_fetch(cluster, addr, is_write)
+        # Mono-CA: every line crosses the L3 bus into the private cache
+        self.energy.charge("accel", "private_cache_access")
+        out = self.private_cache.access(addr, is_write)
+        latency = 1
+        if out.evicted and out.evicted[1]:
+            self.hierarchy.writeback_line_from(out.evicted[0], cluster)
+        if not out.hit:
+            latency += self.hierarchy.l3_demand(addr, from_node=cluster)
+        return latency
+
+    def _elem_access(self, cluster: int, addr: int, is_write: bool,
+                     elem_bytes: int) -> int:
+        """One element, in place at its home bank (cp_read/cp_write)."""
+        if self.private_cache is None:
+            return self.hierarchy.accel_elem_access(
+                cluster, addr, is_write, elem_bytes
+            )
+        # centralized accelerator: no in-place access, pull the line
+        return self._line_fetch(cluster, addr, is_write)
+
+    # ------------------------------------------------------------------
+    # host configuration phase
+    # ------------------------------------------------------------------
+    def configure(self, offload: CompiledOffload,
+                  clusters: Dict[int, int]) -> Tuple[int, int]:
+        """Charge the MMIO configuration traffic; returns (ps, bytes)."""
+        calls = offload.config.config_calls()
+        total_bytes = mmio_bytes(calls)
+        total_ps = 0
+        traffic = self.hierarchy.traffic
+        # distribute config messages to each partition's cluster
+        per_part = max(1, len(calls) // max(len(clusters), 1))
+        for part_idx, cluster in clusters.items():
+            lat = traffic.record(
+                MessageKind.MMIO_CONFIG, HOST_NODE, cluster,
+                payload_bytes=per_part * 16,
+            )
+            total_ps += lat
+        self.energy.charge("host_iface", "mmio_access", len(calls))
+        self.energy.charge("scheduler", "sched_table_access",
+                           sum(len(p.accesses)
+                               for p in offload.config.partitions))
+        # buffer allocation through the hardware scheduler
+        ctx = self._ctx
+        self._ctx += 1
+        self._offload_ctx[id(offload)] = ctx
+        for part in offload.config.partitions:
+            cluster = clusters[part.partition_index]
+            for acc in part.accesses:
+                try:
+                    self.scheduler.allocate(ctx, cluster, acc)
+                except Exception:
+                    pass  # SRAM pressure: access falls back to uncombined
+        # substrate setup (microcode / CGRA configuration load)
+        setup_cycles = max(
+            (self.backend.setup_cycles(p)
+             for p in offload.config.partitions), default=1
+        )
+        if hasattr(self.backend, "charge_setup"):
+            for part in offload.config.partitions:
+                self.backend.charge_setup(part, self.energy)
+        total_ps += cycles_to_ps(setup_cycles, self.backend.freq_ghz)
+        return total_ps, total_bytes
+
+    # ------------------------------------------------------------------
+    # main run
+    # ------------------------------------------------------------------
+    def run(self, offload: CompiledOffload, clusters: Dict[int, int],
+            trips: int, invocations: int,
+            site_streams: SiteStreams) -> EngineStats:
+        """Execute one kernel call's worth of the offloaded loop."""
+        stats = EngineStats()
+        if trips <= 0:
+            return stats
+        key = id(offload)
+        if key not in self._configured_offloads:
+            config_ps, config_bytes = self.configure(offload, clusters)
+            stats.time_ps += config_ps
+            stats.mmio_bytes += config_bytes
+            self._configured_offloads.add(key)
+
+        chunk = max(1, trips // TARGET_CHUNKS)
+        nchunks = math.ceil(trips / chunk)
+        chunk_sizes = [
+            min(chunk, trips - c * chunk) for c in range(nchunks)
+        ]
+        sim = Simulator()
+        # a centralized accelerator (Mono-CA) funnels every fill/drain
+        # through one L3-bus port; distributed access units each have
+        # their own cluster port
+        shared_port = (
+            Channel(sim, capacity=1, name="l3bus")
+            if self.private_cache is not None else None
+        )
+        if shared_port is not None:
+            shared_port._items.append(object())  # the single port token
+        run_ctx = _RunContext(
+            engine=self, offload=offload, clusters=clusters,
+            chunk_sizes=chunk_sizes, site_streams=site_streams,
+            sim=sim, stats=stats, shared_port=shared_port,
+        )
+        run_ctx.build()
+        sim.run()
+        stats.time_ps += sim.now
+        stats.accel_iterations += trips
+        # per-invocation host relaunch overhead for data-dependent inner
+        # bounds (the paper's spmv Dist-DA-B effect); affine bounds are
+        # iterated by the partition orchestrators themselves
+        if (self._bounds_data_dependent(offload) and invocations > 1
+                and not self.localized_control):
+            sync_ps = cycles_to_ps(HOST_SYNC_CYCLES, MEM_FREQ_GHZ)
+            stats.time_ps += (invocations - 1) * sync_ps
+            stats.relaunches += invocations - 1
+            self.energy.charge("host_iface", "mmio_access",
+                               2 * (invocations - 1))
+        return stats
+
+    @staticmethod
+    def _bounds_data_dependent(offload: CompiledOffload) -> bool:
+        for expr in (offload.loop.lower, offload.loop.upper):
+            if any(isinstance(n, Load) for n in expr.walk()):
+                return True
+        return False
+
+
+@dataclass
+class _RunContext:
+    """Wires up all processes/channels of one offload execution."""
+
+    engine: OffloadEngine
+    offload: CompiledOffload
+    clusters: Dict[int, int]
+    chunk_sizes: List[int]
+    site_streams: SiteStreams
+    sim: Simulator
+    stats: EngineStats
+    shared_port: Optional[Channel] = None
+    channels: Dict[int, Channel] = field(default_factory=dict)
+    fill_tokens: Dict[int, Channel] = field(default_factory=dict)
+    drain_tokens: Dict[int, Channel] = field(default_factory=dict)
+    #: partition index -> unique read/write buffer keys (multi-access
+    #: combining: one FSM serves every access sharing a buffer)
+    read_bufs: Dict[int, List[int]] = field(default_factory=dict)
+    write_bufs: Dict[int, List[int]] = field(default_factory=dict)
+
+    def build(self) -> None:
+        config = self.offload.config
+        groups = self._serial_groups()
+        for ch in config.channels:
+            # channels inside a fused serial group are modeled by the
+            # group's per-iteration round-trip latency, not as buffers
+            if self._intra_group(ch, groups):
+                continue
+            cap = self._token_capacity(ch.payload_bytes)
+            self.channels[ch.channel_id] = Channel(
+                self.sim, capacity=cap, name=f"ch{ch.channel_id}"
+            )
+        for part in config.partitions:
+            cluster = self.clusters[part.partition_index]
+            idx = part.partition_index
+            self.read_bufs[idx] = []
+            self.write_bufs[idx] = []
+            for buf_key, acc in self._grouped(
+                self._buffered_reads(part)
+            ):
+                self.read_bufs[idx].append(buf_key)
+                cap = self._token_capacity(acc.elem_bytes)
+                tok = Channel(self.sim, capacity=cap,
+                              name=f"fill{buf_key}")
+                self.fill_tokens[buf_key] = tok
+                self.sim.spawn(
+                    f"fsm-fill-{buf_key}",
+                    self._fill_proc(acc, cluster, tok),
+                )
+            for buf_key, acc in self._grouped(
+                self._buffered_writes(part)
+            ):
+                self.write_bufs[idx].append(buf_key)
+                tok = Channel(self.sim, capacity=4,
+                              name=f"drain{buf_key}")
+                self.drain_tokens[buf_key] = tok
+                self.sim.spawn(
+                    f"fsm-drain-{buf_key}",
+                    self._drain_proc(acc, cluster, tok),
+                )
+        for group in groups:
+            if len(group) == 1:
+                part = config.partition(group[0])
+                self.sim.spawn(
+                    f"part-{part.partition_index}",
+                    self._partition_proc(
+                        part, self.clusters[part.partition_index]
+                    ),
+                )
+            else:
+                self.sim.spawn(
+                    f"group-{'-'.join(map(str, group))}",
+                    self._fused_group_proc(group),
+                )
+
+    # -- serialization (partition-level channel cycles) ----------------------
+    def _serial_groups(self) -> List[List[int]]:
+        """Strongly connected components of the partition channel graph.
+
+        A multi-partition SCC is a true per-iteration dependence cycle
+        (e.g. pointer chasing through a remote object): its partitions
+        execute serially, paying the operand round-trip every iteration.
+        """
+        config = self.offload.config
+        n = config.num_partitions
+        succ: Dict[int, List[int]] = {p: [] for p in range(n)}
+        for ch in config.channels:
+            succ[ch.producer_partition].append(ch.consumer_partition)
+        index: Dict[int, int] = {}
+        low: Dict[int, int] = {}
+        on_stack: Dict[int, bool] = {}
+        stack: List[int] = []
+        out: List[List[int]] = []
+        counter = [0]
+
+        def strongconnect(v: int) -> None:
+            index[v] = low[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack[v] = True
+            for w in succ[v]:
+                if w not in index:
+                    strongconnect(w)
+                    low[v] = min(low[v], low[w])
+                elif on_stack.get(w):
+                    low[v] = min(low[v], index[w])
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp.append(w)
+                    if w == v:
+                        break
+                out.append(sorted(comp))
+
+        for v in range(n):
+            if v not in index:
+                strongconnect(v)
+        return out
+
+    def _intra_group(self, ch, groups: List[List[int]]) -> bool:
+        for group in groups:
+            if len(group) > 1 and (ch.producer_partition in group
+                                   and ch.consumer_partition in group):
+                return True
+        return False
+
+    # -- helpers -----------------------------------------------------------
+    def _token_capacity(self, elem_bytes: int) -> int:
+        buf_elems = (
+            self.engine.machine.access_unit.buffer_bytes
+            // 4 // max(elem_bytes, 1)
+        )
+        chunk = max(self.chunk_sizes[0], 1)
+        return max(1, min(8, buf_elems // chunk))
+
+    @staticmethod
+    def _buffered_reads(part: PartitionConfig) -> List[AccessConfig]:
+        return [
+            a for a in part.accesses
+            if a.kind is AccessKind.STREAM_READ and not a.is_write
+        ]
+
+    @staticmethod
+    def _buffered_writes(part: PartitionConfig) -> List[AccessConfig]:
+        return [
+            a for a in part.accesses
+            if a.kind is AccessKind.STREAM_WRITE and a.is_write
+        ]
+
+    def _grouped(self, accesses: List[AccessConfig]
+                 ) -> List[Tuple[int, AccessConfig]]:
+        """Group accesses by scheduler buffer; pick the representative
+        access (longest element stream) that the one FSM will serve."""
+        by_buf: Dict[int, List[AccessConfig]] = {}
+        for acc in accesses:
+            key = self.engine.buffer_key(self.offload, acc.access_id)
+            by_buf.setdefault(key, []).append(acc)
+        out = []
+        for key, group in sorted(by_buf.items()):
+            rep = max(
+                group, key=lambda a: self.site_streams.length(a.site_ids)
+            )
+            out.append((key, rep))
+        return out
+
+    @staticmethod
+    def _indirect(part: PartitionConfig) -> List[AccessConfig]:
+        return [
+            a for a in part.accesses
+            if a.kind in (AccessKind.INDIRECT, AccessKind.RANDOM)
+        ]
+
+    def _elems_for_chunk(self, acc: AccessConfig, c: int) -> np.ndarray:
+        """Slice of the access's element stream belonging to chunk c."""
+        stream = self.site_streams.for_sites(acc.site_ids)
+        if stream.size == 0:
+            return stream
+        n = len(self.chunk_sizes)
+        lo = (stream.size * c) // n
+        hi = (stream.size * (c + 1)) // n
+        return stream[lo:hi]
+
+    def _addr(self, acc: AccessConfig, elem: int) -> int:
+        alloc = self.engine.slab.by_name(acc.obj)
+        return alloc.base + int(elem) * acc.elem_bytes
+
+    def _lines_for_chunk(self, acc: AccessConfig, c: int) -> np.ndarray:
+        """Unique line addresses a chunk's elements touch (64 B lines)."""
+        elems = self._elems_for_chunk(acc, c)
+        if elems.size == 0:
+            return elems
+        base = self.engine.slab.by_name(acc.obj).base
+        addrs = base + elems * acc.elem_bytes
+        return np.unique(addrs >> 6) << 6
+
+    def _is_invariant(self, acc: AccessConfig) -> bool:
+        return acc.stride_elems == 0 and acc.kind is AccessKind.STREAM_READ
+
+    def _migrated(self, static_cluster: int, addr) -> int:
+        """Cluster the access unit presents at for this chunk."""
+        if not self.engine.migrating or addr is None:
+            return static_cluster
+        return self.engine.hierarchy.l3.home_cluster(int(addr))
+
+    # -- processes -----------------------------------------------------------
+    def _fill_proc(self, acc: AccessConfig, cluster: int, tok: Channel):
+        engine = self.engine
+        energy = engine.energy
+        invariant = self._is_invariant(acc)
+        for c, iters in enumerate(self.chunk_sizes):
+            if invariant and c > 0:
+                yield Put(tok, c)
+                continue
+            lines = self._lines_for_chunk(acc, c)
+            if invariant:
+                lines = lines[:1]
+            if self.shared_port is not None:
+                yield Get(self.shared_port)
+            at = self._migrated(cluster, lines[0] if len(lines) else None)
+            lat_cycles = 0
+            for line_addr in lines:
+                lat_cycles += engine._line_fetch(at, int(line_addr), False)
+            n_elems = (1 if invariant
+                       else len(self._elems_for_chunk(acc, c)))
+            if len(lines):
+                energy.charge("access_unit", "fsm_step", n_elems)
+                energy.charge("access_unit", "buffer_access", len(lines))
+                energy.charge("access_unit", "translation_lookup", 1)
+                self.stats.d_a_bytes += len(lines) * 64
+            yield Delay(cycles_to_ps(
+                lat_cycles / FSM_OVERLAP + len(lines), MEM_FREQ_GHZ
+            ))
+            if self.shared_port is not None:
+                yield Put(self.shared_port, True)
+            yield Put(tok, c)
+
+    def _drain_proc(self, acc: AccessConfig, cluster: int, tok: Channel):
+        engine = self.engine
+        energy = engine.energy
+        for _ in self.chunk_sizes:
+            c = yield Get(tok)
+            lines = self._lines_for_chunk(acc, c)
+            if self.shared_port is not None:
+                yield Get(self.shared_port)
+            at = self._migrated(cluster, lines[0] if len(lines) else None)
+            lat_cycles = 0
+            for line_addr in lines:
+                lat_cycles += engine._line_fetch(at, int(line_addr), True)
+            if len(lines):
+                energy.charge("access_unit", "fsm_step", len(lines))
+                energy.charge("access_unit", "buffer_access", len(lines))
+                self.stats.d_a_bytes += len(lines) * 64
+            yield Delay(cycles_to_ps(
+                lat_cycles / FSM_OVERLAP + len(lines), MEM_FREQ_GHZ
+            ))
+            if self.shared_port is not None:
+                yield Put(self.shared_port, True)
+
+    def _partition_proc(self, part: PartitionConfig, cluster: int):
+        engine = self.engine
+        energy = engine.energy
+        config = self.offload.config
+        profile = PartitionProfile.from_config(part)
+        timing = engine.backend.timing(profile)
+        read_bufs = self.read_bufs[part.partition_index]
+        write_bufs = self.write_bufs[part.partition_index]
+        indirect = self._indirect(part)
+        traffic = engine.hierarchy.traffic
+        intra_per_iter = (
+            profile.buffer_reads + profile.buffer_writes
+        )
+        for c, iters in enumerate(self.chunk_sizes):
+            for ch_id in part.consumes:
+                yield Get(self.channels[ch_id])
+            for buf_key in read_bufs:
+                yield Get(self.fill_tokens[buf_key])
+            ind_cycles = 0
+            for acc in indirect:
+                elems = self._elems_for_chunk(acc, c)
+                at = self._migrated(
+                    cluster,
+                    self._addr(acc, elems[0]) if len(elems) else None,
+                )
+                for elem in elems:
+                    ind_cycles += engine._elem_access(
+                        at, self._addr(acc, elem), acc.is_write,
+                        acc.elem_bytes,
+                    )
+                if len(elems):
+                    energy.charge(
+                        "access_unit", "translation_lookup", len(elems)
+                    )
+                    self.stats.d_a_bytes += len(elems) * acc.elem_bytes
+            compute_ps = timing.ii_ps * iters
+            # a loop-carried address chain (pointer chasing) serializes
+            # indirect accesses on every substrate
+            overlap = 1.0 if self.offload.serial_chain else engine.io_overlap
+            indirect_ps = cycles_to_ps(ind_cycles / overlap, MEM_FREQ_GHZ)
+            yield Delay(compute_ps + indirect_ps)
+            engine.backend.charge_iteration(profile, energy, count=iters)
+            # operand reads/writes: access-unit SRAM buffers, or the
+            # centralized private cache in Mono-CA
+            operand_event = (
+                "private_cache_access" if engine.private_cache is not None
+                else "buffer_access"
+            )
+            energy.charge("access_unit", operand_event,
+                          intra_per_iter * iters)
+            self.stats.intra_bytes += intra_per_iter * iters * 4
+            for ch_id in part.produces:
+                ch = config.channel(ch_id)
+                dst_cluster = self.clusters[ch.consumer_partition]
+                payload = ch.payload_bytes * iters
+                lat_ps = traffic.record(
+                    MessageKind.ACC_OPERAND, cluster, dst_cluster, payload
+                )
+                traffic.record(
+                    MessageKind.ACC_CREDIT, dst_cluster, cluster, 0
+                )
+                self.stats.a_a_bytes += payload
+                if lat_ps and c == 0:
+                    yield Delay(lat_ps)  # pipeline fill latency, once
+                yield Put(self.channels[ch_id], c)
+            for buf_key in write_bufs:
+                yield Put(self.drain_tokens[buf_key], c)
+
+    def _fused_group_proc(self, group: List[int]):
+        """Serially executes a dependence cycle of partitions.
+
+        Each iteration pays every member partition's issue time plus the
+        NoC round trip of every intra-group operand channel — the physics
+        of pointer chasing across distributed access units.
+        """
+        engine = self.engine
+        energy = engine.energy
+        config = self.offload.config
+        mesh = engine.hierarchy.mesh
+        traffic = engine.hierarchy.traffic
+        members = [config.partition(p) for p in group]
+        profiles = {p.partition_index: PartitionProfile.from_config(p)
+                    for p in members}
+        per_iter_ps = sum(
+            engine.backend.timing(profiles[p.partition_index]).ii_ps
+            for p in members
+        )
+        intra_channels = [
+            ch for ch in config.channels
+            if ch.producer_partition in group
+            and ch.consumer_partition in group
+        ]
+        hop_ps = sum(
+            mesh.latency_ps(
+                self.clusters[ch.producer_partition],
+                self.clusters[ch.consumer_partition],
+                ch.payload_bytes, MEM_FREQ_GHZ,
+            )
+            for ch in intra_channels
+        )
+        group_set = set(group)
+        external_consumes = [
+            ch.channel_id for ch in config.channels
+            if ch.consumer_partition in group_set
+            and ch.producer_partition not in group_set
+        ]
+        external_produces = [
+            ch for ch in config.channels
+            if ch.producer_partition in group_set
+            and ch.consumer_partition not in group_set
+        ]
+        for c, iters in enumerate(self.chunk_sizes):
+            for ch_id in external_consumes:
+                yield Get(self.channels[ch_id])
+            for part in members:
+                for buf_key in self.read_bufs[part.partition_index]:
+                    yield Get(self.fill_tokens[buf_key])
+            ind_cycles = 0
+            for part in members:
+                cluster = self.clusters[part.partition_index]
+                for acc in self._indirect(part):
+                    elems = self._elems_for_chunk(acc, c)
+                    at = self._migrated(
+                        cluster,
+                        self._addr(acc, elems[0]) if len(elems) else None,
+                    )
+                    for elem in elems:
+                        ind_cycles += engine._elem_access(
+                            at, self._addr(acc, elem), acc.is_write,
+                            acc.elem_bytes,
+                        )
+                    if len(elems):
+                        energy.charge("access_unit", "translation_lookup",
+                                      len(elems))
+                        self.stats.d_a_bytes += len(elems) * acc.elem_bytes
+            # dependence cycle: no overlap across iterations
+            yield Delay(
+                iters * (per_iter_ps + hop_ps)
+                + cycles_to_ps(ind_cycles, MEM_FREQ_GHZ)
+            )
+            for part in members:
+                profile = profiles[part.partition_index]
+                engine.backend.charge_iteration(profile, energy, count=iters)
+                intra = profile.buffer_reads + profile.buffer_writes
+                energy.charge("access_unit", "buffer_access", intra * iters)
+                self.stats.intra_bytes += intra * iters * 4
+            for ch in intra_channels:
+                payload = ch.payload_bytes * iters
+                traffic.record(
+                    MessageKind.ACC_OPERAND,
+                    self.clusters[ch.producer_partition],
+                    self.clusters[ch.consumer_partition],
+                    payload,
+                )
+                self.stats.a_a_bytes += payload
+            for ch in external_produces:
+                payload = ch.payload_bytes * iters
+                traffic.record(
+                    MessageKind.ACC_OPERAND,
+                    self.clusters[ch.producer_partition],
+                    self.clusters[ch.consumer_partition],
+                    payload,
+                )
+                self.stats.a_a_bytes += payload
+                yield Put(self.channels[ch.channel_id], c)
+            for part in members:
+                for buf_key in self.write_bufs[part.partition_index]:
+                    yield Put(self.drain_tokens[buf_key], c)

@@ -1,0 +1,11 @@
+"""System assembly and baseline core models."""
+
+from .ooo import OooModel, OooResult
+from .results import RunResult, AccessDistribution
+from .system import ConfigName, simulate_workload, SystemSimulator
+
+__all__ = [
+    "OooModel", "OooResult",
+    "RunResult", "AccessDistribution",
+    "ConfigName", "simulate_workload", "SystemSimulator",
+]

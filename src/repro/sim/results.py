@@ -1,0 +1,85 @@
+"""Simulation result records used by every experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..energy import EnergyLedger
+from ..mem.hierarchy import AccessStats
+
+
+@dataclass
+class AccessDistribution:
+    """Figure 9's dynamic access distribution, in bytes."""
+
+    intra: float = 0.0
+    d_a: float = 0.0
+    a_a: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.intra + self.d_a + self.a_a
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total or 1.0
+        return {
+            "intra": self.intra / total,
+            "d_a": self.d_a / total,
+            "a_a": self.a_a / total,
+        }
+
+
+@dataclass
+class RunResult:
+    """Everything one (workload, configuration) simulation produced."""
+
+    workload: str
+    config: str
+    time_ps: int
+    insts: int
+    mem_ops: int
+    energy: EnergyLedger
+    cache_stats: AccessStats
+    traffic_breakdown: Dict[str, float]
+    movement_bytes: float
+    access_dist: AccessDistribution
+    validated: bool
+    mmio_bytes: int = 0
+    accel_iterations: int = 0
+
+    # -- derived metrics ---------------------------------------------------
+    @property
+    def cycles(self) -> float:
+        """Equivalent cycles in the 2 GHz host clock domain."""
+        return self.time_ps / 500.0
+
+    @property
+    def time_us(self) -> float:
+        return self.time_ps / 1e6
+
+    @property
+    def energy_nj(self) -> float:
+        return self.energy.total_nj()
+
+    @property
+    def ipc(self) -> float:
+        return self.insts / self.cycles if self.cycles else 0.0
+
+    @property
+    def mem_op_rate(self) -> float:
+        """Memory operations per (2 GHz) cycle — Figure 11a's metric."""
+        return self.mem_ops / self.cycles if self.cycles else 0.0
+
+    def energy_efficiency_vs(self, baseline: "RunResult") -> float:
+        """Figure 7's metric: baseline energy / this config's energy."""
+        return baseline.energy_nj / self.energy_nj if self.energy_nj else 0.0
+
+    def speedup_vs(self, baseline: "RunResult") -> float:
+        return baseline.time_ps / self.time_ps if self.time_ps else 0.0
+
+    def movement_reduction_vs(self, baseline: "RunResult") -> float:
+        return (
+            baseline.movement_bytes / self.movement_bytes
+            if self.movement_bytes else 0.0
+        )

@@ -1,0 +1,333 @@
+"""Full-system simulation of one workload on one configuration.
+
+Implements the six tested configurations of paper §VI-A and the
+sensitivity variants (§VI-E). ``simulate_workload`` is the single entry
+point every experiment uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from ..compiler.pipeline import CompiledKernel, CompileMode, compile_kernel
+from ..energy import EnergyLedger
+from ..errors import ConfigError
+from ..events import cycles_to_ps
+from ..interface.intrinsics import CoverageRecorder
+from ..ir.interp import Interpreter
+from ..mem.cache import Cache
+from ..mem.coherence import CoherenceManager, Domain
+from ..mem.hierarchy import MemoryHierarchy
+from ..mem.slab import SlabAllocator
+from ..noc import HOST_NODE
+from ..params import (
+    CacheParams,
+    MachineParams,
+    default_machine,
+    mono_da_cgra_machine,
+)
+from ..accel.inorder import InOrderBackend
+from ..accel.cgra import CgraBackend
+from ..placement.horizontal import place_partitions
+from ..placement.vertical import PlacementLevel
+from ..runtime.engine import OffloadEngine
+from ..runtime.streams import SiteStreams
+from ..workloads.base import WorkloadInstance
+from .ooo import OooModel
+from .results import AccessDistribution, RunResult
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """One simulated machine configuration."""
+
+    name: str
+    mode: Optional[CompileMode]            # None = plain OoO baseline
+    backend: Optional[str]                 # "io" | "cgra" | None
+    #: Mono-CA's private 8 KB cache on the L3 bus
+    private_cache: bool = False
+    #: outstanding indirect accesses the accelerator sustains
+    io_overlap: float = 1.0
+    #: use the 8x8 fabric machine (monolithic CGRA configs)
+    big_fabric: bool = False
+    #: accelerator clock override (GHz); None keeps Table III defaults
+    accel_freq: Optional[float] = None
+    #: in-order issue width override (Dist-DA-IO+SW)
+    io_issue_width: Optional[int] = None
+    #: user-annotated blocked loop nests (Dist-DA-BN/BNS): partition
+    #: orchestrators own the nest control, no per-invocation host sync
+    localized_control: bool = False
+    #: user-scheduled block fill/drain (cp_fill_ra/cp_drain_ra): deeper
+    #: decoupling across innermost-loop invocations
+    user_scheduled: bool = False
+    #: multithreading case study: stream-based access specialization is
+    #: skipped (paper Fig 12b discussion)
+    no_stream_spec: bool = False
+
+
+#: the paper's tested configurations (§VI-A)
+CONFIGS: Dict[str, ConfigSpec] = {
+    "ooo": ConfigSpec("ooo", None, None),
+    "mono_ca": ConfigSpec(
+        "mono_ca", CompileMode.MONO_CA, "cgra",
+        private_cache=True, io_overlap=4.0, big_fabric=True, accel_freq=2.0,
+    ),
+    "mono_da_io": ConfigSpec(
+        "mono_da_io", CompileMode.MONO_DA, "io", io_overlap=2.0,
+    ),
+    "mono_da_f": ConfigSpec(
+        "mono_da_f", CompileMode.MONO_DA, "cgra",
+        io_overlap=6.0, big_fabric=True,
+    ),
+    "dist_da_io": ConfigSpec(
+        "dist_da_io", CompileMode.DIST, "io", io_overlap=2.0,
+    ),
+    "dist_da_f": ConfigSpec(
+        "dist_da_f", CompileMode.DIST, "cgra", io_overlap=6.0,
+    ),
+    # §VI-E software-optimization variants
+    "dist_da_io_sw": ConfigSpec(
+        "dist_da_io_sw", CompileMode.DIST, "io",
+        io_overlap=6.0, io_issue_width=4,
+    ),
+    # §VI-D case-study variants (Fig 12a): B = the automated compiler
+    # offload (= dist_da_f), BN adds user-annotated localized nest
+    # control, BNS adds a user block-transfer schedule
+    "dist_da_b": ConfigSpec(
+        "dist_da_b", CompileMode.DIST, "cgra", io_overlap=6.0,
+    ),
+    "dist_da_bn": ConfigSpec(
+        "dist_da_bn", CompileMode.DIST, "cgra", io_overlap=6.0,
+        localized_control=True,
+    ),
+    "dist_da_bns": ConfigSpec(
+        "dist_da_bns", CompileMode.DIST, "cgra", io_overlap=12.0,
+        localized_control=True, user_scheduled=True,
+    ),
+    # multithreading case study (Fig 12b): per-thread slices are
+    # scheduled individually, so stream specialization is skipped
+    "dist_da_mt": ConfigSpec(
+        "dist_da_mt", CompileMode.DIST, "cgra", io_overlap=6.0,
+        no_stream_spec=True,
+    ),
+}
+
+ConfigName = str
+
+
+def config_spec(name: str) -> ConfigSpec:
+    try:
+        return CONFIGS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown configuration {name!r}; known: {sorted(CONFIGS)}"
+        ) from None
+
+
+class SystemSimulator:
+    """Simulates one workload instance on one configuration."""
+
+    def __init__(self, config: str,
+                 machine: Optional[MachineParams] = None,
+                 coverage: Optional[CoverageRecorder] = None):
+        self.spec = config_spec(config)
+        base = machine or default_machine()
+        if self.spec.big_fabric:
+            base = mono_da_cgra_machine(base)
+        if self.spec.accel_freq is not None:
+            base = base.with_accel_freq(self.spec.accel_freq)
+        if self.spec.io_issue_width is not None:
+            base = replace(
+                base, inorder=replace(
+                    base.inorder, issue_width=self.spec.io_issue_width
+                )
+            )
+        self.machine = base
+        self.coverage = coverage if coverage is not None else CoverageRecorder()
+
+    # ------------------------------------------------------------------
+    def run(self, instance: WorkloadInstance) -> RunResult:
+        energy = EnergyLedger()
+        hierarchy = MemoryHierarchy(self.machine, energy)
+        slab = SlabAllocator()
+        stripe = hierarchy.l3.stripe_bytes
+        allocations = {
+            name: slab.allocate(name, obj.size_bytes, align=stripe)
+            for name, obj in instance.objects.items()
+        }
+        coherence = CoherenceManager(hierarchy)
+        ooo = OooModel(self.machine, hierarchy, energy, slab)
+        if self.spec.mode is None:
+            result = self._run_ooo(instance, ooo, hierarchy, energy)
+        else:
+            result = self._run_accel(
+                instance, ooo, hierarchy, energy, slab, allocations,
+                coherence,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_ooo(self, instance: WorkloadInstance, ooo: OooModel,
+                 hierarchy: MemoryHierarchy,
+                 energy: EnergyLedger) -> RunResult:
+        interp = Interpreter(record_trace=True)
+        total_ps = 0
+        insts = 0
+        mem_ops = 0
+        for call in instance.calls():
+            res = interp.run(call.kernel, instance.arrays, call.scalars)
+            out = ooo.run(call.kernel, res.counts, res.trace,
+                          extra_host_insts=instance.host_insts_per_call,
+                          serial_fraction=instance.serial_fraction)
+            total_ps += out.time_ps
+            insts += out.insts
+            mem_ops += out.mem_ops
+        return self._result(
+            instance, "ooo", total_ps, insts, mem_ops, energy, hierarchy,
+            AccessDistribution(), mmio=0, accel_iters=0,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_accel(self, instance: WorkloadInstance, ooo: OooModel,
+                   hierarchy: MemoryHierarchy, energy: EnergyLedger,
+                   slab: SlabAllocator, allocations, coherence
+                   ) -> RunResult:
+        spec = self.spec
+        backend = self._make_backend()
+        private = None
+        if spec.private_cache:
+            private = Cache(
+                CacheParams(size_bytes=self.machine.mono_private_bytes,
+                            ways=4, latency_cycles=1, mshrs=8),
+                name="mono_ca_private",
+            )
+        engine = OffloadEngine(
+            self.machine, hierarchy, energy, slab, backend,
+            private_cache=private, io_overlap=spec.io_overlap,
+            localized_control=spec.localized_control,
+            user_scheduled=spec.user_scheduled,
+        )
+        interp = Interpreter(record_trace=True)
+        compiled: Dict[int, CompiledKernel] = {}
+        dist = AccessDistribution()
+        total_ps = 0
+        insts = 0
+        mem_ops = 0
+        mmio = 0
+        accel_iters = 0
+        for call in instance.calls():
+            res = interp.run(call.kernel, instance.arrays, call.scalars)
+            mem_ops += res.counts.loads + res.counts.stores
+            ck = compiled.get(id(call.kernel))
+            if ck is None:
+                ck = compile_kernel(
+                    call.kernel, spec.mode,
+                    trip_count_hint=max(res.inner_iterations, 1),
+                    coverage=self.coverage,
+                    disable_stream_spec=spec.no_stream_spec,
+                )
+                compiled[id(call.kernel)] = ck
+            streams = SiteStreams(res.trace)
+            offloaded_insts = 0
+            for off in ck.offloads:
+                clusters = self._place(off, allocations, hierarchy)
+                for part_idx in range(off.partitioning.num_partitions):
+                    obj = off.partitioning.safe_anchor(part_idx)
+                    if obj is not None:
+                        coherence.acquire(
+                            allocations[obj], Domain.ACCEL,
+                            cluster=clusters[part_idx],
+                        )
+                trips = res.inner_iters_by_loop.get(id(off.loop), 0)
+                invocations = res.inner_invocations_by_loop.get(
+                    id(off.loop), 1
+                )
+                stats = engine.run(off, clusters, trips, invocations,
+                                   streams)
+                total_ps += stats.time_ps
+                mmio += stats.mmio_bytes
+                accel_iters += stats.accel_iterations
+                dist.intra += stats.intra_bytes
+                dist.d_a += stats.d_a_bytes
+                dist.a_a += stats.a_a_bytes
+                per_iter = sum(
+                    p.static_insts for p in off.config.partitions
+                )
+                offloaded_insts += trips * max(per_iter, 1)
+                insts += trips * max(per_iter, 1)
+            # host residual: outer-loop control + non-offloaded work
+            resid = max(
+                res.counts.total_insts
+                - sum(
+                    res.inner_iters_by_loop.get(id(off.loop), 0)
+                    * (off.dfg.num_insts() + 2)
+                    for off in ck.offloads
+                ),
+                0,
+            ) + instance.host_insts_per_call
+            host_cycles = resid / self.machine.core.issue_width
+            energy.charge("core", "ooo_inst_overhead", resid)
+            total_ps += cycles_to_ps(host_cycles, self.machine.core.freq_ghz)
+            insts += resid
+        return self._result(
+            instance, spec.name, total_ps, insts, mem_ops, energy,
+            hierarchy, dist, mmio, accel_iters,
+        )
+
+    def _make_backend(self):
+        if self.spec.backend == "io":
+            return InOrderBackend(self.machine.inorder)
+        if self.spec.backend == "cgra":
+            return CgraBackend(self.machine.cgra)
+        raise ConfigError(f"config {self.spec.name} has no backend")
+
+    def _place(self, off, allocations, hierarchy) -> Dict[int, int]:
+        if self.spec.mode is CompileMode.MONO_CA:
+            return {
+                p: HOST_NODE
+                for p in range(off.partitioning.num_partitions)
+            }
+        clusters = place_partitions(
+            off.partitioning, allocations, hierarchy.l3
+        )
+        # vertical placement: near-host partitions sit at the host tile
+        for part_idx, level in off.vertical.items():
+            if level is PlacementLevel.NEAR_HOST:
+                clusters[part_idx] = HOST_NODE
+        return clusters
+
+    # ------------------------------------------------------------------
+    def _result(self, instance: WorkloadInstance, name: str, total_ps: int,
+                insts: int, mem_ops: int, energy: EnergyLedger,
+                hierarchy: MemoryHierarchy, dist: AccessDistribution,
+                mmio: int, accel_iters: int) -> RunResult:
+        return RunResult(
+            workload=instance.short,
+            config=name,
+            time_ps=max(total_ps, 1),
+            insts=insts,
+            mem_ops=mem_ops,
+            energy=energy,
+            cache_stats=hierarchy.stats(),
+            traffic_breakdown=hierarchy.traffic.breakdown(),
+            # data movement = level-to-level line moves plus distance-
+            # weighted NoC traversals (a centralized accelerator pulling
+            # every line across the mesh is penalized accordingly)
+            movement_bytes=(
+                hierarchy.movement_bytes
+                + hierarchy.traffic.total_byte_hops()
+            ),
+            access_dist=dist,
+            validated=instance.validate(),
+            mmio_bytes=mmio,
+            accel_iterations=accel_iters,
+        )
+
+
+def simulate_workload(instance: WorkloadInstance, config: str,
+                      machine: Optional[MachineParams] = None,
+                      coverage: Optional[CoverageRecorder] = None
+                      ) -> RunResult:
+    """Simulate one workload instance on one named configuration."""
+    return SystemSimulator(config, machine, coverage).run(instance)

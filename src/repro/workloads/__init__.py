@@ -1,0 +1,26 @@
+"""Workloads (paper Table IV), re-implemented as kernel-IR programs.
+
+Each workload module provides a ``build(scale)`` factory returning a
+:class:`~repro.workloads.base.WorkloadInstance`: kernel-IR programs plus
+a synthetic dataset generator and a NumPy reference implementation for
+end-to-end validation.
+"""
+
+from .base import KernelCall, Workload, WorkloadInstance, workload_registry
+from . import (
+    disparity, tracking, fdtd2d, cholesky, adi, seidel,
+    pathfinder, nw, bfs, pagerank, pointer_chase, pca, spmv,
+)
+
+#: Table IV/VI presentation order
+PAPER_ORDER = (
+    "dis", "tra", "adi", "fdt", "cho", "sei",
+    "pf", "nw", "bfs", "pr", "pch", "pca",
+)
+
+ALL_WORKLOADS = workload_registry()
+
+__all__ = [
+    "KernelCall", "Workload", "WorkloadInstance", "ALL_WORKLOADS",
+    "workload_registry",
+]

@@ -1,0 +1,110 @@
+"""BFS (MachSuite-style): level-synchronous, edge-centric.
+
+Each level sweeps all edges, predicating updates on the source node
+being in the current frontier. The driver inspects the level array
+between calls to decide when the traversal has converged — irregular
+indirect accesses over large structures, the paper's DA sweet spot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..ir import INT32, Kernel, Loop, LoopVar, MemObject, Scalar, When
+from .base import (
+    KernelCall,
+    Workload,
+    WorkloadInstance,
+    register,
+    scale_dims,
+)
+
+I = LoopVar("i")
+
+
+def build_level_kernel(num_nodes: int, num_edges: int) -> Kernel:
+    src = MemObject("src", num_edges, INT32)
+    dst = MemObject("dst", num_edges, INT32)
+    level = MemObject("level", num_nodes, INT32)
+    cur = Scalar("cur")
+    loop = Loop("i", 0, num_edges, [
+        When(level[src[I]].eq(cur), [
+            When(level[dst[I]].lt(0), [
+                level.store(dst[I], cur + 1),
+            ]),
+        ]),
+    ])
+    return Kernel(
+        "bfs_level", {"src": src, "dst": dst, "level": level},
+        [loop], scalars={"cur": 0}, outputs=["level"],
+    )
+
+
+def make_graph(num_nodes: int, num_edges: int, rng: np.random.Generator):
+    src = rng.integers(0, num_nodes, num_edges).astype(np.int32)
+    dst = rng.integers(0, num_nodes, num_edges).astype(np.int32)
+    # guarantee a connected-ish spine so the frontier keeps advancing
+    spine = min(num_nodes - 1, num_edges)
+    src[:spine] = np.arange(spine, dtype=np.int32)
+    dst[:spine] = np.arange(1, spine + 1, dtype=np.int32)
+    return src, dst
+
+
+def reference_bfs(src, dst, num_nodes, max_levels) -> np.ndarray:
+    level = np.full(num_nodes, -1, dtype=np.int64)
+    level[0] = 0
+    for cur in range(max_levels):
+        frontier = level[src] == cur
+        targets = dst[frontier]
+        fresh = targets[level[targets] < 0]
+        if fresh.size == 0:
+            break
+        level[fresh] = cur + 1
+    return level
+
+
+class Bfs(Workload):
+    name = "bfs"
+    short = "bfs"
+
+    def build(self, scale: str = "small", num_nodes: int = None,
+              edge_factor: int = 6,
+              max_levels: int = None) -> WorkloadInstance:
+        num_nodes = num_nodes or scale_dims(
+            scale, tiny=32, small=2048, large=8192
+        )
+        max_levels = max_levels or scale_dims(scale, tiny=3, small=4, large=6)
+        num_edges = num_nodes * edge_factor
+        rng = np.random.default_rng(29)
+        src, dst = make_graph(num_nodes, num_edges, rng)
+        kernel = build_level_kernel(num_nodes, num_edges)
+        level0 = np.full(num_nodes, -1, dtype=np.int32)
+        level0[0] = 0
+        arrays = {"src": src, "dst": dst, "level": level0.copy()}
+
+        def schedule(instance: WorkloadInstance) -> Iterator[KernelCall]:
+            for cur in range(max_levels):
+                before = instance.arrays["level"].copy()
+                yield KernelCall(kernel, scalars={"cur": cur})
+                if np.array_equal(before, instance.arrays["level"]):
+                    break
+
+        def reference(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+            return {
+                "level": reference_bfs(
+                    inputs["src"], inputs["dst"], num_nodes, max_levels
+                )
+            }
+
+        return WorkloadInstance(
+            name=self.name, short=self.short,
+            objects=dict(kernel.objects), arrays=arrays,
+            outputs=["level"],
+            schedule=schedule, reference=reference,
+            host_insts_per_call=35, host_accesses_per_call=4,
+        )
+
+
+register(Bfs())

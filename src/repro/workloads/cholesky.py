@@ -1,0 +1,88 @@
+"""Cholesky factorization (PolyBench): in-place triangular loop nest.
+
+The innermost k-loop is a multi-stream dot-product reduction — the paper
+notes cholesky's "multi-stream reduction pattern and spatial reuse" and
+that Mono-CA's larger private-cache bandwidth gives it the best speedup
+there (§VI-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..ir import FLOAT32, Kernel, Loop, LoopVar, MemObject, UnaryOp
+from .base import (
+    KernelCall,
+    Workload,
+    WorkloadInstance,
+    register,
+    scale_dims,
+)
+
+I, J, K = LoopVar("i"), LoopVar("j"), LoopVar("k")
+
+
+def build_kernel(n: int) -> Kernel:
+    A = MemObject("A", (n, n), FLOAT32)
+    # for i: { for j<i: { for k<j: A[i,j]-=A[i,k]*A[j,k]; A[i,j]/=A[j,j] }
+    #          for k<i: A[i,i]-=A[i,k]^2 ; A[i,i]=sqrt(A[i,i]) }
+    k_loop = Loop("k", 0, J, [
+        A.store((I, J), A[I, J] - A[I, K] * A[J, K]),
+    ])
+    j_loop = Loop("j", 0, I, [
+        k_loop,
+        A.store((I, J), A[I, J] / A[J, J]),
+    ])
+    k2 = LoopVar("k2")
+    diag_loop = Loop("k2", 0, I, [
+        A.store((I, I), A[I, I] - A[I, k2] * A[I, k2]),
+    ])
+    outer = Loop("i", 0, n, [
+        j_loop,
+        diag_loop,
+        A.store((I, I), UnaryOp("sqrt", A[I, I])),
+    ])
+    return Kernel("cholesky", {"A": A}, [outer], outputs=["A"])
+
+
+def make_spd(n: int, rng: np.random.Generator) -> np.ndarray:
+    m = rng.random((n, n)).astype(np.float64) * 0.1
+    spd = m @ m.T + n * np.eye(n)
+    return spd
+
+
+class Cholesky(Workload):
+    name = "cholesky"
+    short = "cho"
+
+    def build(self, scale: str = "small", n: int = None) -> WorkloadInstance:
+        n = n or scale_dims(scale, tiny=8, small=56, large=96)
+        kernel = build_kernel(n)
+        rng = np.random.default_rng(5)
+        spd = make_spd(n, rng)
+        arrays = {"A": spd.astype(np.float32).ravel().copy()}
+
+        def schedule(instance: WorkloadInstance) -> Iterator[KernelCall]:
+            yield KernelCall(kernel)
+
+        def reference(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+            a = inputs["A"].reshape(n, n).astype(np.float64)
+            lower = np.linalg.cholesky(a)
+            # the in-place kernel leaves the upper triangle untouched
+            out = a.copy()
+            out[np.tril_indices(n)] = lower[np.tril_indices(n)]
+            return {"A": out.ravel()}
+
+        return WorkloadInstance(
+            name=self.name, short=self.short,
+            objects=dict(kernel.objects), arrays=arrays,
+            outputs=["A"],
+            schedule=schedule, reference=reference,
+            host_insts_per_call=40, host_accesses_per_call=2,
+            atol=1e-2,
+        )
+
+
+register(Cholesky())

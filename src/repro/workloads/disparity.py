@@ -1,0 +1,154 @@
+"""Disparity (SD-VBS): stereo block matching.
+
+For every candidate shift the pipeline computes an absolute-difference
+image, aggregates it with a 3x3 box filter, and keeps the per-pixel
+minimum. Many concurrent data structures with multi-read-operand
+computations — the workload class where the paper's sub-computation
+partitioning pays off most (§VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..ir import INT32, Kernel, Loop, LoopVar, MemObject, Scalar, UnaryOp, When
+from .base import (
+    KernelCall,
+    Workload,
+    WorkloadInstance,
+    register,
+    scale_dims,
+)
+
+I, J = LoopVar("i"), LoopVar("j")
+
+
+def build_sad_kernel(n: int) -> Kernel:
+    """sad[i,j] = |left[i,j] - right[i, max(j-shift, 0)]|."""
+    left = MemObject("left", (n, n), INT32)
+    right = MemObject("right", (n, n), INT32)
+    sad = MemObject("sad", (n, n), INT32)
+    shift = Scalar("shift")
+    nest = Loop("i", 0, n, [
+        Loop("j", 0, n, [
+            sad.store((I, J), UnaryOp(
+                "abs", left[I, J] - right[I, (J - shift).max(0)]
+            )),
+        ]),
+    ])
+    return Kernel("disp_sad", {"left": left, "right": right, "sad": sad},
+                  [nest], scalars={"shift": 0}, outputs=["sad"])
+
+
+def build_box_kernel(n: int) -> Kernel:
+    """agg[i,j] = 3x3 box sum of sad."""
+    sad = MemObject("sad", (n, n), INT32)
+    agg = MemObject("agg", (n, n), INT32)
+    total = (
+        sad[I - 1, J - 1] + sad[I - 1, J] + sad[I - 1, J + 1]
+        + sad[I, J - 1] + sad[I, J] + sad[I, J + 1]
+        + sad[I + 1, J - 1] + sad[I + 1, J] + sad[I + 1, J + 1]
+    )
+    nest = Loop("i", 1, n - 1, [
+        Loop("j", 1, n - 1, [agg.store((I, J), total)]),
+    ])
+    return Kernel("disp_box", {"sad": sad, "agg": agg}, [nest],
+                  outputs=["agg"])
+
+
+def build_select_kernel(n: int) -> Kernel:
+    """Keep the best (minimum) aggregate and its shift per pixel."""
+    agg = MemObject("agg", (n, n), INT32)
+    best = MemObject("best", (n, n), INT32)
+    disp = MemObject("disp", (n, n), INT32)
+    shift = Scalar("shift")
+    nest = Loop("i", 1, n - 1, [
+        Loop("j", 1, n - 1, [
+            When(agg[I, J].lt(best[I, J]), [
+                best.store((I, J), agg[I, J]),
+                disp.store((I, J), shift),
+            ]),
+        ]),
+    ])
+    return Kernel("disp_select", {"agg": agg, "best": best, "disp": disp},
+                  [nest], scalars={"shift": 0}, outputs=["best", "disp"])
+
+
+def reference_disparity(left, right, n, num_shifts):
+    best = np.full((n, n), 2**30, dtype=np.int64)
+    disp = np.zeros((n, n), dtype=np.int64)
+    for shift in range(num_shifts):
+        cols = np.maximum(np.arange(n) - shift, 0)
+        sad = np.abs(left - right[:, cols])
+        agg = np.zeros_like(sad)
+        agg[1:-1, 1:-1] = sum(
+            sad[1 + di:n - 1 + di, 1 + dj:n - 1 + dj]
+            for di in (-1, 0, 1) for dj in (-1, 0, 1)
+        )
+        improved = agg[1:-1, 1:-1] < best[1:-1, 1:-1]
+        best[1:-1, 1:-1] = np.where(improved, agg[1:-1, 1:-1],
+                                    best[1:-1, 1:-1])
+        disp[1:-1, 1:-1] = np.where(improved, shift, disp[1:-1, 1:-1])
+    return best, disp
+
+
+class Disparity(Workload):
+    name = "disparity"
+    short = "dis"
+
+    def build(self, scale: str = "small", n: int = None,
+              num_shifts: int = None) -> WorkloadInstance:
+        n = n or scale_dims(scale, tiny=8, small=56, large=96)
+        num_shifts = num_shifts or scale_dims(scale, tiny=2, small=4, large=8)
+        rng = np.random.default_rng(37)
+        left = rng.integers(0, 256, (n, n)).astype(np.int32)
+        # right image: left shifted by a hidden true disparity + noise
+        true_shift = 2
+        cols = np.maximum(np.arange(n) - true_shift, 0)
+        right = left[:, cols] + rng.integers(-3, 4, (n, n)).astype(np.int32)
+
+        sad_k = build_sad_kernel(n)
+        box_k = build_box_kernel(n)
+        sel_k = build_select_kernel(n)
+        arrays = {
+            "left": left.ravel().copy(),
+            "right": right.ravel().copy(),
+            "sad": np.zeros(n * n, dtype=np.int32),
+            "agg": np.zeros(n * n, dtype=np.int32),
+            "best": np.full(n * n, 2**30, dtype=np.int32),
+            "disp": np.zeros(n * n, dtype=np.int32),
+        }
+
+        def schedule(instance: WorkloadInstance) -> Iterator[KernelCall]:
+            for shift in range(num_shifts):
+                yield KernelCall(sad_k, scalars={"shift": shift})
+                yield KernelCall(box_k)
+                yield KernelCall(sel_k, scalars={"shift": shift})
+
+        def reference(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+            best, disp = reference_disparity(
+                inputs["left"].reshape(n, n).astype(np.int64),
+                inputs["right"].reshape(n, n).astype(np.int64),
+                n, num_shifts,
+            )
+            out_best = inputs["best"].astype(np.int64).reshape(n, n)
+            out_best[1:-1, 1:-1] = best[1:-1, 1:-1]
+            out_disp = inputs["disp"].astype(np.int64).reshape(n, n)
+            out_disp[1:-1, 1:-1] = disp[1:-1, 1:-1]
+            return {"best": out_best.ravel(), "disp": out_disp.ravel()}
+
+        objects = dict(sad_k.objects)
+        objects.update(box_k.objects)
+        objects.update(sel_k.objects)
+        return WorkloadInstance(
+            name=self.name, short=self.short,
+            objects=objects, arrays=arrays,
+            outputs=["best", "disp"],
+            schedule=schedule, reference=reference,
+            host_insts_per_call=45, host_accesses_per_call=4,
+        )
+
+
+register(Disparity())

@@ -1,0 +1,113 @@
+"""FDTD-2D (PolyBench): 2-D finite-difference time-domain kernel.
+
+Three stream-heavy stencil nests per timestep over the ey/ex/hz fields —
+the paper's archetype of a multi-read-operand computation where
+sub-computation partitioning pays (§VI-B) and the working-set-size
+sensitivity study's subject (§VI-E).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..ir import FLOAT32, Kernel, Loop, LoopVar, MemObject
+from .base import (
+    KernelCall,
+    Workload,
+    WorkloadInstance,
+    register,
+    scale_dims,
+)
+
+I, J = LoopVar("i"), LoopVar("j")
+
+
+def build_kernel(n: int) -> Kernel:
+    ex = MemObject("ex", (n, n), FLOAT32)
+    ey = MemObject("ey", (n, n), FLOAT32)
+    hz = MemObject("hz", (n, n), FLOAT32)
+    ey_nest = Loop("i", 1, n, [
+        Loop("j", 0, n, [
+            ey.store((I, J), ey[I, J] - 0.5 * (hz[I, J] - hz[I - 1, J])),
+        ]),
+    ])
+    ex_nest = Loop("i2", 0, n, [
+        Loop("j2", 1, n, [
+            ex.store(
+                (LoopVar("i2"), LoopVar("j2")),
+                ex[LoopVar("i2"), LoopVar("j2")]
+                - 0.5 * (hz[LoopVar("i2"), LoopVar("j2")]
+                         - hz[LoopVar("i2"), LoopVar("j2") - 1]),
+            ),
+        ]),
+    ])
+    i3, j3 = LoopVar("i3"), LoopVar("j3")
+    hz_nest = Loop("i3", 0, n - 1, [
+        Loop("j3", 0, n - 1, [
+            hz.store(
+                (i3, j3),
+                hz[i3, j3] - 0.7 * (
+                    ex[i3, j3 + 1] - ex[i3, j3]
+                    + ey[i3 + 1, j3] - ey[i3, j3]
+                ),
+            ),
+        ]),
+    ])
+    return Kernel(
+        "fdtd2d",
+        {"ex": ex, "ey": ey, "hz": hz},
+        [ey_nest, ex_nest, hz_nest],
+        outputs=["ex", "ey", "hz"],
+    )
+
+
+def reference_step(ex: np.ndarray, ey: np.ndarray, hz: np.ndarray) -> None:
+    ey[1:, :] = ey[1:, :] - 0.5 * (hz[1:, :] - hz[:-1, :])
+    ex[:, 1:] = ex[:, 1:] - 0.5 * (hz[:, 1:] - hz[:, :-1])
+    hz[:-1, :-1] = hz[:-1, :-1] - 0.7 * (
+        ex[:-1, 1:] - ex[:-1, :-1] + ey[1:, :-1] - ey[:-1, :-1]
+    )
+
+
+class Fdtd2d(Workload):
+    name = "fdtd-2d"
+    short = "fdt"
+
+    def build(self, scale: str = "small",
+              n: int = None, timesteps: int = None) -> WorkloadInstance:
+        n = n or scale_dims(scale, tiny=10, small=112, large=224)
+        timesteps = timesteps or scale_dims(scale, tiny=2, small=2, large=3)
+        kernel = build_kernel(n)
+        rng = np.random.default_rng(7)
+        arrays = {
+            name: rng.random(n * n).astype(np.float32)
+            for name in ("ex", "ey", "hz")
+        }
+
+        def schedule(instance: WorkloadInstance) -> Iterator[KernelCall]:
+            for _ in range(timesteps):
+                yield KernelCall(kernel)
+
+        def reference(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+            ex = inputs["ex"].reshape(n, n).astype(np.float64)
+            ey = inputs["ey"].reshape(n, n).astype(np.float64)
+            hz = inputs["hz"].reshape(n, n).astype(np.float64)
+            for _ in range(timesteps):
+                reference_step(ex, ey, hz)
+            return {
+                "ex": ex.ravel(), "ey": ey.ravel(), "hz": hz.ravel(),
+            }
+
+        return WorkloadInstance(
+            name=self.name, short=self.short,
+            objects=dict(kernel.objects), arrays=arrays,
+            outputs=["ex", "ey", "hz"],
+            schedule=schedule, reference=reference,
+            host_insts_per_call=40, host_accesses_per_call=4,
+            atol=1e-2,
+        )
+
+
+register(Fdtd2d())

@@ -1,0 +1,91 @@
+"""Pathfinder (Rodinia): dynamic programming over a 2-D grid.
+
+Row-by-row wavefront: each destination cell takes the cheapest of three
+neighbors in the previous row plus its own wall cost. The driver
+ping-pongs between two cost rows, so each row is one kernel call — the
+structure the multithreading case study (Fig. 12b) parallelizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..ir import INT32, Kernel, Loop, LoopVar, MemObject, Scalar
+from .base import (
+    KernelCall,
+    Workload,
+    WorkloadInstance,
+    register,
+    scale_dims,
+)
+
+J = LoopVar("j")
+
+
+def build_row_kernel(rows: int, cols: int, src_name: str,
+                     dst_name: str) -> Kernel:
+    wall = MemObject("wall", (rows, cols), INT32)
+    src = MemObject(src_name, cols, INT32)
+    dst = MemObject(dst_name, cols, INT32)
+    row = Scalar("row")
+    left = src[(J - 1).max(0)]
+    mid = src[J]
+    right = src[(J + 1).min(cols - 1)]
+    loop = Loop("j", 0, cols, [
+        dst.store(J, wall[row, J] + left.min(mid).min(right)),
+    ])
+    return Kernel(
+        f"pf_{src_name}_to_{dst_name}",
+        {"wall": wall, src_name: src, dst_name: dst},
+        [loop], scalars={"row": 0}, outputs=[dst_name],
+    )
+
+
+class Pathfinder(Workload):
+    name = "pathfinder"
+    short = "pf"
+
+    def build(self, scale: str = "small", rows: int = None,
+              cols: int = None) -> WorkloadInstance:
+        rows = rows or scale_dims(scale, tiny=4, small=48, large=96)
+        cols = cols or scale_dims(scale, tiny=16, small=1024, large=2048)
+        rng = np.random.default_rng(17)
+        wall = rng.integers(1, 10, rows * cols).astype(np.int32)
+        k_ab = build_row_kernel(rows, cols, "costA", "costB")
+        k_ba = build_row_kernel(rows, cols, "costB", "costA")
+        arrays = {
+            "wall": wall,
+            "costA": wall[:cols].copy(),
+            "costB": np.zeros(cols, dtype=np.int32),
+        }
+
+        def schedule(instance: WorkloadInstance) -> Iterator[KernelCall]:
+            for row in range(1, rows):
+                kernel = k_ab if row % 2 == 1 else k_ba
+                yield KernelCall(kernel, scalars={"row": row})
+
+        def reference(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+            w = inputs["wall"].reshape(rows, cols).astype(np.int64)
+            cost = w[0].copy()
+            for r in range(1, rows):
+                left = np.concatenate(([cost[0]], cost[:-1]))
+                right = np.concatenate((cost[1:], [cost[-1]]))
+                cost = w[r] + np.minimum(np.minimum(left, cost), right)
+            out_name = "costB" if (rows - 1) % 2 == 1 else "costA"
+            return {out_name: cost}
+
+        final = "costB" if (rows - 1) % 2 == 1 else "costA"
+        objects = dict(k_ab.objects)
+        objects.update(k_ba.objects)
+        return WorkloadInstance(
+            name=self.name, short=self.short,
+            objects=objects, arrays=arrays,
+            outputs=[final],
+            schedule=schedule, reference=reference,
+            host_insts_per_call=25, host_accesses_per_call=2,
+        )
+
+
+register(Pathfinder())

@@ -1,0 +1,99 @@
+"""PCA / correlation (CortexSuite): column means + covariance matrix.
+
+Column-major traversals (stride-d element streams) put access latency on
+the critical path with a shallow near-data hierarchy — the paper calls
+out exactly this for pca (§VI-C "Access bandwidth").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..ir import FLOAT32, Kernel, Loop, LoopVar, MemObject
+from .base import (
+    KernelCall,
+    Workload,
+    WorkloadInstance,
+    register,
+    scale_dims,
+)
+
+J, K = LoopVar("j"), LoopVar("k")
+
+
+def build_mean_kernel(n: int, d: int) -> Kernel:
+    """mean[j] = sum_k D[k][j] / n — column-major inner loop."""
+    D = MemObject("D", (n, d), FLOAT32)
+    mean = MemObject("mean", d, FLOAT32)
+    inner = Loop("k", 0, n, [
+        mean.store(J, mean[J] + D[K, J]),
+    ])
+    outer = Loop("j", 0, d, [
+        inner,
+        mean.store(J, mean[J] * (1.0 / n)),
+    ])
+    return Kernel("pca_mean", {"D": D, "mean": mean}, [outer],
+                  outputs=["mean"])
+
+
+def build_cov_kernel(n: int, d: int) -> Kernel:
+    """cov[i][j] = sum_k (D[k][i]-mean[i]) * (D[k][j]-mean[j])."""
+    D = MemObject("D", (n, d), FLOAT32)
+    mean = MemObject("mean", d, FLOAT32)
+    cov = MemObject("cov", (d, d), FLOAT32)
+    i = LoopVar("i")
+    inner = Loop("k", 0, n, [
+        cov.store((i, J), cov[i, J]
+                  + (D[K, i] - mean[i]) * (D[K, J] - mean[J])),
+    ])
+    nest = Loop("i", 0, d, [
+        Loop("j", 0, d, [inner]),
+    ])
+    return Kernel("pca_cov", {"D": D, "mean": mean, "cov": cov}, [nest],
+                  outputs=["cov"])
+
+
+class Pca(Workload):
+    name = "pca"
+    short = "pca"
+
+    def build(self, scale: str = "small", n: int = None,
+              d: int = None) -> WorkloadInstance:
+        n = n or scale_dims(scale, tiny=12, small=128, large=256)
+        d = d or scale_dims(scale, tiny=4, small=20, large=32)
+        rng = np.random.default_rng(31)
+        data = rng.random(n * d).astype(np.float32)
+        mean_k = build_mean_kernel(n, d)
+        cov_k = build_cov_kernel(n, d)
+        arrays = {
+            "D": data.copy(),
+            "mean": np.zeros(d, dtype=np.float32),
+            "cov": np.zeros(d * d, dtype=np.float32),
+        }
+
+        def schedule(instance: WorkloadInstance) -> Iterator[KernelCall]:
+            yield KernelCall(mean_k)
+            yield KernelCall(cov_k)
+
+        def reference(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+            mat = inputs["D"].reshape(n, d).astype(np.float64)
+            mean = mat.mean(axis=0)
+            centered = mat - mean
+            cov = centered.T @ centered
+            return {"mean": mean, "cov": cov.ravel()}
+
+        objects = dict(mean_k.objects)
+        objects.update(cov_k.objects)
+        return WorkloadInstance(
+            name=self.name, short=self.short,
+            objects=objects, arrays=arrays,
+            outputs=["mean", "cov"],
+            schedule=schedule, reference=reference,
+            host_insts_per_call=30, host_accesses_per_call=2,
+            atol=1e-2,
+        )
+
+
+register(Pca())

@@ -1,0 +1,118 @@
+"""SpMV (case study, §VI-D): CSR sparse matrix-vector multiplication.
+
+The randomly generated dataset follows the paper: sixteen equally-sized
+2-D tiles in CSR format with low density. The innermost loop's bounds
+come from the row-pointer array (data-dependent), so the automated
+Dist-DA-B offload pays a host relaunch per row — the 0.44x effect the
+Dist-DA-BN / -BNS user annotations then recover (Fig. 12a).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from ..ir import FLOAT32, INT32, Kernel, Loop, LoopVar, MemObject
+from .base import (
+    KernelCall,
+    Workload,
+    WorkloadInstance,
+    register,
+    scale_dims,
+)
+
+I, JJ = LoopVar("i"), LoopVar("jj")
+
+
+def build_tile_kernel(tile: int, rows: int, nnz: int, cols: int) -> Kernel:
+    ap = MemObject(f"ap{tile}", rows + 1, INT32)
+    col = MemObject(f"col{tile}", nnz, INT32)
+    val = MemObject(f"val{tile}", nnz, FLOAT32)
+    x = MemObject("x", cols, FLOAT32)
+    y = MemObject("y", rows, FLOAT32)
+    inner = Loop("jj", ap[I], ap[I + 1], [
+        y.store(I, y[I] + val[JJ] * x[col[JJ]]),
+    ])
+    outer = Loop("i", 0, rows, [inner])
+    return Kernel(
+        f"spmv_tile{tile}",
+        {ap.name: ap, col.name: col, val.name: val, "x": x, "y": y},
+        [outer], outputs=["y"],
+    )
+
+
+def make_csr_tile(rows: int, cols: int, density: float,
+                  rng: np.random.Generator):
+    nnz_per_row = rng.poisson(max(density * cols, 1), rows)
+    nnz_per_row = np.clip(nnz_per_row, 0, cols)
+    ap = np.zeros(rows + 1, dtype=np.int32)
+    ap[1:] = np.cumsum(nnz_per_row)
+    nnz = int(ap[-1])
+    col = np.concatenate([
+        np.sort(rng.choice(cols, size=k, replace=False))
+        for k in nnz_per_row
+    ]).astype(np.int32) if nnz else np.zeros(0, dtype=np.int32)
+    val = (rng.standard_normal(nnz) * 2.048).astype(np.float32)
+    return ap, col, val
+
+
+class Spmv(Workload):
+    name = "spmv"
+    short = "spmv"
+
+    def build(self, scale: str = "small", tiles: int = None,
+              rows: int = None, cols: int = None,
+              density: float = 5e-3) -> WorkloadInstance:
+        tiles = tiles or scale_dims(scale, tiny=2, small=16, large=16)
+        rows = rows or scale_dims(scale, tiny=8, small=128, large=512)
+        cols = cols or scale_dims(scale, tiny=16, small=512, large=4096)
+        rng = np.random.default_rng(43)
+        kernels: List[Kernel] = []
+        arrays = {
+            "x": rng.random(cols).astype(np.float32),
+            "y": np.zeros(rows, dtype=np.float32),
+        }
+        objects = {}
+        tiles_data = []
+        for t in range(tiles):
+            ap, col, val = make_csr_tile(rows, cols, density, rng)
+            nnz = max(len(val), 1)
+            if len(val) == 0:
+                col = np.zeros(1, dtype=np.int32)
+                val = np.zeros(1, dtype=np.float32)
+            kernel = build_tile_kernel(t, rows, nnz, cols)
+            kernels.append(kernel)
+            arrays[f"ap{t}"] = ap
+            arrays[f"col{t}"] = col
+            arrays[f"val{t}"] = val
+            objects.update(kernel.objects)
+            tiles_data.append((ap, col, val))
+
+        def schedule(instance: WorkloadInstance) -> Iterator[KernelCall]:
+            for kernel in kernels:
+                yield KernelCall(kernel)
+
+        def reference(inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+            y = inputs["y"].astype(np.float64)
+            x = inputs["x"].astype(np.float64)
+            for t in range(tiles):
+                ap = inputs[f"ap{t}"]
+                col = inputs[f"col{t}"]
+                val = inputs[f"val{t}"].astype(np.float64)
+                for r in range(rows):
+                    lo, hi = int(ap[r]), int(ap[r + 1])
+                    y[r] += val[lo:hi] @ x[col[lo:hi]]
+            return {"y": y}
+
+        return WorkloadInstance(
+            name=self.name, short=self.short,
+            objects=objects, arrays=arrays,
+            outputs=["y"],
+            schedule=schedule, reference=reference,
+            host_insts_per_call=30, host_accesses_per_call=4,
+            atol=1e-3,
+        )
+
+
+register(Spmv())

@@ -1,0 +1,129 @@
+"""Tests for the in-order and CGRA compute backends."""
+
+import pytest
+
+from repro.accel import InOrderBackend, CgraBackend, PartitionProfile
+from repro.energy import EnergyLedger
+from repro.interface import AccessConfig, AccessKind, PartitionConfig
+from repro.params import CgraParams, InOrderParams, default_machine
+
+
+def profile(int_ops=4, float_ops=2, complex_ops=0, addr=1,
+            reads=2, writes=1, indirect=0):
+    return PartitionProfile(
+        compute_ops={"int": int_ops, "float": float_ops,
+                     "complex": complex_ops},
+        addr_ops=addr, buffer_reads=reads, buffer_writes=writes,
+        indirect_accesses=indirect,
+    )
+
+
+class TestProfile:
+    def test_total_insts(self):
+        p = profile()
+        # 4+2 compute + 1 addr + 0 indirect + 1 loop; buffered operands
+        # are register-mapped and cost no issue slot
+        assert p.total_insts == 8
+
+    def test_from_config(self):
+        cfg = PartitionConfig(
+            partition_index=0, anchor_object="A",
+            accesses=[
+                AccessConfig(0, AccessKind.STREAM_READ, obj="A"),
+                AccessConfig(1, AccessKind.STREAM_WRITE, obj="A",
+                             is_write=True),
+                AccessConfig(2, AccessKind.INDIRECT, obj="A"),
+            ],
+            consumes=[0], produces=[1, 2],
+            compute_ops={"float": 3}, addr_ops=2,
+        )
+        p = PartitionProfile.from_config(cfg)
+        assert p.compute_ops == {"float": 3}
+        assert p.addr_ops == 2
+        assert p.buffer_reads == 1 + 1   # stream read + 1 consume
+        assert p.buffer_writes == 1 + 2  # stream write + 2 produces
+        assert p.indirect_accesses == 1
+
+
+class TestInOrder:
+    def test_single_issue_cycles(self):
+        be = InOrderBackend(InOrderParams())
+        t = be.timing(profile())
+        assert t.ii_cycles == 8
+        assert t.freq_ghz == 2.0
+
+    def test_wider_issue_is_faster(self):
+        narrow = InOrderBackend(InOrderParams(issue_width=1))
+        wide = InOrderBackend(InOrderParams(issue_width=4))
+        p = profile()
+        assert wide.timing(p).ii_cycles < narrow.timing(p).ii_cycles
+
+    def test_complex_ops_slow_iteration(self):
+        be = InOrderBackend(InOrderParams())
+        base = be.timing(profile(complex_ops=0)).ii_cycles
+        heavy = be.timing(profile(complex_ops=4)).ii_cycles
+        assert heavy > base + 4  # each complex op costs extra cycles
+
+    def test_energy_charged_per_inst(self):
+        be = InOrderBackend(InOrderParams())
+        energy = EnergyLedger()
+        be.charge_iteration(profile(), energy)
+        t = energy.table
+        assert energy.count("accel", "io_inst_overhead") == 8
+        assert energy.total_pj() > 8 * t.io_inst_overhead
+
+    def test_setup_cycles_from_microcode(self):
+        be = InOrderBackend(InOrderParams())
+        cfg = PartitionConfig(partition_index=0, anchor_object=None,
+                              microcode=b"\x00" * 80)
+        assert be.setup_cycles(cfg) == 10
+
+
+class TestCgra:
+    def make(self, **kw):
+        return CgraBackend(CgraParams(**kw))
+
+    def test_small_dfg_ii_1(self):
+        be = self.make()
+        t = be.timing(profile(int_ops=4, float_ops=2, addr=1,
+                              reads=1, writes=1))
+        assert t.ii_cycles == 1
+        assert t.freq_ghz == 1.0
+
+    def test_resource_limited_ii(self):
+        be = self.make()
+        # 12 float ops on 4 float ALUs -> II >= 3
+        t = be.timing(profile(float_ops=12, reads=1, writes=1))
+        assert t.ii_cycles == 3
+
+    def test_port_limited_ii(self):
+        be = self.make()
+        # dual-ported buffers: 5 reads per iteration -> II = ceil(5/2)
+        t = be.timing(profile(int_ops=1, reads=5, writes=1))
+        assert t.ii_cycles == 3
+
+    def test_cgra_beats_inorder_on_wide_dfg(self):
+        """The compute-specialization effect: spatial > temporal issue."""
+        io = InOrderBackend(InOrderParams())
+        cgra = self.make()
+        p = profile(int_ops=10, float_ops=4, addr=3, reads=2, writes=1)
+        io_time_ps = io.timing(p).ii_ps
+        cgra_time_ps = cgra.timing(p).ii_ps
+        assert cgra_time_ps < io_time_ps  # despite 2 GHz vs 1 GHz
+
+    def test_cgra_energy_cheaper_per_op(self):
+        io = InOrderBackend(InOrderParams())
+        cgra = self.make()
+        p = profile()
+        e_io, e_cgra = EnergyLedger(), EnergyLedger()
+        io.charge_iteration(p, e_io)
+        cgra.charge_iteration(p, e_cgra)
+        assert e_cgra.total_pj() < e_io.total_pj()
+
+    def test_setup_charges_config_words(self):
+        be = self.make()
+        cfg = PartitionConfig(partition_index=0, anchor_object=None,
+                              compute_ops={"int": 7}, addr_ops=2)
+        energy = EnergyLedger()
+        be.charge_setup(cfg, energy)
+        assert energy.count("accel", "cgra_config_word") == 9

@@ -1,0 +1,140 @@
+"""Tests for the CGRA fabric and modulo mapper."""
+
+import pytest
+
+from repro.accel.cgra import CgraFabric, PeType, map_dfg_partition
+from repro.dfg import Dfg, ComputeNode, NodeKind
+from repro.errors import MappingError
+from repro.params import CgraParams
+
+
+def fabric(**kw):
+    return CgraFabric(CgraParams(**kw))
+
+
+def chain_dfg(n, op_class="int") -> Dfg:
+    dfg = Dfg("chain")
+    prev = None
+    for _ in range(n):
+        node = dfg.add_node(ComputeNode(
+            id=dfg.new_id(), kind=NodeKind.COMPUTE, label="+", op="+",
+            op_class=op_class, width_bits=32,
+        ))
+        if prev is not None:
+            dfg.add_edge(prev.id, node.id)
+        prev = node
+    return dfg
+
+
+def wide_dfg(n, op_class="float") -> Dfg:
+    dfg = Dfg("wide")
+    for _ in range(n):
+        dfg.add_node(ComputeNode(
+            id=dfg.new_id(), kind=NodeKind.COMPUTE, label="*", op="*",
+            op_class=op_class, width_bits=32,
+        ))
+    return dfg
+
+
+class TestFabric:
+    def test_default_5x5(self):
+        f = fabric()
+        assert f.size == (5, 5)
+        assert len(f.pes) == 25
+
+    def test_alu_budget_counts(self):
+        f = fabric()
+        assert f.count(PeType.INT) == 15
+        assert f.count(PeType.FLOAT) == 4
+        assert f.count(PeType.COMPLEX) == 4
+
+    def test_specialized_units_spread_out(self):
+        f = fabric()
+        float_pes = f.pes_of(PeType.FLOAT)
+        assert len(float_pes) == 4
+        rows = {pe.row for pe in float_pes}
+        assert len(rows) >= 2  # not all in one row
+
+    def test_distance_manhattan(self):
+        f = fabric()
+        assert f.distance(0, 0) == 0
+        assert f.distance(0, 24) == 8  # corner to corner of 5x5
+
+    def test_overbudget_rejected(self):
+        with pytest.raises(MappingError):
+            fabric(rows=2, cols=2, int_alus=10, float_alus=0, complex_alus=0)
+
+
+class TestMapper:
+    def test_empty_partition(self):
+        m = map_dfg_partition(Dfg("empty"), fabric())
+        assert m.ii == 1 and m.placement == {}
+
+    def test_small_chain_ii_1(self):
+        dfg = chain_dfg(5)
+        m = map_dfg_partition(dfg, fabric())
+        assert m.ii == 1
+        assert len(m.placement) == 5
+        assert m.depth_cycles >= 5
+
+    def test_wide_float_dfg_resource_ii(self):
+        dfg = wide_dfg(12, "float")  # 12 float ops, 4 float ALUs
+        m = map_dfg_partition(dfg, fabric())
+        assert m.ii == 3
+
+    def test_capacity_never_exceeded(self):
+        dfg = wide_dfg(12, "float")
+        m = map_dfg_partition(dfg, fabric())
+        usage = {}
+        for pe, _slot in m.placement.values():
+            usage[pe] = usage.get(pe, 0) + 1
+        assert all(v <= m.ii for v in usage.values())
+
+    def test_ops_on_compatible_pes(self):
+        dfg = Dfg("mix")
+        nodes = []
+        for op_class in ("int", "float", "complex"):
+            nodes.append(dfg.add_node(ComputeNode(
+                id=dfg.new_id(), kind=NodeKind.COMPUTE, label="x", op="*",
+                op_class=op_class, width_bits=32,
+            )))
+        f = fabric()
+        m = map_dfg_partition(dfg, f)
+        for node in nodes:
+            pe_idx, _ = m.placement[node.id]
+            assert f.pes[pe_idx].pe_type is PeType.for_op_class(node.op_class)
+
+    def test_partition_subset_mapped_only(self):
+        dfg = chain_dfg(6)
+        subset = list(dfg.nodes)[:3]
+        m = map_dfg_partition(dfg, fabric(), node_ids=subset)
+        assert set(m.placement) == set(subset)
+
+    def test_missing_unit_type_rejected(self):
+        dfg = wide_dfg(2, "complex")
+        f = fabric(rows=2, cols=2, int_alus=4, float_alus=0, complex_alus=0)
+        with pytest.raises(MappingError, match="complex"):
+            map_dfg_partition(dfg, f)
+
+    def test_producers_placed_nearby(self):
+        """Routing-aware placement keeps chains local."""
+        dfg = chain_dfg(8)
+        f = fabric()
+        m = map_dfg_partition(dfg, f)
+        order = dfg.topo_order()
+        hops = [
+            f.distance(m.placement[a][0], m.placement[b][0])
+            for a, b in zip(order, order[1:])
+        ]
+        assert max(hops) <= 4
+        assert m.routing_hops == sum(hops)
+
+    def test_big_dfg_on_8x8_mono_fabric(self):
+        from repro.params import MachineParams
+        from dataclasses import replace
+
+        dfg = wide_dfg(50, "int")
+        big = fabric(rows=8, cols=8, int_alus=40, float_alus=12,
+                     complex_alus=12)
+        m = map_dfg_partition(dfg, big)
+        assert m.ii <= 2

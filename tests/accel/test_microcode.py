@@ -1,0 +1,92 @@
+"""Tests for the 64-bit microcode encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import MicroInst, Opcode, assemble, disassemble
+from repro.accel.microcode import OP_CLASS, opcode_for
+from repro.errors import InterfaceError
+
+
+class TestEncoding:
+    def test_inst_is_8_bytes(self):
+        assert len(MicroInst(Opcode.FADD, 1, 2, 3, 0).encode()) == 8
+
+    def test_roundtrip_single(self):
+        inst = MicroInst(Opcode.CONSUME, dst=5, imm=42)
+        [back] = disassemble(inst.encode())
+        assert back == inst
+
+    def test_roundtrip_program(self):
+        prog = [
+            MicroInst(Opcode.CONSUME, dst=1, imm=0),
+            MicroInst(Opcode.CONSUME, dst=2, imm=1),
+            MicroInst(Opcode.FADD, dst=3, src1=1, src2=2),
+            MicroInst(Opcode.PRODUCE, src1=3, imm=2),
+            MicroInst(Opcode.STEP, imm=0),
+            MicroInst(Opcode.HALT),
+        ]
+        image = assemble(prog)
+        assert len(image) == 48
+        assert disassemble(image) == prog
+
+    def test_negative_imm(self):
+        inst = MicroInst(Opcode.IADD, dst=1, imm=-1000)
+        assert disassemble(inst.encode())[0].imm == -1000
+
+    def test_register_range_checked(self):
+        with pytest.raises(InterfaceError):
+            MicroInst(Opcode.IADD, dst=256)
+
+    def test_imm_range_checked(self):
+        with pytest.raises(InterfaceError):
+            MicroInst(Opcode.IADD, imm=2**31)
+
+    def test_bad_image_length(self):
+        with pytest.raises(InterfaceError):
+            disassemble(b"\x00" * 7)
+
+    def test_bad_opcode(self):
+        with pytest.raises(InterfaceError, match="bad opcode"):
+            disassemble(b"\xee" + b"\x00" * 7)
+
+    @given(
+        st.lists(
+            st.builds(
+                MicroInst,
+                op=st.sampled_from(list(Opcode)),
+                dst=st.integers(0, 255),
+                src1=st.integers(0, 255),
+                src2=st.integers(0, 255),
+                imm=st.integers(-(2**31), 2**31 - 1),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, prog):
+        """Property: assemble/disassemble is the identity."""
+        assert disassemble(assemble(prog)) == prog
+
+
+class TestOpClasses:
+    def test_every_opcode_classified(self):
+        assert set(OP_CLASS) == set(Opcode)
+
+    def test_div_and_sqrt_are_complex(self):
+        assert OP_CLASS[Opcode.FDIV] == "complex"
+        assert OP_CLASS[Opcode.IDIV] == "complex"
+        assert OP_CLASS[Opcode.FSQRT] == "complex"
+
+    def test_opcode_for_dfg_ops(self):
+        assert opcode_for("+", "float") is Opcode.FADD
+        assert opcode_for("+", "int") is Opcode.IADD
+        assert opcode_for("/", "complex") is Opcode.FDIV
+        assert opcode_for("select", "int") is Opcode.SELECT
+        assert opcode_for("sqrt", "complex") is Opcode.FSQRT
+        assert opcode_for("mov", "int") is Opcode.MOV
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(InterfaceError):
+            opcode_for("??", "int")

@@ -1,0 +1,211 @@
+"""Tests for IR -> DFG lifting."""
+
+import pytest
+
+from repro.dfg import AccessPattern, build_dfg
+from repro.dfg.classify import Classification, classify_kernel_loop
+from repro.errors import DFGError
+from repro.ir import (
+    FLOAT32,
+    INT32,
+    Assign,
+    Kernel,
+    Loop,
+    LoopVar,
+    MemObject,
+    Select,
+    Temp,
+    When,
+)
+
+I = LoopVar("i")
+J = LoopVar("j")
+
+
+def kernel_of(objects, loops, scalars=None):
+    return Kernel("k", {o.name: o for o in objects}, loops,
+                  scalars=scalars or {})
+
+
+def vadd():
+    A, B, C = (MemObject(n, 16, FLOAT32) for n in "ABC")
+    loop = Loop("i", 0, 16, [C.store(I, A[I] + B[I])])
+    return kernel_of([A, B, C], [loop]), loop
+
+
+class TestBasicLifting:
+    def test_vadd_shape(self):
+        k, loop = vadd()
+        dfg = build_dfg(loop, k)
+        assert len(dfg.access_nodes()) == 3  # ld A, ld B, st C
+        assert len(dfg.compute_nodes()) == 1  # the add
+        reads = [a for a in dfg.access_nodes() if not a.is_write]
+        writes = [a for a in dfg.access_nodes() if a.is_write]
+        assert {a.obj for a in reads} == {"A", "B"}
+        assert [a.obj for a in writes] == ["C"]
+
+    def test_stream_patterns_detected(self):
+        k, loop = vadd()
+        dfg = build_dfg(loop, k)
+        for acc in dfg.access_nodes():
+            assert acc.pattern is AccessPattern.STREAM
+            assert acc.stride_elems == 1
+
+    def test_value_flows_to_store(self):
+        k, loop = vadd()
+        dfg = build_dfg(loop, k)
+        store = next(a for a in dfg.access_nodes() if a.is_write)
+        preds = dfg.predecessors(store.id)
+        assert len(preds) == 1
+        assert dfg.nodes[preds[0].src].op == "+"
+
+    def test_requires_innermost(self):
+        A = MemObject("A", (4, 4), FLOAT32)
+        inner = Loop("j", 0, 4, [A.store((I, J), 0.0)])
+        outer = Loop("i", 0, 4, [inner])
+        k = kernel_of([A], [outer])
+        with pytest.raises(DFGError, match="innermost"):
+            build_dfg(outer, k)
+        build_dfg(inner, k)  # fine
+
+    def test_load_cse_shares_access_node(self):
+        A, B = MemObject("A", 8, FLOAT32), MemObject("B", 8, FLOAT32)
+        loop = Loop("i", 0, 8, [B.store(I, A[I] * A[I])])
+        dfg = build_dfg(loop, kernel_of([A, B], [loop]))
+        reads = [a for a in dfg.access_nodes() if not a.is_write]
+        assert len(reads) == 1  # A[i] loaded once
+
+    def test_distinct_offsets_not_merged(self):
+        A, B = MemObject("A", 8, FLOAT32), MemObject("B", 8, FLOAT32)
+        loop = Loop("i", 1, 7, [B.store(I, A[I - 1] + A[I + 1])])
+        dfg = build_dfg(loop, kernel_of([A, B], [loop]))
+        reads = [a for a in dfg.access_nodes() if not a.is_write]
+        assert len(reads) == 2
+        assert sorted(a.base_offset for a in reads) == [-1, 1]
+
+    def test_addr_ops_folded_into_access(self):
+        A, B = MemObject("A", 64, FLOAT32), MemObject("B", 8, FLOAT32)
+        loop = Loop("i", 0, 8, [B.store(I, A[I * 4 + 1])])
+        dfg = build_dfg(loop, kernel_of([A, B], [loop]))
+        read = next(a for a in dfg.access_nodes() if not a.is_write)
+        assert read.addr_ops == 2  # the * and the +
+        # address math creates no compute nodes
+        assert len(dfg.compute_nodes()) == 0
+
+
+class TestIndirection:
+    def test_indirect_access_chains(self):
+        idx = MemObject("idx", 8, INT32)
+        A, B = MemObject("A", 8, FLOAT32), MemObject("B", 8, FLOAT32)
+        loop = Loop("i", 0, 8, [B.store(I, A[idx[I]])])
+        dfg = build_dfg(loop, kernel_of([idx, A, B], [loop]))
+        a_read = next(a for a in dfg.access_nodes() if a.obj == "A")
+        idx_read = next(a for a in dfg.access_nodes() if a.obj == "idx")
+        assert a_read.pattern is AccessPattern.INDIRECT
+        assert idx_read.pattern is AccessPattern.STREAM
+        # idx access feeds A's address port
+        assert any(e.src == idx_read.id for e in dfg.predecessors(a_read.id))
+
+
+class TestPredication:
+    def test_when_becomes_predicate_edge(self):
+        A, B = MemObject("A", 8, INT32), MemObject("B", 8, INT32)
+        loop = Loop("i", 0, 8, [
+            When(A[I].gt(5), [B.store(I, 1)]),
+        ])
+        dfg = build_dfg(loop, kernel_of([A, B], [loop]))
+        store = next(a for a in dfg.access_nodes() if a.is_write)
+        pred_edges = [e for e in dfg.predecessors(store.id) if e.is_predicate]
+        assert len(pred_edges) == 1
+        cond = dfg.nodes[pred_edges[0].src]
+        assert cond.op == ">"
+
+    def test_select_lowered(self):
+        A, B = MemObject("A", 8, INT32), MemObject("B", 8, INT32)
+        loop = Loop("i", 0, 8, [
+            B.store(I, Select(A[I].gt(5), A[I], 0)),
+        ])
+        dfg = build_dfg(loop, kernel_of([A, B], [loop]))
+        assert any(n.op == "select" for n in dfg.compute_nodes())
+
+
+class TestTemps:
+    def test_temp_links_statements(self):
+        A, B = MemObject("A", 8, FLOAT32), MemObject("B", 8, FLOAT32)
+        loop = Loop("i", 0, 8, [
+            Assign("t", A[I] * 2.0),
+            B.store(I, Temp("t") + 1.0),
+        ])
+        dfg = build_dfg(loop, kernel_of([A, B], [loop]))
+        assert len(dfg.compute_nodes()) == 2
+        mul = next(n for n in dfg.compute_nodes() if n.op == "*")
+        add = next(n for n in dfg.compute_nodes() if n.op == "+")
+        assert any(e.src == mul.id for e in dfg.predecessors(add.id))
+
+    def test_float_op_classification(self):
+        A, B = MemObject("A", 8, FLOAT32), MemObject("B", 8, FLOAT32)
+        loop = Loop("i", 0, 8, [B.store(I, A[I] + 1.0)])
+        dfg = build_dfg(loop, kernel_of([A, B], [loop]))
+        assert dfg.compute_nodes()[0].op_class == "float"
+
+    def test_complex_op_classification(self):
+        A, B = MemObject("A", 8, FLOAT32), MemObject("B", 8, FLOAT32)
+        loop = Loop("i", 0, 8, [B.store(I, A[I] / 3.0)])
+        dfg = build_dfg(loop, kernel_of([A, B], [loop]))
+        assert dfg.compute_nodes()[0].op_class == "complex"
+
+    def test_int_op_classification(self):
+        A, B = MemObject("A", 8, INT32), MemObject("B", 8, INT32)
+        loop = Loop("i", 0, 8, [B.store(I, A[I] + 1)])
+        dfg = build_dfg(loop, kernel_of([A, B], [loop]))
+        assert dfg.compute_nodes()[0].op_class == "int"
+
+
+class TestClassification:
+    def test_parallelizable_vadd(self):
+        k, loop = vadd()
+        res = classify_kernel_loop(loop, k)
+        assert res.kind is Classification.PARALLELIZABLE
+        assert res.kind.offloadable
+
+    def test_rmw_same_element_parallelizable(self):
+        A, B = MemObject("A", 8, FLOAT32), MemObject("B", 8, FLOAT32)
+        loop = Loop("i", 0, 8, [A.store(I, A[I] + B[I])])
+        res = classify_kernel_loop(loop, kernel_of([A, B], [loop]))
+        assert res.kind is Classification.PARALLELIZABLE
+
+    def test_loop_carried_stencil_pipelinable(self):
+        A = MemObject("A", 16, FLOAT32)
+        loop = Loop("i", 1, 15, [A.store(I, A[I - 1] * 0.5)])
+        res = classify_kernel_loop(loop, kernel_of([A], [loop]))
+        assert res.kind is Classification.PIPELINABLE
+        assert "loop-carried" in res.reasons[0]
+
+    def test_reduction_pipelinable(self):
+        acc = MemObject("acc", 1, FLOAT32)
+        V = MemObject("V", 16, FLOAT32)
+        loop = Loop("i", 0, 16, [acc.store(0, acc[0] + V[I])])
+        res = classify_kernel_loop(loop, kernel_of([acc, V], [loop]))
+        assert res.kind is Classification.PIPELINABLE
+        assert "reduction" in res.reasons[0]
+
+    def test_indirect_write_pipelinable(self):
+        idx = MemObject("idx", 8, INT32)
+        A = MemObject("A", 8, FLOAT32)
+        loop = Loop("i", 0, 8, [A.store(idx[I], 1.0)])
+        res = classify_kernel_loop(loop, kernel_of([idx, A], [loop]))
+        assert res.kind is Classification.PIPELINABLE
+
+    def test_write_only_object_no_dependence(self):
+        A, B = MemObject("A", 8, FLOAT32), MemObject("B", 8, FLOAT32)
+        loop = Loop("i", 0, 8, [B.store(I, A[I])])
+        res = classify_kernel_loop(loop, kernel_of([A, B], [loop]))
+        assert res.kind is Classification.PARALLELIZABLE
+
+    def test_random_read_write_serial(self):
+        A = MemObject("A", 64, INT32)
+        # store and load both at i*i: unanalyzable pair
+        loop = Loop("i", 0, 8, [A.store(I * I, A[I * I] + 1)])
+        res = classify_kernel_loop(loop, kernel_of([A], [loop]))
+        assert res.kind is Classification.SERIAL
+        assert not res.kind.offloadable

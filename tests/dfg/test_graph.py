@@ -1,0 +1,166 @@
+"""Tests for the DFG container."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfg import AccessNode, ComputeNode, Dfg, NodeKind
+from repro.errors import DFGError
+from repro.ir import FLOAT32
+
+
+def compute(dfg, op="+"):
+    return dfg.add_node(ComputeNode(
+        id=dfg.new_id(), kind=NodeKind.COMPUTE, label=op, op=op,
+        op_class="int", width_bits=32,
+    ))
+
+
+def access(dfg, obj="A", is_write=False, addr_ops=0):
+    return dfg.add_node(AccessNode(
+        id=dfg.new_id(), kind=NodeKind.ACCESS,
+        label=f"{'st' if is_write else 'ld'} {obj}",
+        obj=obj, is_write=is_write, addr_ops=addr_ops, dtype=FLOAT32,
+    ))
+
+
+def diamond() -> Dfg:
+    """ld A -> (+, *) -> st B."""
+    dfg = Dfg("diamond")
+    a = access(dfg, "A")
+    add = compute(dfg, "+")
+    mul = compute(dfg, "*")
+    b = access(dfg, "B", is_write=True)
+    dfg.add_edge(a.id, add.id, 32)
+    dfg.add_edge(a.id, mul.id, 32)
+    dfg.add_edge(add.id, b.id, 32)
+    dfg.add_edge(mul.id, b.id, 32)
+    return dfg
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        dfg = Dfg()
+        n = compute(dfg)
+        with pytest.raises(DFGError):
+            dfg.add_node(n)
+
+    def test_edge_to_unknown_node_rejected(self):
+        dfg = Dfg()
+        n = compute(dfg)
+        with pytest.raises(DFGError):
+            dfg.add_edge(n.id, 999)
+
+    def test_self_edge_rejected(self):
+        dfg = Dfg()
+        n = compute(dfg)
+        with pytest.raises(DFGError):
+            dfg.add_edge(n.id, n.id)
+
+    def test_node_views(self):
+        dfg = diamond()
+        assert len(dfg.access_nodes()) == 2
+        assert len(dfg.compute_nodes()) == 2
+        assert dfg.objects() == ["A", "B"]
+
+
+class TestTopology:
+    def test_topo_order_respects_edges(self):
+        dfg = diamond()
+        order = dfg.topo_order()
+        pos = {nid: k for k, nid in enumerate(order)}
+        for e in dfg.edges:
+            assert pos[e.src] < pos[e.dst]
+
+    def test_cycle_detected(self):
+        dfg = Dfg()
+        a, b = compute(dfg), compute(dfg)
+        dfg.add_edge(a.id, b.id)
+        dfg.add_edge(b.id, a.id)
+        with pytest.raises(DFGError, match="cycle"):
+            dfg.topo_order()
+
+    def test_levels_and_dims(self):
+        dfg = diamond()
+        depth, width = dfg.dims()
+        assert depth == 3  # ld -> op -> st
+        assert width == 2  # the two parallel ops
+
+    def test_empty_dims(self):
+        assert Dfg().dims() == (0, 0)
+
+    def test_num_insts_counts_addr_ops(self):
+        dfg = Dfg()
+        access(dfg, "A", addr_ops=2)
+        compute(dfg)
+        # 1 access + 2 addr ops + 1 compute
+        assert dfg.num_insts() == 4
+
+
+class TestPartitionViews:
+    def test_cut_edges(self):
+        dfg = diamond()
+        nodes = dfg.topo_order()
+        assignment = {nid: (0 if i < 2 else 1) for i, nid in enumerate(nodes)}
+        cut = dfg.cut_edges(assignment)
+        assert len(cut) >= 1
+        assert dfg.cut_cost_bits(assignment) == sum(e.width_bits for e in cut)
+
+    def test_single_partition_no_cut(self):
+        dfg = diamond()
+        assignment = {nid: 0 for nid in dfg.nodes}
+        assert dfg.cut_edges(assignment) == []
+
+    def test_missing_assignment_rejected(self):
+        dfg = diamond()
+        with pytest.raises(DFGError, match="missing"):
+            dfg.cut_edges({})
+
+    def test_partition_objects(self):
+        dfg = diamond()
+        accs = dfg.access_nodes()
+        assignment = {nid: 0 for nid in dfg.nodes}
+        assignment[accs[1].id] = 1
+        objs = dfg.partition_objects(assignment)
+        assert objs[0] == {accs[0].obj}
+        assert objs[1] == {accs[1].obj}
+
+    def test_subgraph(self):
+        dfg = diamond()
+        keep = list(dfg.nodes)[:3]
+        sub = dfg.subgraph(keep)
+        assert set(sub.nodes) == set(keep)
+        for e in sub.edges:
+            assert e.src in sub.nodes and e.dst in sub.nodes
+
+    def test_subgraph_unknown_node(self):
+        with pytest.raises(DFGError):
+            diamond().subgraph([999])
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=25),
+        edge_fraction=st.floats(min_value=0, max_value=1),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_dag_topo_is_valid(self, n, edge_fraction, seed):
+        """Random DAGs (edges only forward) always topo-sort consistently."""
+        import random
+
+        rng = random.Random(seed)
+        dfg = Dfg()
+        nodes = [compute(dfg) for _ in range(n)]
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < edge_fraction * 0.3:
+                    dfg.add_edge(nodes[i].id, nodes[j].id)
+        order = dfg.topo_order()
+        assert len(order) == n
+        pos = {nid: k for k, nid in enumerate(order)}
+        assert all(pos[e.src] < pos[e.dst] for e in dfg.edges)
+        depth, width = dfg.dims()
+        assert 1 <= depth <= n
+        assert 1 <= width <= n
+        assert depth * width >= n

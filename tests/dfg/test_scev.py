@@ -1,0 +1,131 @@
+"""Tests for the SCEV-like recurrence analysis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dfg import AccessPattern, analyze_index
+from repro.dfg.scev import classify_pattern
+from repro.ir import Const, Load, LoopVar, Scalar, Select, Temp, UnaryOp
+
+
+I = LoopVar("i")
+J = LoopVar("j")
+
+
+class TestAffine:
+    def test_plain_induction(self):
+        rec = analyze_index(I, "i")
+        assert rec.stride == 1 and rec.const_offset == 0
+
+    def test_strided(self):
+        rec = analyze_index(I * 8 + 3, "i")
+        assert rec.stride == 8 and rec.const_offset == 3
+
+    def test_reflected_multiply(self):
+        rec = analyze_index(8 * I, "i")
+        assert rec.stride == 8
+
+    def test_negative_stride(self):
+        rec = analyze_index(Const(100) - I * 2, "i")
+        assert rec.stride == -2 and rec.const_offset == 100
+
+    def test_unary_negation(self):
+        rec = analyze_index(-I, "i")
+        assert rec.stride == -1
+
+    def test_invariant_wrt_var(self):
+        rec = analyze_index(J * 4 + 1, "i")
+        assert rec.stride == 0
+        assert rec.outer_dependent
+        assert rec.pattern is AccessPattern.INVARIANT
+
+    def test_outer_plus_inner(self):
+        # row-major 2-D index: i*N + j analyzed w.r.t. j
+        rec = analyze_index(I * 64 + J, "j")
+        assert rec.stride == 1
+        assert rec.outer_dependent
+        assert rec.const_offset is None
+
+    def test_scalar_offset_unknown_but_affine(self):
+        rec = analyze_index(I + Scalar("base"), "i")
+        assert rec.stride == 1
+        assert rec.const_offset is None
+        assert not rec.outer_dependent
+
+    def test_temp_treated_as_invariant(self):
+        rec = analyze_index(I * 2 + Temp("t"), "i")
+        assert rec.stride == 2
+
+
+class TestNonAffine:
+    def test_indirect_returns_none(self):
+        assert analyze_index(Load("A", I), "i") is None
+
+    def test_var_times_var_not_affine(self):
+        assert analyze_index(I * I, "i") is None
+
+    def test_div_of_var_not_affine(self):
+        assert analyze_index(I / 2, "i") is None
+
+    def test_mod_of_var_not_affine(self):
+        assert analyze_index(I % 7, "i") is None
+
+    def test_shift_of_var_not_affine(self):
+        assert analyze_index(I >> 1, "i") is None
+
+    def test_select_not_affine(self):
+        assert analyze_index(Select(I.lt(3), I, 0), "i") is None
+
+    def test_invariant_div_ok(self):
+        rec = analyze_index(J / 2 + I, "i")
+        assert rec is not None and rec.stride == 1
+
+    def test_min_of_invariants_ok(self):
+        rec = analyze_index(J.min(5), "i")
+        assert rec is not None and rec.stride == 0
+
+
+class TestClassifyPattern:
+    def test_stream(self):
+        assert classify_pattern(I * 4, "i") is AccessPattern.STREAM
+
+    def test_invariant(self):
+        assert classify_pattern(J, "i") is AccessPattern.INVARIANT
+
+    def test_indirect(self):
+        assert classify_pattern(Load("idx", I), "i") is AccessPattern.INDIRECT
+
+    def test_indirect_with_offset(self):
+        assert (classify_pattern(Load("idx", I) + 4, "i")
+                is AccessPattern.INDIRECT)
+
+    def test_random(self):
+        assert classify_pattern(I * I, "i") is AccessPattern.RANDOM
+
+
+class TestProperties:
+    @given(
+        stride=st.integers(min_value=-64, max_value=64),
+        offset=st.integers(min_value=-1000, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_linear_forms_recovered_exactly(self, stride, offset):
+        """Property: stride*i + offset decomposes to (stride, offset)."""
+        expr = I * stride + offset
+        rec = analyze_index(expr, "i")
+        assert rec is not None
+        assert rec.stride == stride
+        assert rec.const_offset == offset
+
+    @given(
+        a=st.integers(min_value=-10, max_value=10),
+        b=st.integers(min_value=-10, max_value=10),
+        c=st.integers(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sum_of_affine_is_affine(self, a, b, c):
+        expr = (I * a) + (I * b) + c
+        rec = analyze_index(expr, "i")
+        assert rec is not None
+        assert rec.stride == a + b
+        assert rec.const_offset == c

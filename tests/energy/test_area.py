@@ -1,0 +1,45 @@
+"""Tests that the area model reproduces the paper's Section VI-E numbers."""
+
+import pytest
+
+from repro.energy import default_area_model
+from repro.params import default_machine, mono_da_cgra_machine
+
+
+class TestSectionVIE:
+    """Paper: IO = 1.9 %/cluster (0.3 % chip); CGRA = 2.9 %/cluster (0.48 %)."""
+
+    def setup_method(self):
+        self.model = default_area_model()
+
+    def test_io_per_cluster_overhead(self):
+        rep = self.model.io_report()
+        assert rep["per_cluster_pct"] == pytest.approx(1.9, rel=0.15)
+
+    def test_io_chip_overhead(self):
+        rep = self.model.io_report()
+        assert rep["chip_pct"] == pytest.approx(0.3, rel=0.4)
+
+    def test_cgra_per_cluster_overhead(self):
+        rep = self.model.cgra_report()
+        assert rep["per_cluster_pct"] == pytest.approx(2.9, rel=0.15)
+
+    def test_cgra_chip_overhead(self):
+        rep = self.model.cgra_report()
+        assert rep["chip_pct"] == pytest.approx(0.48, rel=0.4)
+
+
+class TestAreaScaling:
+    def test_bigger_cgra_bigger_area(self):
+        small = default_area_model(default_machine())
+        big = default_area_model(mono_da_cgra_machine())
+        assert big.cgra_area() > 2 * small.cgra_area()
+
+    def test_chip_area_dominated_by_core_and_uncore(self):
+        m = default_area_model()
+        clusters = m.machine.l3_clusters * m.table.l3_cluster
+        assert m.chip_area() > clusters  # chip is more than its LLC
+
+    def test_access_unit_is_small(self):
+        m = default_area_model()
+        assert m.access_unit_area() < 0.05 * m.table.l3_cluster

@@ -1,0 +1,49 @@
+"""Tests for the 32 nm energy table: relative magnitudes drive the paper."""
+
+import dataclasses
+
+from repro.energy import default_energy_table
+
+
+class TestRelativeMagnitudes:
+    """The paper's conclusions hinge on these orderings, not exact values."""
+
+    def setup_method(self):
+        self.t = default_energy_table()
+
+    def test_ooo_overhead_dwarfs_alu(self):
+        assert self.t.ooo_inst_overhead > 20 * self.t.int_op
+
+    def test_io_core_much_cheaper_than_ooo(self):
+        assert self.t.io_inst_overhead < self.t.ooo_inst_overhead / 5
+
+    def test_cgra_op_cheaper_than_io_inst(self):
+        assert self.t.cgra_op < self.t.io_inst_overhead
+
+    def test_sram_energy_grows_with_size(self):
+        assert (
+            self.t.buffer_access
+            < self.t.private_cache_access
+            < self.t.l1_access
+            < self.t.l2_access
+            < self.t.l3_access
+            < self.t.dram_line_access
+        )
+
+    def test_buffer_access_order_of_magnitude_below_l3(self):
+        """Near-data buffering must pay off: local buffer << L3 access."""
+        assert self.t.l3_access / self.t.buffer_access > 10
+
+    def test_dram_dominates_onchip(self):
+        assert self.t.dram_line_access > 10 * self.t.l3_access
+
+    def test_fp_costlier_than_int_and_complex_costlier_still(self):
+        assert self.t.int_op < self.t.float_op < self.t.complex_op
+
+    def test_table_is_immutable(self):
+        t = default_energy_table()
+        try:
+            t.l1_access = 0.0  # type: ignore[misc]
+        except dataclasses.FrozenInstanceError:
+            return
+        raise AssertionError("EnergyTable should be frozen")

@@ -1,0 +1,83 @@
+"""Tests for the cp_* intrinsic definitions and coverage recording."""
+
+import pytest
+
+from repro.interface import (
+    CTRL_INTRINSICS,
+    DATAFLOW_INTRINSICS,
+    HOST_INTRINSICS,
+    RANDOM_INTRINSICS,
+    CoverageRecorder,
+    Intrinsic,
+    IntrinsicCall,
+    mmio_bytes,
+)
+
+
+class TestTableII:
+    """Table II defines exactly these fifteen mechanisms."""
+
+    def test_all_fifteen_present(self):
+        assert len(Intrinsic) == 15
+
+    def test_class_partition_is_complete_and_disjoint(self):
+        classes = (HOST_INTRINSICS, DATAFLOW_INTRINSICS,
+                   RANDOM_INTRINSICS, CTRL_INTRINSICS)
+        union = set()
+        for cls in classes:
+            assert not (union & cls)
+            union |= cls
+        assert union == set(Intrinsic)
+
+    def test_operand_signatures(self):
+        assert Intrinsic.CP_CONFIG_STREAM.operands == (
+            "access_id", "start", "stride", "length"
+        )
+        assert Intrinsic.CP_PRODUCE.operands == ("access_id", "data")
+        assert Intrinsic.CP_CONSUME.operands == ("access_id",)
+        assert Intrinsic.CP_WRITE.operands == ("obj_id", "obj_offset", "data")
+        assert Intrinsic.CP_RUN.operands == ("offload_id",)
+
+    def test_mmio_bytes_per_intrinsic(self):
+        # one command word + one word per operand
+        assert Intrinsic.CP_RUN.mmio_bytes == 16
+        assert Intrinsic.CP_CONFIG_STREAM.mmio_bytes == 40
+
+    def test_mmio_bytes_of_sequence(self):
+        calls = [
+            IntrinsicCall(Intrinsic.CP_RUN, (0,)),
+            IntrinsicCall(Intrinsic.CP_SET_RF, (1, 2.0)),
+        ]
+        assert mmio_bytes(calls) == 16 + 24
+
+
+class TestCoverage:
+    def test_records_compiler_use(self):
+        cov = CoverageRecorder()
+        cov.record(Intrinsic.CP_PRODUCE)
+        assert cov.row()["cp_produce"] == "C"
+        assert cov.row()["cp_consume"] == ""
+
+    def test_user_annotation_wins(self):
+        cov = CoverageRecorder()
+        cov.record(Intrinsic.CP_PRODUCE, CoverageRecorder.COMPILER)
+        cov.record(Intrinsic.CP_PRODUCE, CoverageRecorder.USER)
+        assert cov.row()["cp_produce"] == "U"
+        cov.record(Intrinsic.CP_PRODUCE, CoverageRecorder.COMPILER)
+        assert cov.row()["cp_produce"] == "U"
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageRecorder().record(Intrinsic.CP_RUN, "X")
+
+    def test_merge(self):
+        a, b = CoverageRecorder(), CoverageRecorder()
+        a.record(Intrinsic.CP_RUN)
+        b.record(Intrinsic.CP_STEP, CoverageRecorder.USER)
+        a.merge(b)
+        assert a.used() == {Intrinsic.CP_RUN, Intrinsic.CP_STEP}
+
+    def test_row_covers_all_mechanisms(self):
+        row = CoverageRecorder().row()
+        assert len(row) == 15
+        assert "cp_fill_ra" in row

@@ -1,0 +1,158 @@
+"""Tests for the hardware scheduler's buffer-allocation table."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, InterfaceError
+from repro.interface import AccessConfig, AccessKind, HardwareScheduler
+from repro.params import AccessUnitParams
+
+
+def sched(**kw):
+    return HardwareScheduler(num_clusters=8, params=AccessUnitParams(**kw))
+
+
+def stream(access_id, obj="A", offset=0, stride=1, elem_bytes=4):
+    return AccessConfig(access_id=access_id, kind=AccessKind.STREAM_READ,
+                        obj=obj, start_offset=offset, stride_elems=stride,
+                        elem_bytes=elem_bytes)
+
+
+class TestAllocation:
+    def test_allocate_and_lookup(self):
+        s = sched()
+        buf = s.allocate(ctx=0, cluster=2, access=stream(0))
+        entry = s.lookup(0, 0)
+        assert entry.buf_id == buf
+        assert entry.cluster == 2
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(InterfaceError):
+            sched().lookup(0, 99)
+
+    def test_double_allocation_rejected(self):
+        s = sched()
+        s.allocate(0, 0, stream(0))
+        with pytest.raises(AllocationError):
+            s.allocate(0, 0, stream(0))
+
+    def test_bad_cluster_rejected(self):
+        with pytest.raises(InterfaceError):
+            sched().allocate(0, 99, stream(0))
+
+    def test_contexts_isolated(self):
+        s = sched()
+        s.allocate(0, 0, stream(0))
+        s.allocate(1, 0, stream(0, obj="B", offset=10_000))
+        assert s.lookup(0, 0).obj == "A"
+        assert s.lookup(1, 0).obj == "B"
+
+    def test_sram_exhaustion(self):
+        s = sched(buffer_bytes=256)
+        s.allocate(0, 0, stream(0), capacity_elems=64)  # 256 B: SRAM full
+        with pytest.raises(AllocationError, match="exhausted"):
+            s.allocate(0, 0, stream(1, obj="Z", offset=0))
+
+    def test_buffer_id_exhaustion(self):
+        s = sched(max_buffers=2)
+        s.allocate(0, 0, stream(0, obj="A"))
+        s.allocate(0, 0, stream(1, obj="B"))
+        with pytest.raises(AllocationError, match="buffer ids"):
+            s.allocate(0, 0, stream(2, obj="C"))
+
+
+class TestCombining:
+    """Figure 2d: constant-distance overlapping accesses share a buffer."""
+
+    def test_nearby_stream_accesses_combine(self):
+        s = sched()
+        b0 = s.allocate(0, 0, stream(0, offset=0))
+        b1 = s.allocate(0, 0, stream(1, offset=2))  # A[i] and A[i+2]
+        assert b0 == b1
+        assert s.combines == 1
+        entry = s.lookup(0, 1)
+        assert sorted(entry.access_ids) == [0, 1]
+
+    def test_distant_accesses_do_not_combine(self):
+        s = sched()
+        b0 = s.allocate(0, 0, stream(0, offset=0))
+        b1 = s.allocate(0, 0, stream(1, offset=100_000))
+        assert b0 != b1
+
+    def test_different_objects_never_combine(self):
+        s = sched()
+        b0 = s.allocate(0, 0, stream(0, obj="A"))
+        b1 = s.allocate(0, 0, stream(1, obj="B"))
+        assert b0 != b1
+
+    def test_different_strides_never_combine(self):
+        s = sched()
+        b0 = s.allocate(0, 0, stream(0, stride=1))
+        b1 = s.allocate(0, 0, stream(1, stride=4, offset=1))
+        assert b0 != b1
+
+    def test_random_access_never_combines(self):
+        s = sched()
+        s.allocate(0, 0, stream(0))
+        rand = AccessConfig(access_id=1, kind=AccessKind.RANDOM, obj="A")
+        b1 = s.allocate(0, 0, rand)
+        assert s.lookup(0, 1).buf_id == b1
+        assert s.combines == 0
+
+    def test_three_way_stencil_combines(self):
+        """A[i-1], A[i], A[i+1] (seidel-style) share one buffer."""
+        s = sched()
+        bufs = {
+            s.allocate(0, 3, stream(k, offset=off))
+            for k, off in enumerate((-1, 0, 1))
+        }
+        assert len(bufs) == 1
+
+
+class TestFree:
+    def test_free_context_releases(self):
+        s = sched()
+        s.allocate(0, 0, stream(0))
+        s.allocate(0, 1, stream(1, obj="B"))
+        assert s.buffers_allocated() == 2
+        freed = s.free_context(0)
+        assert freed == 2
+        assert s.buffers_allocated() == 0
+        with pytest.raises(InterfaceError):
+            s.lookup(0, 0)
+
+    def test_free_context_leaves_others(self):
+        s = sched()
+        s.allocate(0, 0, stream(0))
+        s.allocate(1, 0, stream(0, obj="B", offset=10_000))
+        s.free_context(0)
+        assert s.lookup(1, 0).obj == "B"
+
+    def test_buffers_in_cluster(self):
+        s = sched()
+        s.allocate(0, 5, stream(0))
+        assert len(s.buffers_in(5)) == 1
+        assert s.buffers_in(4) == []
+
+
+class TestProperties:
+    @given(
+        offsets=st.lists(
+            st.integers(min_value=0, max_value=10_000),
+            min_size=1, max_size=10, unique=True,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cluster_sram_never_oversubscribed(self, offsets):
+        s = sched()
+        limit = AccessUnitParams().buffer_bytes
+        for k, off in enumerate(offsets):
+            try:
+                s.allocate(0, 0, stream(k, offset=off))
+            except AllocationError:
+                pass
+        used = sum(
+            b.capacity_elems * b.elem_bytes for b in s.buffers_in(0)
+        )
+        assert used <= limit

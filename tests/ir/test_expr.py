@@ -1,0 +1,132 @@
+"""Tests for IR expression construction and traversal."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    FLOAT32,
+    BinOp,
+    Const,
+    Load,
+    LoopVar,
+    MemObject,
+    Scalar,
+    Select,
+    Temp,
+    UnaryOp,
+)
+
+
+class TestConstruction:
+    def test_operator_sugar(self):
+        i = LoopVar("i")
+        e = i * 2 + 1
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.lhs, BinOp) and e.lhs.op == "*"
+
+    def test_reflected_operators(self):
+        i = LoopVar("i")
+        e = 3 - i
+        assert isinstance(e, BinOp) and e.op == "-"
+        assert isinstance(e.lhs, Const) and e.lhs.value == 3
+
+    def test_comparison_builders(self):
+        i = LoopVar("i")
+        assert i.lt(10).op == "<"
+        assert i.ge(0).op == ">="
+        assert i.eq(5).op == "=="
+
+    def test_min_max(self):
+        a, b = LoopVar("a"), LoopVar("b")
+        assert a.min(b).op == "min"
+        assert a.max(0).op == "max"
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(IRError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_unknown_unop_rejected(self):
+        with pytest.raises(IRError):
+            UnaryOp("sin", Const(1))
+
+    def test_const_requires_number(self):
+        with pytest.raises(IRError):
+            Const("x")  # type: ignore[arg-type]
+
+    def test_bool_converts_to_int_const(self):
+        e = LoopVar("i") + True
+        assert isinstance(e.rhs, Const) and e.rhs.value == 1
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        i = LoopVar("i")
+        e = i + 1
+        nodes = list(e.walk())
+        assert nodes[0] is e
+        assert len(nodes) == 3
+
+    def test_loads_found_recursively(self):
+        e = Load("A", LoopVar("i")) + Load("B", Load("C", LoopVar("i")))
+        loads = list(e.loads())
+        assert {l.obj for l in loads} == {"A", "B", "C"}
+
+    def test_loop_vars(self):
+        e = LoopVar("i") * 4 + LoopVar("j")
+        assert e.loop_vars() == {"i", "j"}
+
+    def test_op_count(self):
+        i = LoopVar("i")
+        e = Select(i.lt(3), i + 1, i * 2)
+        # select + lt + add + mul
+        assert e.op_count() == 4
+
+
+class TestIndirection:
+    def test_direct_load_not_indirect(self):
+        assert not Load("A", LoopVar("i")).is_indirect
+
+    def test_indirect_load_detected(self):
+        inner = Load("idx", LoopVar("i"))
+        assert Load("A", inner).is_indirect
+
+    def test_affine_index_not_indirect(self):
+        assert not Load("A", LoopVar("i") * 8 + 3).is_indirect
+
+
+class TestMemObjectSugar:
+    def test_2d_flattening(self):
+        A = MemObject("A", (4, 8), FLOAT32)
+        i, j = LoopVar("i"), LoopVar("j")
+        load = A[i, j]
+        assert isinstance(load, Load)
+        # flat index = i*8 + j
+        assert repr(load.index) == "((i * 8) + j)"
+
+    def test_1d_scalar_index(self):
+        A = MemObject("A", 16, FLOAT32)
+        load = A[LoopVar("i")]
+        assert load.obj == "A"
+
+    def test_wrong_arity_rejected(self):
+        A = MemObject("A", (4, 8), FLOAT32)
+        with pytest.raises(IRError):
+            A[LoopVar("i")]
+
+    def test_store_sugar(self):
+        A = MemObject("A", (4, 8), FLOAT32)
+        st = A.store((LoopVar("i"), 0), Const(1.0))
+        assert st.obj == "A"
+
+    def test_size_bytes(self):
+        A = MemObject("A", (4, 8), FLOAT32)
+        assert A.num_elements == 32
+        assert A.size_bytes == 128
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(IRError):
+            MemObject("A", (0, 4), FLOAT32)
+
+    def test_repr_helpers(self):
+        assert "%t" in repr(Temp("t"))
+        assert "$n" in repr(Scalar("n"))

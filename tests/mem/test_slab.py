@@ -1,0 +1,136 @@
+"""Unit and property tests for the slab allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.mem import SlabAllocator
+from repro.params import PAGE_BYTES
+
+
+class TestAllocate:
+    def test_basic_allocation(self):
+        slab = SlabAllocator()
+        a = slab.allocate("A", 100)
+        assert a.size == PAGE_BYTES  # rounded up
+        assert a.base % PAGE_BYTES == 0
+        assert a.name == "A"
+
+    def test_distinct_ids_and_no_overlap(self):
+        slab = SlabAllocator()
+        a = slab.allocate("A", 5000)
+        b = slab.allocate("B", 5000)
+        assert a.obj_id != b.obj_id
+        assert a.end <= b.base or b.end <= a.base
+
+    def test_duplicate_name_rejected(self):
+        slab = SlabAllocator()
+        slab.allocate("A", 10)
+        with pytest.raises(AllocationError):
+            slab.allocate("A", 10)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AllocationError):
+            SlabAllocator().allocate("A", 0)
+
+    def test_arena_exhaustion(self):
+        slab = SlabAllocator(arena_size=2 * PAGE_BYTES)
+        slab.allocate("A", PAGE_BYTES)
+        slab.allocate("B", PAGE_BYTES)
+        with pytest.raises(AllocationError):
+            slab.allocate("C", 1)
+
+
+class TestFreeReuse:
+    def test_free_then_reuse_same_slab(self):
+        slab = SlabAllocator()
+        a = slab.allocate("A", PAGE_BYTES)
+        slab.free(a.obj_id)
+        b = slab.allocate("B", PAGE_BYTES)
+        assert b.base == a.base  # slab recycled
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(AllocationError):
+            SlabAllocator().free(99)
+
+    def test_double_free_rejected(self):
+        slab = SlabAllocator()
+        a = slab.allocate("A", 10)
+        slab.free(a.obj_id)
+        with pytest.raises(AllocationError):
+            slab.free(a.obj_id)
+
+    def test_lookup_after_free_fails(self):
+        slab = SlabAllocator()
+        a = slab.allocate("A", 10)
+        slab.free(a.obj_id)
+        with pytest.raises(AllocationError):
+            slab.get(a.obj_id)
+        with pytest.raises(AllocationError):
+            slab.by_name("A")
+
+
+class TestTranslate:
+    def test_translate(self):
+        slab = SlabAllocator()
+        a = slab.allocate("A", 100)
+        assert slab.translate(a.obj_id, 0) == a.base
+        assert slab.translate(a.obj_id, 99) == a.base + 99
+
+    def test_translate_out_of_bounds(self):
+        slab = SlabAllocator()
+        a = slab.allocate("A", 100)
+        with pytest.raises(AllocationError):
+            slab.translate(a.obj_id, a.size)
+        with pytest.raises(AllocationError):
+            slab.translate(a.obj_id, -1)
+
+    def test_find_reverse_lookup(self):
+        slab = SlabAllocator()
+        a = slab.allocate("A", 100)
+        assert slab.find(a.base + 50).obj_id == a.obj_id
+        assert slab.find(a.base - 1) is None
+
+
+class TestProperties:
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=100_000),
+            min_size=1, max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_no_live_allocations_overlap(self, sizes):
+        slab = SlabAllocator()
+        for i, size in enumerate(sizes):
+            slab.allocate(f"obj{i}", size)
+        allocs = sorted(slab.live_allocations(), key=lambda a: a.base)
+        for first, second in zip(allocs, allocs[1:]):
+            assert first.end <= second.base
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=1, max_value=9000)),
+            min_size=1, max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_alloc_free_interleave_invariants(self, ops):
+        """Random alloc/free interleaving keeps extents disjoint and
+        translations inside their extents."""
+        slab = SlabAllocator()
+        live = []
+        counter = 0
+        for do_alloc, size in ops:
+            if do_alloc or not live:
+                counter += 1
+                live.append(slab.allocate(f"o{counter}", size))
+            else:
+                victim = live.pop()
+                slab.free(victim.obj_id)
+        allocs = sorted(slab.live_allocations(), key=lambda a: a.base)
+        for first, second in zip(allocs, allocs[1:]):
+            assert first.end <= second.base
+        for alloc in allocs:
+            assert slab.translate(alloc.obj_id, alloc.size - 1) < alloc.end

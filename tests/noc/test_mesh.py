@@ -1,0 +1,122 @@
+"""Unit and property tests for the mesh NoC."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.noc import Mesh
+from repro.params import NocParams
+
+
+def make_mesh(cols=4, rows=2) -> Mesh:
+    return Mesh(NocParams(mesh_cols=cols, mesh_rows=rows))
+
+
+class TestGeometry:
+    def test_default_has_8_nodes(self):
+        assert make_mesh().num_nodes == 8
+
+    def test_coord_roundtrip(self):
+        mesh = make_mesh()
+        for node in range(mesh.num_nodes):
+            c = mesh.coord(node)
+            assert mesh.node_at(c.row, c.col) == node
+
+    def test_bad_node_rejected(self):
+        mesh = make_mesh()
+        with pytest.raises(ConfigError):
+            mesh.coord(8)
+        with pytest.raises(ConfigError):
+            mesh.coord(-1)
+
+    def test_bad_coord_rejected(self):
+        with pytest.raises(ConfigError):
+            make_mesh().node_at(2, 0)
+
+
+class TestRouting:
+    def test_self_route(self):
+        mesh = make_mesh()
+        assert mesh.hops(3, 3) == 0
+        assert mesh.route(3, 3) == [3]
+
+    def test_corner_to_corner(self):
+        mesh = make_mesh()  # 4 cols x 2 rows
+        assert mesh.hops(0, 7) == 3 + 1
+
+    def test_route_is_xy(self):
+        mesh = make_mesh()
+        # node 0 = (0,0), node 6 = (1,2): X first then Y
+        assert mesh.route(0, 6) == [0, 1, 2, 6]
+
+    def test_route_length_matches_hops(self):
+        mesh = make_mesh()
+        for s, d in mesh.all_pairs():
+            assert len(mesh.route(s, d)) == mesh.hops(s, d) + 1
+
+    @given(
+        cols=st.integers(min_value=1, max_value=6),
+        rows=st.integers(min_value=1, max_value=6),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hop_symmetry(self, cols, rows, data):
+        """Property: Manhattan distance is symmetric."""
+        mesh = make_mesh(cols, rows)
+        s = data.draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+        d = data.draw(st.integers(min_value=0, max_value=mesh.num_nodes - 1))
+        assert mesh.hops(s, d) == mesh.hops(d, s)
+
+    @given(
+        cols=st.integers(min_value=2, max_value=6),
+        rows=st.integers(min_value=2, max_value=6),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, cols, rows, data):
+        mesh = make_mesh(cols, rows)
+        pick = lambda: data.draw(
+            st.integers(min_value=0, max_value=mesh.num_nodes - 1)
+        )
+        a, b, c = pick(), pick(), pick()
+        assert mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c)
+
+    def test_route_steps_are_adjacent(self):
+        """XY routes only traverse mesh links (deadlock-freedom basis)."""
+        mesh = make_mesh()
+        for s, d in mesh.all_pairs():
+            path = mesh.route(s, d)
+            for u, v in zip(path, path[1:]):
+                cu, cv = mesh.coord(u), mesh.coord(v)
+                assert abs(cu.row - cv.row) + abs(cu.col - cv.col) == 1
+
+
+class TestTiming:
+    def test_flit_count(self):
+        mesh = make_mesh()
+        assert mesh.num_flits(0) == 1
+        assert mesh.num_flits(1) == 1
+        assert mesh.num_flits(16) == 1
+        assert mesh.num_flits(17) == 2
+        assert mesh.num_flits(64) == 4
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            make_mesh().num_flits(-1)
+
+    def test_latency_zero_for_local_single_flit(self):
+        mesh = make_mesh()
+        assert mesh.latency_ps(2, 2, 8) == 0
+
+    def test_latency_grows_with_distance(self):
+        mesh = make_mesh()
+        lat1 = mesh.latency_ps(0, 1, 8)
+        lat3 = mesh.latency_ps(0, 3, 8)
+        assert lat3 > lat1 > 0
+
+    def test_serialization_latency(self):
+        mesh = make_mesh()
+        small = mesh.latency_ps(0, 1, 8)
+        large = mesh.latency_ps(0, 1, 64)
+        assert large > small

@@ -1,0 +1,113 @@
+"""Tests for the paper's DFG partitioning strategy."""
+
+import pytest
+
+from repro.dfg import build_dfg
+from repro.errors import PartitionError
+from repro.partition import partition_dfg
+from repro.ir import FLOAT32, INT32, Kernel, Loop, LoopVar, MemObject
+
+I = LoopVar("i")
+
+
+def kernel_of(objects, loops):
+    return Kernel("k", {o.name: o for o in objects}, loops)
+
+
+def build(loop, objects):
+    return build_dfg(loop, kernel_of(objects, [loop]))
+
+
+class TestObjectConstraint:
+    def test_vadd_three_partitions(self):
+        """C[i] = A[i] + B[i] -> one partition per object (paper Fig 1e)."""
+        A, B, C = (MemObject(n, 16, FLOAT32) for n in "ABC")
+        loop = Loop("i", 0, 16, [C.store(I, A[I] + B[I])])
+        part = partition_dfg(build(loop, [A, B, C]))
+        assert part.max_objects_per_partition == 1
+        assert part.num_partitions == 3
+        # each object anchors a distinct partition
+        anchors = {part.anchor_object(p) for p in range(part.num_partitions)}
+        assert anchors == {"A", "B", "C"}
+
+    def test_accessors_of_one_object_stay_together(self):
+        A, B = MemObject("A", 16, FLOAT32), MemObject("B", 16, FLOAT32)
+        loop = Loop("i", 1, 15, [B.store(I, A[I - 1] + A[I] + A[I + 1])])
+        dfg = build(loop, [A, B])
+        part = partition_dfg(dfg)
+        a_parts = {
+            part.assignment[n.id]
+            for n in dfg.access_nodes() if n.obj == "A"
+        }
+        assert len(a_parts) == 1
+
+    def test_single_object_single_partition(self):
+        A = MemObject("A", 16, FLOAT32)
+        loop = Loop("i", 0, 16, [A.store(I, A[I] * 2.0)])
+        part = partition_dfg(build(loop, [A]))
+        assert part.num_partitions == 1
+        assert part.cut_cost_bits == 0
+
+    def test_partitions_nonempty_and_renumbered(self):
+        A, B = MemObject("A", 16, FLOAT32), MemObject("B", 16, FLOAT32)
+        loop = Loop("i", 0, 16, [B.store(I, A[I])])
+        part = partition_dfg(build(loop, [A, B]))
+        seen = set(part.assignment.values())
+        assert seen == set(range(part.num_partitions))
+        for p in range(part.num_partitions):
+            assert part.nodes_of(p)
+
+
+class TestCutQuality:
+    def test_compute_follows_its_operands(self):
+        """f(A) feeding C should not sit in B's partition (paper Fig 1d)."""
+        A, B, C = (MemObject(n, 16, FLOAT32) for n in "ABC")
+        # C[i] = (A[i]*2 + A[i]*3) + B[i]  -- A-heavy subtree
+        expr = (A[I] * 2.0 + A[I] * 3.0) + B[I]
+        loop = Loop("i", 0, 16, [C.store(I, expr)])
+        dfg = build(loop, [A, B, C])
+        part = partition_dfg(dfg)
+        a_read = next(n for n in dfg.access_nodes() if n.obj == "A")
+        a_part = part.assignment[a_read.id]
+        # the two multiplies consume only A; they belong with A
+        muls = [n for n in dfg.compute_nodes() if n.op == "*"]
+        assert all(part.assignment[m.id] == a_part for m in muls)
+
+    def test_cross_edges_exposed(self):
+        A, B = MemObject("A", 16, FLOAT32), MemObject("B", 16, FLOAT32)
+        loop = Loop("i", 0, 16, [B.store(I, A[I] + 1.0)])
+        part = partition_dfg(build(loop, [A, B]))
+        assert part.num_partitions == 2
+        assert len(part.cross_edges()) >= 1
+        assert part.cut_cost_bits > 0
+
+    def test_max_partitions_cap(self):
+        A, B, C = (MemObject(n, 16, FLOAT32) for n in "ABC")
+        loop = Loop("i", 0, 16, [C.store(I, A[I] + B[I])])
+        part = partition_dfg(build(loop, [A, B, C]), max_partitions=2)
+        assert part.num_partitions <= 2
+        assert part.max_objects_per_partition == 2
+
+    def test_indirect_chain_partitions(self):
+        """B[A[i]]-style: index object and data object separate cleanly."""
+        idx = MemObject("idx", 16, INT32)
+        D, E = MemObject("D", 16, FLOAT32), MemObject("E", 16, FLOAT32)
+        loop = Loop("i", 0, 16, [E.store(I, D[idx[I]])])
+        part = partition_dfg(build(loop, [idx, D, E]))
+        assert part.max_objects_per_partition == 1
+        assert part.num_partitions == 3
+
+
+class TestErrors:
+    def test_empty_dfg_rejected(self):
+        from repro.dfg import Dfg
+
+        with pytest.raises(PartitionError):
+            partition_dfg(Dfg())
+
+    def test_anchor_object_multi_raises(self):
+        A, B, C = (MemObject(n, 16, FLOAT32) for n in "ABC")
+        loop = Loop("i", 0, 16, [C.store(I, A[I] + B[I])])
+        part = partition_dfg(build(loop, [A, B, C]), max_partitions=1)
+        with pytest.raises(PartitionError):
+            part.anchor_object(0)

@@ -1,0 +1,136 @@
+"""Tests for the multilevel partitioner."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.partition import PartitionProblem, partition_graph
+
+
+def two_cliques(n_per=5, bridge_weight=1) -> PartitionProblem:
+    """Two heavy cliques joined by one light edge: the obvious 2-cut."""
+    edges = []
+    for base in (0, n_per):
+        for i in range(n_per):
+            for j in range(i + 1, n_per):
+                edges.append((base + i, base + j, 100))
+    edges.append((0, n_per, bridge_weight))
+    return PartitionProblem(num_nodes=2 * n_per, edges=edges)
+
+
+class TestProblem:
+    def test_parallel_edges_merge(self):
+        p = PartitionProblem(3, [(0, 1, 2), (1, 0, 3)])
+        assert p.edges == [(0, 1, 5)]
+
+    def test_self_loops_dropped(self):
+        p = PartitionProblem(2, [(0, 0, 5), (0, 1, 1)])
+        assert p.edges == [(0, 1, 1)]
+
+    def test_bad_node_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionProblem(2, [(0, 5, 1)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionProblem(2, [(0, 1, -1)])
+
+    def test_cut_cost(self):
+        p = PartitionProblem(4, [(0, 1, 3), (2, 3, 5), (1, 2, 7)])
+        assert p.cut_cost([0, 0, 1, 1]) == 7
+        assert p.cut_cost([0, 0, 0, 0]) == 0
+
+    def test_partition_weights(self):
+        p = PartitionProblem(3, node_weights=[1, 2, 3])
+        assert p.partition_weights([0, 1, 0], 2) == [4, 2]
+
+
+class TestPartitionGraph:
+    def test_k1_trivial(self):
+        p = two_cliques()
+        assert partition_graph(p, 1) == [0] * 10
+
+    def test_two_cliques_split_on_bridge(self):
+        p = two_cliques()
+        out = partition_graph(p, 2)
+        assert p.cut_cost(out) == 1  # only the bridge is cut
+        assert len(set(out[:5])) == 1
+        assert len(set(out[5:])) == 1
+        assert out[0] != out[5]
+
+    def test_fixed_nodes_respected(self):
+        p = PartitionProblem(4, [(0, 1, 10), (2, 3, 10), (1, 2, 1)],
+                             fixed={0: 1, 3: 0})
+        out = partition_graph(p, 2)
+        assert out[0] == 1 and out[3] == 0
+
+    def test_fixed_out_of_range_rejected(self):
+        p = PartitionProblem(2, fixed={0: 5})
+        with pytest.raises(PartitionError):
+            partition_graph(p, 2)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(PartitionError):
+            partition_graph(PartitionProblem(2), 0)
+
+    def test_deterministic(self):
+        p = two_cliques()
+        assert partition_graph(p, 2, seed=3) == partition_graph(p, 2, seed=3)
+
+    def test_large_graph_coarsens(self):
+        """A 200-node ring partitions into 4 contiguous-ish arcs."""
+        n = 200
+        edges = [(i, (i + 1) % n, 10) for i in range(n)]
+        p = PartitionProblem(n, edges)
+        out = partition_graph(p, 4)
+        assert set(out) == {0, 1, 2, 3}
+        # a ring's optimal 4-cut is 4 edges; allow slack but demand quality
+        assert p.cut_cost(out) <= 12 * 10
+
+    def test_balance_respected(self):
+        n = 24
+        edges = [(i, j, 1) for i in range(n) for j in range(i + 1, n)]
+        p = PartitionProblem(n, edges)
+        out = partition_graph(p, 4, epsilon=0.3)
+        weights = p.partition_weights(out, 4)
+        limit = (1 + 0.3) * n / 4
+        assert all(w <= limit + 1 for w in weights)
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        k=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_assignment_always_valid(self, n, k, seed):
+        """Property: every node gets a partition id in [0, k)."""
+        rng = random.Random(seed)
+        edges = [
+            (rng.randrange(n), rng.randrange(n), rng.randrange(1, 50))
+            for _ in range(n * 2)
+        ]
+        p = PartitionProblem(n, edges)
+        out = partition_graph(p, min(k, n))
+        assert len(out) == n
+        assert all(0 <= part < min(k, n) for part in out)
+
+    @given(
+        n=st.integers(min_value=4, max_value=30),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cut_never_worse_than_total(self, n, seed):
+        rng = random.Random(seed)
+        edges = [
+            (rng.randrange(n), rng.randrange(n), rng.randrange(1, 20))
+            for _ in range(3 * n)
+        ]
+        p = PartitionProblem(n, edges)
+        out = partition_graph(p, 2)
+        total = sum(w for _, _, w in p.edges)
+        assert 0 <= p.cut_cost(out) <= total

@@ -1,0 +1,123 @@
+"""Unit tests for the offload execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.accel.cgra import CgraBackend
+from repro.accel.inorder import InOrderBackend
+from repro.compiler import CompileMode, compile_kernel
+from repro.energy import EnergyLedger
+from repro.ir import FLOAT32, Interpreter, Kernel, Loop, LoopVar, MemObject
+from repro.mem import MemoryHierarchy, SlabAllocator
+from repro.params import experiment_machine
+from repro.runtime import OffloadEngine, SiteStreams
+
+
+def saxpy_setup(n=256, mode=CompileMode.DIST, backend="io"):
+    A, B, C = (MemObject(x, n, FLOAT32) for x in "ABC")
+    i = LoopVar("i")
+    loop = Loop("i", 0, n, [C.store(i, A[i] * 2.0 + B[i])])
+    kernel = Kernel("saxpy", {"A": A, "B": B, "C": C}, [loop])
+    arrays = {
+        name: np.ones(n, dtype=np.float32) for name in ("A", "B", "C")
+    }
+    res = Interpreter(record_trace=True).run(kernel, arrays)
+    ck = compile_kernel(kernel, mode, trip_count_hint=n)
+    machine = experiment_machine()
+    energy = EnergyLedger()
+    hierarchy = MemoryHierarchy(machine, energy)
+    slab = SlabAllocator()
+    allocations = {
+        name: slab.allocate(name, obj.size_bytes,
+                            align=hierarchy.l3.stripe_bytes)
+        for name, obj in kernel.objects.items()
+    }
+    be = (InOrderBackend(machine.inorder) if backend == "io"
+          else CgraBackend(machine.cgra))
+    engine = OffloadEngine(machine, hierarchy, energy, slab, be,
+                           io_overlap=2.0)
+    off = ck.offloads[0]
+    from repro.placement import place_partitions
+
+    clusters = place_partitions(off.partitioning, allocations,
+                                hierarchy.l3)
+    streams = SiteStreams(res.trace)
+    return engine, off, clusters, res, streams, energy
+
+
+class TestSiteStreams:
+    def test_streams_partition_by_site(self):
+        _, off, _, res, streams, _ = saxpy_setup(32)
+        for acc in off.config.partitions[0].accesses:
+            if acc.site_ids:
+                assert streams.length(acc.site_ids) == 32
+
+    def test_missing_site_is_empty(self):
+        streams = SiteStreams([])
+        assert streams.stream(99).size == 0
+        assert streams.length((99,)) == 0
+
+
+class TestEngineRun:
+    def test_basic_run_advances_time(self):
+        engine, off, clusters, res, streams, _ = saxpy_setup()
+        stats = engine.run(off, clusters, res.inner_iterations, 1, streams)
+        assert stats.time_ps > 0
+        assert stats.accel_iterations == res.inner_iterations
+        assert stats.d_a_bytes > 0
+
+    def test_configuration_charged_once(self):
+        engine, off, clusters, res, streams, _ = saxpy_setup()
+        s1 = engine.run(off, clusters, res.inner_iterations, 1, streams)
+        s2 = engine.run(off, clusters, res.inner_iterations, 1, streams)
+        assert s1.mmio_bytes > 0
+        assert s2.mmio_bytes == 0  # reused configuration
+
+    def test_zero_trips_is_free(self):
+        engine, off, clusters, _, streams, _ = saxpy_setup()
+        stats = engine.run(off, clusters, 0, 1, streams)
+        assert stats.time_ps == 0
+
+    def test_energy_charged(self):
+        engine, off, clusters, res, streams, energy = saxpy_setup()
+        engine.run(off, clusters, res.inner_iterations, 1, streams)
+        by = energy.by_component()
+        assert by.get("accel", 0) > 0
+        assert by.get("access_unit", 0) > 0
+
+    def test_cgra_faster_than_io(self):
+        e1, off1, cl1, res1, st1, _ = saxpy_setup(backend="io")
+        s_io = e1.run(off1, cl1, res1.inner_iterations, 1, st1)
+        e2, off2, cl2, res2, st2, _ = saxpy_setup(backend="cgra")
+        s_f = e2.run(off2, cl2, res2.inner_iterations, 1, st2)
+        assert s_f.time_ps < s_io.time_ps
+
+    def test_mono_produces_more_acc_traffic(self):
+        e1, off1, cl1, res1, st1, _ = saxpy_setup(mode=CompileMode.DIST)
+        dist = e1.run(off1, cl1, res1.inner_iterations, 1, st1)
+        e2, off2, cl2, res2, st2, _ = saxpy_setup(mode=CompileMode.MONO_DA)
+        mono = e2.run(off2, cl2, res2.inner_iterations, 1, st2)
+        assert mono.a_a_bytes >= dist.a_a_bytes
+
+    def test_more_iterations_take_longer(self):
+        e1, off1, cl1, res1, st1, _ = saxpy_setup(n=128)
+        small = e1.run(off1, cl1, res1.inner_iterations, 1, st1)
+        e2, off2, cl2, res2, st2, _ = saxpy_setup(n=512)
+        big = e2.run(off2, cl2, res2.inner_iterations, 1, st2)
+        assert big.time_ps > small.time_ps
+
+
+class TestSerialGroups:
+    def test_saxpy_has_no_cycles(self):
+        engine, off, clusters, res, streams, _ = saxpy_setup()
+        from repro.runtime.engine import _RunContext
+        from repro.events import Simulator
+
+        ctx = _RunContext(
+            engine=engine, offload=off, clusters=clusters,
+            chunk_sizes=[1], site_streams=streams,
+            sim=Simulator(), stats=None,
+        )
+        groups = ctx._serial_groups()
+        assert all(len(g) == 1 for g in groups)
+        assert sum(len(g) for g in groups) == off.config.num_partitions

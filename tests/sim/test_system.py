@@ -1,0 +1,151 @@
+"""Full-system integration tests: every configuration on real workloads."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.params import experiment_machine
+from repro.sim import simulate_workload
+from repro.sim.system import CONFIGS, SystemSimulator, config_spec
+from repro.workloads import ALL_WORKLOADS
+
+ALL_CONFIGS = ("ooo", "mono_ca", "mono_da_io", "mono_da_f",
+               "dist_da_io", "dist_da_f")
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return experiment_machine()
+
+
+@pytest.fixture(scope="module")
+def fdt_runs(machine):
+    return {
+        config: simulate_workload(
+            ALL_WORKLOADS["fdt"].build("tiny"), config, machine=machine
+        )
+        for config in ALL_CONFIGS
+    }
+
+
+class TestConfigs:
+    def test_all_paper_configs_exist(self):
+        for name in ALL_CONFIGS:
+            assert config_spec(name).name == name
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ConfigError):
+            config_spec("warp_drive")
+
+    def test_case_study_variants_exist(self):
+        for name in ("dist_da_b", "dist_da_bn", "dist_da_bns",
+                     "dist_da_io_sw", "dist_da_mt"):
+            assert name in CONFIGS
+
+
+class TestEndToEnd:
+    def test_every_config_validates(self, fdt_runs):
+        for config, run in fdt_runs.items():
+            assert run.validated, config
+
+    def test_accel_configs_skip_l1_l2(self, fdt_runs):
+        for config in ALL_CONFIGS[1:]:
+            stats = fdt_runs[config].cache_stats
+            assert stats.l1 == 0 and stats.l2 == 0, config
+
+    def test_ooo_uses_whole_hierarchy(self, fdt_runs):
+        stats = fdt_runs["ooo"].cache_stats
+        assert stats.l1 > 0 and stats.l2 > 0 and stats.l3 > 0
+
+    def test_accel_configs_beat_ooo_energy(self, fdt_runs):
+        base = fdt_runs["ooo"]
+        for config in ALL_CONFIGS[1:]:
+            assert fdt_runs[config].energy_nj < base.energy_nj, config
+
+    def test_dist_beats_mono_da_on_acc_traffic(self, fdt_runs):
+        mono = fdt_runs["mono_da_io"].access_dist.a_a
+        dist = fdt_runs["dist_da_io"].access_dist.a_a
+        assert dist <= mono
+
+    def test_compute_specialization_wins(self, fdt_runs):
+        io = fdt_runs["dist_da_io"]
+        fabric = fdt_runs["dist_da_f"]
+        assert fabric.time_ps < io.time_ps
+        assert fabric.energy_nj < io.energy_nj
+
+    def test_results_carry_all_metrics(self, fdt_runs):
+        run = fdt_runs["dist_da_f"]
+        assert run.time_ps > 0
+        assert run.insts > 0
+        assert run.mem_ops > 0
+        assert run.ipc > 0
+        assert run.mem_op_rate > 0
+        assert set(run.traffic_breakdown) == {
+            "ctrl", "data", "acc_ctrl", "acc_data"
+        }
+
+    def test_mmio_overhead_nonzero_but_small(self, fdt_runs):
+        run = fdt_runs["dist_da_f"]
+        assert 0 < run.mmio_bytes < run.movement_bytes
+
+
+class TestIrregularWorkloads:
+    """The paper's DA-favoring class must win on the accel path."""
+
+    def test_pch_serial_chain_on_all_substrates(self, machine):
+        # "small" scale: the chain must actually exceed the private
+        # cache, or the centralized configuration gets an unrealistic
+        # free ride
+        runs = {
+            config: simulate_workload(
+                ALL_WORKLOADS["pch"].build("small"), config,
+                machine=machine,
+            )
+            for config in ("ooo", "mono_ca", "dist_da_f")
+        }
+        assert all(r.validated for r in runs.values())
+        # pointer chase is slow everywhere (serial), but DA is never
+        # slower than centralized line pulls
+        assert (runs["dist_da_f"].time_ps
+                <= runs["mono_ca"].time_ps * 1.05)
+
+    def test_bfs_validates_on_dist(self, machine):
+        run = simulate_workload(
+            ALL_WORKLOADS["bfs"].build("tiny"), "dist_da_io",
+            machine=machine,
+        )
+        assert run.validated
+
+
+class TestSensitivityKnobs:
+    def test_clock_scaling_helps(self, machine):
+        slow = simulate_workload(
+            ALL_WORKLOADS["sei"].build("tiny"), "dist_da_io",
+            machine=machine.with_accel_freq(1.0),
+        )
+        fast = simulate_workload(
+            ALL_WORKLOADS["sei"].build("tiny"), "dist_da_io",
+            machine=machine.with_accel_freq(3.0),
+        )
+        assert fast.time_ps < slow.time_ps
+
+    def test_sw_prefetch_variant_helps_indirect(self, machine):
+        base = simulate_workload(
+            ALL_WORKLOADS["pr"].build("tiny"), "dist_da_io",
+            machine=machine,
+        )
+        sw = simulate_workload(
+            ALL_WORKLOADS["pr"].build("tiny"), "dist_da_io_sw",
+            machine=machine,
+        )
+        assert sw.time_ps <= base.time_ps
+
+    def test_localized_control_removes_relaunches(self, machine):
+        b = simulate_workload(
+            ALL_WORKLOADS["spmv"].build("tiny"), "dist_da_b",
+            machine=machine,
+        )
+        bn = simulate_workload(
+            ALL_WORKLOADS["spmv"].build("tiny"), "dist_da_bn",
+            machine=machine,
+        )
+        assert bn.time_ps < b.time_ps

@@ -1,0 +1,104 @@
+"""Tests for vertical and horizontal placement."""
+
+import pytest
+
+from repro.dfg import build_dfg
+from repro.dfg.node import AccessNode, AccessPattern, NodeKind
+from repro.errors import PlacementError
+from repro.ir import FLOAT32, Kernel, Loop, LoopVar, MemObject
+from repro.mem import NucaL3, SlabAllocator
+from repro.params import PAGE_BYTES, default_machine
+from repro.partition import partition_dfg
+from repro.placement import PlacementLevel, place_partitions, vertical_placement
+
+I = LoopVar("i")
+
+
+def access_node(pattern, obj="A"):
+    return AccessNode(id=0, kind=NodeKind.ACCESS, label="ld", obj=obj,
+                      pattern=pattern, dtype=FLOAT32)
+
+
+class TestVertical:
+    def test_long_stream_goes_to_l3(self):
+        node = access_node(AccessPattern.STREAM)
+        obj = MemObject("A", 100_000, FLOAT32)
+        assert vertical_placement(node, obj, 100_000) is PlacementLevel.L3_CLUSTER
+
+    def test_short_sequence_stays_near_host(self):
+        node = access_node(AccessPattern.STREAM)
+        obj = MemObject("A", 64, FLOAT32)
+        assert vertical_placement(node, obj, 4) is PlacementLevel.NEAR_HOST
+
+    def test_short_irregular_stays_near_host(self):
+        node = access_node(AccessPattern.INDIRECT)
+        obj = MemObject("A", 100_000, FLOAT32)
+        assert vertical_placement(node, obj, 8) is PlacementLevel.NEAR_HOST
+
+    def test_long_irregular_over_large_object_goes_to_l3(self):
+        """bfs/pointer-chase style: indirection over a big structure."""
+        node = access_node(AccessPattern.INDIRECT)
+        obj = MemObject("A", 1_000_000, FLOAT32)
+        assert vertical_placement(node, obj, 10_000) is PlacementLevel.L3_CLUSTER
+
+    def test_tiny_irregular_object_near_host(self):
+        node = access_node(AccessPattern.RANDOM)
+        obj = MemObject("A", 256, FLOAT32)
+        assert vertical_placement(node, obj, 10_000) is PlacementLevel.NEAR_HOST
+
+    def test_unknown_trip_count_defaults_long(self):
+        node = access_node(AccessPattern.STREAM)
+        assert vertical_placement(node, None) is PlacementLevel.L3_CLUSTER
+
+
+class TestHorizontal:
+    def _setup(self, n=1024):
+        A = MemObject("A", n, FLOAT32)
+        B = MemObject("B", n, FLOAT32)
+        loop = Loop("i", 0, n, [B.store(I, A[I] * 2.0)])
+        kernel = Kernel("k", {"A": A, "B": B}, [loop])
+        dfg = build_dfg(loop, kernel)
+        part = partition_dfg(dfg)
+        nuca = NucaL3(default_machine())
+        slab = SlabAllocator()
+        allocs = {
+            name: slab.allocate(name, kernel.objects[name].size_bytes,
+                                align=nuca.stripe_bytes)
+            for name in ("A", "B")
+        }
+        return part, allocs, nuca
+
+    def test_partitions_follow_object_homes(self):
+        part, allocs, nuca = self._setup()
+        clusters = place_partitions(part, allocs, nuca)
+        assert set(clusters) == set(range(part.num_partitions))
+        for p in range(part.num_partitions):
+            obj = part.anchor_object(p)
+            if obj:
+                assert clusters[p] == nuca.home_cluster(allocs[obj].base)
+
+    def test_first_offset_shifts_home(self):
+        part, allocs, nuca = self._setup(n=PAGE_BYTES)  # spans stripes
+        p_a = next(
+            p for p in range(part.num_partitions)
+            if part.anchor_object(p) == "A"
+        )
+        base_home = place_partitions(part, allocs, nuca)[p_a]
+        shifted = place_partitions(
+            part, allocs, nuca,
+            first_offsets={"A": 2 * nuca.stripe_bytes},
+        )[p_a]
+        assert shifted == (base_home + 2) % nuca.num_clusters
+
+    def test_missing_allocation_rejected(self):
+        part, allocs, nuca = self._setup()
+        del allocs["A"]
+        with pytest.raises(PlacementError):
+            place_partitions(part, allocs, nuca)
+
+    def test_stripe_aligned_objects_get_different_homes(self):
+        part, allocs, nuca = self._setup()
+        clusters = place_partitions(part, allocs, nuca)
+        homes = {clusters[p] for p in range(part.num_partitions)}
+        # A and B were allocated to consecutive stripes -> distinct homes
+        assert len(homes) == 2

@@ -1,0 +1,117 @@
+"""Per-workload validation: IR semantics match the NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompileMode, compile_kernel
+from repro.errors import ConfigError
+from repro.ir import Interpreter
+from repro.workloads import ALL_WORKLOADS, PAPER_ORDER
+
+ALL_SHORTS = tuple(sorted(ALL_WORKLOADS))
+
+
+class TestRegistry:
+    def test_all_thirteen_registered(self):
+        assert len(ALL_WORKLOADS) == 13
+
+    def test_paper_order_is_table_iv(self):
+        assert len(PAPER_ORDER) == 12
+        assert set(PAPER_ORDER) <= set(ALL_WORKLOADS)
+        assert "spmv" not in PAPER_ORDER  # case study only
+
+    def test_shorts_match_registry_keys(self):
+        for short, workload in ALL_WORKLOADS.items():
+            assert workload.short == short
+
+
+@pytest.mark.parametrize("short", ALL_SHORTS)
+class TestFunctionalCorrectness:
+    """The golden interpreter must reproduce each NumPy reference."""
+
+    def test_interpreter_matches_reference(self, short):
+        instance = ALL_WORKLOADS[short].build("tiny")
+        interp = Interpreter()
+        for call in instance.calls():
+            interp.run(call.kernel, instance.arrays, call.scalars)
+        assert instance.validate(), f"{short}: outputs diverge"
+
+    def test_instance_single_use(self, short):
+        instance = ALL_WORKLOADS[short].build("tiny")
+        list(instance.calls())
+        with pytest.raises(ConfigError, match="consumed"):
+            instance.calls()
+
+
+@pytest.mark.parametrize("short", ALL_SHORTS)
+class TestCompilability:
+    """Every workload kernel must compile to a Dist-DA offload."""
+
+    def test_offloadable_in_dist_mode(self, short):
+        instance = ALL_WORKLOADS[short].build("tiny")
+        compiled_any = False
+        seen = set()
+        for call in instance.calls():
+            if id(call.kernel) in seen:
+                continue
+            seen.add(id(call.kernel))
+            ck = compile_kernel(call.kernel, CompileMode.DIST)
+            assert not ck.rejected, (
+                f"{short}: kernel {call.kernel.name} rejected"
+            )
+            compiled_any = compiled_any or bool(ck.offloads)
+            for off in ck.offloads:
+                # object-anchoring invariant: at most one object/partition
+                assert off.partitioning.max_objects_per_partition <= 1
+        assert compiled_any
+
+    def test_paper_buffer_bound(self, short):
+        """Paper Table VI: at most ~3 buffers per partitioned offload."""
+        instance = ALL_WORKLOADS[short].build("tiny")
+        seen = set()
+        for call in instance.calls():
+            if id(call.kernel) in seen:
+                continue
+            seen.add(id(call.kernel))
+            ck = compile_kernel(call.kernel, CompileMode.DIST)
+            for off in ck.offloads:
+                # Table VI: multi-access combining keeps the allocated
+                # buffer count low (paper: ~3 per offload; tracking's
+                # three-tensor response stage needs a couple more
+                # channel buffers here)
+                assert off.avg_physical_buffers() <= 6.0
+
+
+class TestCharacteristicPatterns:
+    def test_pch_has_smallest_dfg(self):
+        """Paper Table VI: pointer chase is 4 instructions."""
+        instance = ALL_WORKLOADS["pch"].build("tiny")
+        call = next(iter(instance.calls()))
+        ck = compile_kernel(call.kernel, CompileMode.DIST)
+        assert ck.offloads[0].num_insts <= 5
+        assert ck.offloads[0].serial_chain
+
+    def test_seidel_single_object(self):
+        instance = ALL_WORKLOADS["sei"].build("tiny")
+        call = next(iter(instance.calls()))
+        ck = compile_kernel(call.kernel, CompileMode.DIST)
+        assert ck.offloads[0].config.num_partitions == 1
+
+    def test_bfs_uses_predication(self):
+        from repro.interface import Intrinsic
+
+        instance = ALL_WORKLOADS["bfs"].build("tiny")
+        call = next(iter(instance.calls()))
+        ck = compile_kernel(call.kernel, CompileMode.DIST)
+        used = ck.coverage.used()
+        assert Intrinsic.CP_WRITE in used  # indirect frontier update
+
+    def test_spmv_bounds_are_data_dependent(self):
+        from repro.ir import Load
+
+        instance = ALL_WORKLOADS["spmv"].build("tiny")
+        call = next(iter(instance.calls()))
+        ck = compile_kernel(call.kernel, CompileMode.DIST)
+        loop = ck.offloads[0].loop
+        bounds_loads = list(loop.lower.loads()) + list(loop.upper.loads())
+        assert bounds_loads  # CSR row pointers feed the inner bounds
