@@ -3,10 +3,16 @@
 Usage::
 
     python -m repro.experiments [--scale small] [--out report.txt]
+                                [--jobs N] [--stats]
 
 Runs the full 12-benchmark x 6-configuration matrix plus the case
 studies and sensitivity sweeps, printing each table/figure in the
-paper's order. Expect several minutes of simulation at "small" scale.
+paper's order. ``--jobs N`` (or ``REPRO_JOBS=N``) parallelizes the
+matrix over worker processes; results are identical to the serial run.
+``--out`` writes each section to the file incrementally, so a failure in
+a late figure never loses the sections already produced. ``--stats``
+appends the run-observability report (interpreter invocations, trace
+cache hits, per-cell wall clocks, ...).
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import argparse
 import sys
 import time
 
+from ..obs import OBS
 from ..params import experiment_machine
 from . import (
     area_wss,
@@ -40,42 +47,59 @@ def main(argv=None) -> int:
     parser.add_argument("--scale", default="small",
                         choices=("tiny", "small", "large"))
     parser.add_argument("--out", default=None,
-                        help="also write the report to this file")
+                        help="also write the report to this file "
+                             "(incrementally, section by section)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel matrix workers "
+                             "(default: $REPRO_JOBS or 1)")
+    parser.add_argument("--stats", action="store_true",
+                        help="append the run-observability report")
     args = parser.parse_args(argv)
 
     machine = experiment_machine()
-    sections = []
+    # crash-safe report: the file is opened once and flushed after every
+    # section, so partial reports survive a failure in a late figure
+    out_file = open(args.out, "w") if args.out else None
 
     def emit(text: str) -> None:
         print(text, flush=True)
-        sections.append(text)
+        if out_file is not None:
+            out_file.write(text + "\n")
+            out_file.flush()
+
+    def progress(line: str) -> None:
+        print(line, file=sys.stderr, flush=True)
 
     start = time.time()
-    emit(f"== Dist-DA reproduction report (scale={args.scale}) ==\n")
-    matrix = run_matrix(scale=args.scale, machine=machine)
-    emit(f"[matrix populated in {time.time() - start:.0f}s; "
-         f"all validated: {matrix.all_validated()}]\n")
+    try:
+        emit(f"== Dist-DA reproduction report (scale={args.scale}) ==\n")
+        matrix = run_matrix(scale=args.scale, machine=machine,
+                            jobs=args.jobs, progress=progress)
+        emit(f"[matrix populated in {time.time() - start:.0f}s; "
+             f"all validated: {matrix.all_validated()}]\n")
 
-    emit(fig07.format_rows(fig07.compute(matrix)) + "\n")
-    emit(fig08.format_rows(fig08.compute(matrix)) + "\n")
-    emit(fig09.format_rows(fig09.compute(matrix)) + "\n")
-    emit(fig10.format_rows(fig10.compute(matrix)) + "\n")
-    emit(fig11.format_rows(fig11.compute(matrix)) + "\n")
-    emit(fig12.format_rows(fig12.compute(machine, args.scale)) + "\n")
-    emit(fig13.format_rows(
-        fig13.compute(machine=machine, scale=args.scale)) + "\n")
-    emit(fig14.format_rows(
-        fig14.compute(machine=machine, scale=args.scale)) + "\n")
-    emit(table5.format_rows(table5.compute(scale="tiny")) + "\n")
-    emit(table6.format_rows(table6.compute(scale=args.scale)) + "\n")
-    emit(area_wss.format_area(area_wss.compute_area()) + "\n")
-    emit(area_wss.format_wss(area_wss.compute_wss(machine=machine)) + "\n")
-    emit(f"[total {time.time() - start:.0f}s]")
-
-    if args.out:
-        with open(args.out, "w") as f:
-            f.write("\n".join(sections) + "\n")
-        print(f"report written to {args.out}")
+        emit(fig07.format_rows(fig07.compute(matrix)) + "\n")
+        emit(fig08.format_rows(fig08.compute(matrix)) + "\n")
+        emit(fig09.format_rows(fig09.compute(matrix)) + "\n")
+        emit(fig10.format_rows(fig10.compute(matrix)) + "\n")
+        emit(fig11.format_rows(fig11.compute(matrix)) + "\n")
+        emit(fig12.format_rows(fig12.compute(machine, args.scale)) + "\n")
+        emit(fig13.format_rows(
+            fig13.compute(machine=machine, scale=args.scale)) + "\n")
+        emit(fig14.format_rows(
+            fig14.compute(machine=machine, scale=args.scale)) + "\n")
+        emit(table5.format_rows(table5.compute(scale="tiny")) + "\n")
+        emit(table6.format_rows(table6.compute(scale=args.scale)) + "\n")
+        emit(area_wss.format_area(area_wss.compute_area()) + "\n")
+        emit(area_wss.format_wss(area_wss.compute_wss(machine=machine))
+             + "\n")
+        if args.stats:
+            emit(OBS.report() + "\n")
+        emit(f"[total {time.time() - start:.0f}s]")
+    finally:
+        if out_file is not None:
+            out_file.close()
+            print(f"report written to {args.out}")
     return 0
 
 

@@ -1,17 +1,45 @@
 """Experiment matrix: run (workload x configuration) simulations once and
-share the results across every figure/table module."""
+share the results across every figure/table module.
+
+The matrix can be populated three ways, all numerically identical:
+
+* lazily, one cell at a time (``matrix.get(w, c)``);
+* serially in paper order (``run_matrix()`` / ``run_all(jobs=1)``);
+* in parallel over a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``run_matrix(jobs=N)`` or ``REPRO_JOBS=N``), fanning the grid out one
+  worker per workload so each worker interprets its workload's kernels
+  once and replays the functional trace for all remaining configurations
+  via the shared :class:`~repro.sim.tracecache.TraceCache`.
+
+Workers ship their per-cell :class:`~repro.sim.results.RunResult`\\ s,
+per-workload :class:`~repro.interface.intrinsics.CoverageRecorder`\\ s and
+observability snapshots back to the parent, which merges them.
+"""
 
 from __future__ import annotations
 
 import math
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..errors import ConfigError
 from ..interface.intrinsics import CoverageRecorder
+from ..obs import OBS, CellStat
 from ..params import MachineParams, experiment_machine
 from ..sim.results import RunResult
 from ..sim.system import simulate_workload
+from ..sim.tracecache import TraceCache
 from ..workloads import ALL_WORKLOADS, PAPER_ORDER
 
 #: the accelerator configurations of §VI-A, in presentation order
@@ -20,12 +48,34 @@ PAPER_CONFIGS = (
 )
 BASELINE = "ooo"
 
+#: a progress sink receives one human-readable line per completed unit
+ProgressFn = Callable[[str], None]
+
 
 def geomean(values: Iterable[float]) -> float:
     vals = [max(float(v), 1e-12) for v in values]
     if not vals:
         raise ConfigError("geomean of empty sequence")
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """CLI/env parallelism knob: explicit value, else $REPRO_JOBS, else 1.
+
+    Serial is the default so tests and figure modules stay deterministic
+    in ordering (results are identical either way, cell for cell).
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(env) if env else 1
+    return max(1, int(jobs))
+
+
+def _default_trace_cache() -> TraceCache:
+    return TraceCache(
+        max_entries=2,
+        spill_dir=os.environ.get("REPRO_TRACE_SPILL") or None,
+    )
 
 
 @dataclass
@@ -38,10 +88,15 @@ class ResultMatrix:
     configs: Sequence[str] = (BASELINE,) + PAPER_CONFIGS
     results: Dict[Tuple[str, str], RunResult] = field(default_factory=dict)
     coverage: Dict[str, CoverageRecorder] = field(default_factory=dict)
+    #: shared functional-trace store; one entry serves every config of a
+    #: workload, so only the first config pays the interpreter
+    trace_cache: Optional[TraceCache] = None
 
     def __post_init__(self) -> None:
         if self.machine is None:
             self.machine = experiment_machine()
+        if self.trace_cache is None:
+            self.trace_cache = _default_trace_cache()
 
     def get(self, workload: str, config: str) -> RunResult:
         key = (workload, config)
@@ -49,19 +104,76 @@ class ResultMatrix:
             if workload not in ALL_WORKLOADS:
                 raise ConfigError(f"unknown workload {workload!r}")
             cov = self.coverage.setdefault(workload, CoverageRecorder())
+            start = perf_counter()
             instance = ALL_WORKLOADS[workload].build(self.scale)
             self.results[key] = simulate_workload(
-                instance, config, machine=self.machine, coverage=cov
+                instance, config, machine=self.machine, coverage=cov,
+                trace_cache=self.trace_cache,
+                trace_key=(workload, self.scale),
             )
+            OBS.add_cell(CellStat(
+                workload, config, perf_counter() - start,
+                trace_elems=self.trace_cache.peak_trace_elems(
+                    workload, self.scale
+                ),
+            ))
         return self.results[key]
 
     def baseline(self, workload: str) -> RunResult:
         return self.get(workload, BASELINE)
 
-    def run_all(self) -> "ResultMatrix":
+    def run_all(self, jobs: Optional[int] = None,
+                progress: Optional[ProgressFn] = None) -> "ResultMatrix":
+        """Populate every cell; ``jobs > 1`` fans workloads out over a
+        process pool. Cell results are identical either way."""
+        jobs = resolve_jobs(jobs)
+        if jobs > 1 and len(self.workloads) > 1:
+            return self._run_all_parallel(jobs, progress)
+        total = len(self.workloads) * len(self.configs)
+        done = 0
         for workload in self.workloads:
             for config in self.configs:
+                start = perf_counter()
                 self.get(workload, config)
+                done += 1
+                if progress is not None:
+                    progress(
+                        f"[{done}/{total}] {workload} x {config}"
+                        f" ({perf_counter() - start:.2f}s)"
+                    )
+        return self
+
+    def _run_all_parallel(self, jobs: int,
+                          progress: Optional[ProgressFn]) -> "ResultMatrix":
+        pending = [
+            w for w in self.workloads
+            if any((w, c) not in self.results for c in self.configs)
+        ]
+        for w in pending:
+            if w not in ALL_WORKLOADS:
+                raise ConfigError(f"unknown workload {w!r}")
+        args = [
+            (w, tuple(self.configs), self.scale, self.machine)
+            for w in pending
+        ]
+        done = 0
+        with ProcessPoolExecutor(max_workers=min(jobs, len(args))) as pool:
+            futures = {
+                pool.submit(_matrix_worker, a): a[0] for a in args
+            }
+            for future in as_completed(futures):
+                workload, cells, cov, snapshot = future.result()
+                for config, result in cells:
+                    self.results[(workload, config)] = result
+                self.coverage[workload] = cov
+                OBS.merge(snapshot)
+                done += 1
+                if progress is not None:
+                    wall = sum(s[2] for s in snapshot.get("cells", ()))
+                    progress(
+                        f"[{done}/{len(args)} workloads] {workload}"
+                        f" ({len(cells)} cells, {wall:.2f}s)"
+                    )
         return self
 
     # -- normalized metric helpers (all relative to the OoO baseline) -----
@@ -90,16 +202,49 @@ class ResultMatrix:
         return all(r.validated for r in self.results.values())
 
 
+def _matrix_worker(args: Tuple[str, Tuple[str, ...], str, MachineParams]):
+    """Simulate every configuration of one workload (pool worker).
+
+    Runs in a child process: resets the inherited observability registry
+    so the returned snapshot covers exactly this worker's cells, and uses
+    a private single-entry trace cache (one workload per worker).
+    """
+    workload, configs, scale, machine = args
+    OBS.reset()
+    cache = TraceCache(max_entries=1)
+    cov = CoverageRecorder()
+    cells: List[Tuple[str, RunResult]] = []
+    for config in configs:
+        start = perf_counter()
+        instance = ALL_WORKLOADS[workload].build(scale)
+        result = simulate_workload(
+            instance, config, machine=machine, coverage=cov,
+            trace_cache=cache, trace_key=(workload, scale),
+        )
+        OBS.add_cell(CellStat(
+            workload, config, perf_counter() - start,
+            trace_elems=cache.peak_trace_elems(workload, scale),
+        ))
+        cells.append((config, result))
+    return workload, cells, cov, OBS.snapshot()
+
+
 def run_matrix(scale: str = "small",
                machine: Optional[MachineParams] = None,
                workloads: Sequence[str] = PAPER_ORDER,
-               configs: Sequence[str] = (BASELINE,) + PAPER_CONFIGS
-               ) -> ResultMatrix:
-    """Build and fully populate a result matrix."""
+               configs: Sequence[str] = (BASELINE,) + PAPER_CONFIGS,
+               jobs: Optional[int] = None,
+               progress: Optional[ProgressFn] = None) -> ResultMatrix:
+    """Build and fully populate a result matrix.
+
+    ``jobs`` (default: ``$REPRO_JOBS`` or 1) fans the grid out over a
+    process pool, one worker per workload; every cell's metrics are
+    identical to the serial run.
+    """
     return ResultMatrix(
         scale=scale, machine=machine, workloads=tuple(workloads),
         configs=tuple(configs),
-    ).run_all()
+    ).run_all(jobs=jobs, progress=progress)
 
 
 def format_table(header: List[str], rows: List[List[str]]) -> str:

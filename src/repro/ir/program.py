@@ -9,6 +9,7 @@ operations" triple that the paper's offload abstraction is built from
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -174,6 +175,37 @@ class Kernel:
         for loop in self.loops:
             visit_stmt(loop)
         return site_ids
+
+    def fingerprint(self) -> str:
+        """Stable structural identity of this kernel.
+
+        Two kernels with the same name, loop-nest structure, statements,
+        objects and scalar defaults fingerprint identically regardless of
+        object identity — unlike ``id()``, which the allocator may reuse
+        after garbage collection. Compile caches key on this.
+        """
+
+        def fmt_loop(loop: Loop) -> str:
+            body = ",".join(
+                fmt_loop(s) if isinstance(s, Loop) else repr(s)
+                for s in loop.body
+            )
+            return (
+                f"for {loop.var} in [{loop.lower!r},{loop.upper!r}) "
+                f"step {loop.step} {{{body}}}"
+            )
+
+        parts = [
+            self.name,
+            ";".join(fmt_loop(loop) for loop in self.loops),
+            ",".join(
+                f"{name}:{obj.shape}:{obj.dtype!r}"
+                for name, obj in sorted(self.objects.items())
+            ),
+            ",".join(f"{k}={v}" for k, v in sorted(self.scalars.items())),
+            ",".join(sorted(self.outputs)),
+        ]
+        return hashlib.sha1("|".join(parts).encode()).hexdigest()
 
     def objects_referenced(self) -> List[str]:
         names = []

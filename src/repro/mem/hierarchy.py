@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from ..energy import EnergyLedger
 from ..noc import HOST_NODE, Mesh, MessageKind, TrafficLedger
+from ..obs import OBS
 from ..params import CACHE_LINE_BYTES, CacheParams, MachineParams
 from .cache import Cache
 from .dram import Dram
@@ -393,6 +394,19 @@ class MemoryHierarchy:
             dram=self.dram.accesses,
             prefetches=self._stats_prefetches,
         )
+
+    def record_obs(self) -> None:
+        """Publish this hierarchy's lifetime totals into the process
+        observability registry. Called once per simulation run (the
+        per-access hot paths stay instrumentation-free)."""
+        s = self.stats()
+        OBS.inc("mem.l1_accesses", s.l1)
+        OBS.inc("mem.l2_accesses", s.l2)
+        OBS.inc("mem.l3_accesses", s.l3)
+        OBS.inc("mem.acp_accesses", s.acp)
+        OBS.inc("mem.dram_accesses", s.dram)
+        OBS.inc("mem.prefetches", s.prefetches)
+        OBS.inc("mem.movement_bytes", self.movement_bytes)
 
 
 def _ps_to_cycles_int(ps: int, freq_ghz: float) -> int:

@@ -1,0 +1,18 @@
+"""Observability layer: process-local counters, timers and cell stats.
+
+Usage::
+
+    from ..obs import OBS
+
+    OBS.inc("interp.invocations")
+    with OBS.time("matrix.populate"):
+        ...
+
+``OBS`` is process-local mutable state that never feeds back into
+simulation results; parallel experiment workers return ``OBS.snapshot()``
+to the parent, which calls ``OBS.merge(snap)``.
+"""
+
+from .stats import OBS, CellStat, StatsRegistry
+
+__all__ = ["OBS", "CellStat", "StatsRegistry"]

@@ -30,6 +30,7 @@ from ..mem.cache import Cache
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.slab import SlabAllocator
 from ..noc import HOST_NODE, MessageKind
+from ..obs import OBS
 from ..params import MachineParams
 from .streams import SiteStreams
 
@@ -226,6 +227,10 @@ class OffloadEngine:
         )
         run_ctx.build()
         sim.run()
+        OBS.inc("engine.offload_runs")
+        OBS.inc("engine.sim_events", sim.events_executed)
+        OBS.inc("engine.accel_iterations", trips)
+        OBS.observe_max("engine.peak_chunks", nchunks)
         stats.time_ps += sim.now
         stats.accel_iterations += trips
         # per-invocation host relaunch overhead for data-dependent inner

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..energy import EnergyLedger
+from ..events import cycles_to_ps
 from ..ir.interp import MemAccess, OpCounts
 from ..ir.program import Kernel
 from ..mem.hierarchy import MemoryHierarchy
@@ -35,6 +36,8 @@ class OooResult:
     cycles: float
     insts: int
     mem_ops: int
+    #: host core clock the cycle count was produced at
+    freq_ghz: float = 2.0
 
     @property
     def ipc(self) -> float:
@@ -42,7 +45,7 @@ class OooResult:
 
     @property
     def time_ps(self) -> int:
-        return int(self.cycles * 500)  # 2 GHz
+        return cycles_to_ps(self.cycles, self.freq_ghz)
 
 
 class OooModel:
@@ -59,7 +62,7 @@ class OooModel:
             trace: Iterable[MemAccess],
             extra_host_insts: int = 0,
             serial_fraction: float = 0.0) -> OooResult:
-        """Model one kernel call: returns cycles at 2 GHz."""
+        """Model one kernel call: returns cycles at the core clock."""
         obj_alloc = {
             name: self.slab.by_name(name) for name in kernel.objects
         }
@@ -96,7 +99,8 @@ class OooModel:
             + SERIALIZATION_FACTOR * min(compute_cycles, memory_cycles)
         )
         self._charge_energy(counts, insts)
-        return OooResult(cycles=cycles, insts=insts, mem_ops=loads + stores)
+        return OooResult(cycles=cycles, insts=insts, mem_ops=loads + stores,
+                         freq_ghz=self.machine.core.freq_ghz)
 
     def _charge_energy(self, counts: OpCounts, insts: int) -> None:
         e = self.energy

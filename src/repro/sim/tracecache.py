@@ -1,0 +1,203 @@
+"""Reusable functional-interpretation traces.
+
+The golden interpreter's outputs for one workload instance — per-call
+address traces, op counts and loop-iteration maps — depend only on the
+(workload, scale) pair, never on the simulated machine configuration.
+The experiment matrix runs every workload under six configurations, so
+interpreting each kernel call once and replaying the recorded
+functional results for the other five removes the hottest redundant work
+of a full §VI reproduction.
+
+:class:`TraceCache` is a bounded in-memory LRU store keyed by
+``(workload, scale)``; each entry holds one :class:`FunctionalCallRecord`
+per dynamic kernel call (i.e. the logical key space is
+``(workload, scale, call index)``) plus the final array contents so
+output validation still observes the executed program on replay. Evicted
+entries can optionally spill to on-disk pickles and are transparently
+reloaded on the next miss.
+
+Loop-iteration maps are stored keyed by the loop's *position* among the
+kernel's innermost loops (not ``id()``), so records survive pickling;
+:meth:`FunctionalCallRecord.view` rebuilds the id-keyed maps the system
+simulator consumes, against the record's own kernel object.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.interp import InterpResult, MemAccess, OpCounts
+from ..ir.program import Kernel
+from ..obs import OBS
+
+
+@dataclass
+class FunctionalView:
+    """What the system simulator consumes per kernel call.
+
+    Mirrors the subset of :class:`InterpResult` the timing models read,
+    with iteration maps keyed by ``id(loop)`` of the *carried* kernel's
+    innermost loops.
+    """
+
+    counts: OpCounts
+    trace: List[MemAccess]
+    inner_iterations: int
+    inner_iters_by_loop: Dict[int, int]
+    inner_invocations_by_loop: Dict[int, int]
+
+
+@dataclass
+class FunctionalCallRecord:
+    """Functional interpretation of one dynamic kernel call."""
+
+    kernel: Kernel
+    scalars: Dict[str, float]
+    counts: OpCounts
+    trace: List[MemAccess]
+    inner_iterations: int
+    #: innermost-loop position (per ``kernel.innermost_loops()``) -> value
+    inner_iters_by_index: Dict[int, int] = field(default_factory=dict)
+    inner_invocations_by_index: Dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_interp(cls, kernel: Kernel, scalars: Dict[str, float],
+                    res: InterpResult) -> "FunctionalCallRecord":
+        index_of = {
+            id(loop): i for i, loop in enumerate(kernel.innermost_loops())
+        }
+        return cls(
+            kernel=kernel,
+            scalars=dict(scalars),
+            counts=res.counts,
+            trace=list(res.trace or ()),
+            inner_iterations=res.inner_iterations,
+            inner_iters_by_index={
+                index_of[k]: v
+                for k, v in res.inner_iters_by_loop.items()
+                if k in index_of
+            },
+            inner_invocations_by_index={
+                index_of[k]: v
+                for k, v in res.inner_invocations_by_loop.items()
+                if k in index_of
+            },
+        )
+
+    def view(self) -> FunctionalView:
+        loops = self.kernel.innermost_loops()
+        return FunctionalView(
+            counts=self.counts,
+            trace=self.trace,
+            inner_iterations=self.inner_iterations,
+            inner_iters_by_loop={
+                id(loops[i]): v
+                for i, v in self.inner_iters_by_index.items()
+            },
+            inner_invocations_by_loop={
+                id(loops[i]): v
+                for i, v in self.inner_invocations_by_index.items()
+            },
+        )
+
+
+@dataclass
+class WorkloadTrace:
+    """All functional state one (workload, scale) execution produced."""
+
+    workload: str
+    scale: str
+    calls: List[FunctionalCallRecord]
+    #: array contents after the last call, for replayed validation
+    final_arrays: Dict[str, np.ndarray]
+
+    @property
+    def peak_trace_elems(self) -> int:
+        return max((len(c.trace) for c in self.calls), default=0)
+
+
+class TraceCache:
+    """Bounded LRU store of workload traces with optional disk spill."""
+
+    def __init__(self, max_entries: int = 2,
+                 spill_dir: Optional[str] = None):
+        self.max_entries = max(1, int(max_entries))
+        self.spill_dir = spill_dir
+        self._entries: "OrderedDict[Tuple[str, str], WorkloadTrace]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.spills = 0
+        self.disk_loads = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def get(self, workload: str, scale: str) -> Optional[WorkloadTrace]:
+        key = (workload, scale)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._load_spilled(key)
+            if entry is not None:
+                self.disk_loads += 1
+                OBS.inc("tracecache.disk_loads")
+                self._install(key, entry)
+        else:
+            self._entries.move_to_end(key)
+        if entry is None:
+            self.misses += 1
+            OBS.inc("tracecache.misses")
+            return None
+        self.hits += 1
+        OBS.inc("tracecache.hits")
+        return entry
+
+    def put(self, trace: WorkloadTrace) -> None:
+        self._install((trace.workload, trace.scale), trace)
+
+    def peak_trace_elems(self, workload: str, scale: str) -> int:
+        """Longest per-call trace of a resident entry (0 when absent).
+
+        A pure query: does not count as a hit/miss and does not touch
+        LRU order or the spill store.
+        """
+        entry = self._entries.get((workload, scale))
+        return entry.peak_trace_elems if entry is not None else 0
+
+    # ------------------------------------------------------------------
+    def _install(self, key: Tuple[str, str], entry: WorkloadTrace) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            old_key, old_entry = self._entries.popitem(last=False)
+            self._spill(old_key, old_entry)
+
+    def _path(self, key: Tuple[str, str]) -> str:
+        return os.path.join(self.spill_dir, f"trace-{key[0]}-{key[1]}.pkl")
+
+    def _spill(self, key: Tuple[str, str], entry: WorkloadTrace) -> None:
+        if self.spill_dir is None:
+            return
+        os.makedirs(self.spill_dir, exist_ok=True)
+        with open(self._path(key), "wb") as f:
+            pickle.dump(entry, f, protocol=pickle.HIGHEST_PROTOCOL)
+        self.spills += 1
+        OBS.inc("tracecache.spills")
+
+    def _load_spilled(self, key: Tuple[str, str]
+                      ) -> Optional[WorkloadTrace]:
+        if self.spill_dir is None:
+            return None
+        path = self._path(key)
+        if not os.path.exists(path):
+            return None
+        with open(path, "rb") as f:
+            return pickle.load(f)

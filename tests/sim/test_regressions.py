@@ -1,0 +1,114 @@
+"""Regression tests for latent timing/accounting bugs.
+
+Covers three fixes:
+
+* ``OooResult.time_ps`` used a hardcoded 500 ps/cycle regardless of the
+  configured core clock;
+* the accelerator compile cache was keyed by ``id(kernel)``, which can be
+  reused after garbage collection and silently serve a stale kernel;
+* host-residual accounting credited the accelerator with the microcode's
+  ``static_insts`` but subtracted the DFG instruction count from the
+  host residual, so the two sides of the ledger disagreed.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.events import cycles_to_ps
+from repro.ir import FLOAT32, Kernel, Loop, LoopVar, MemObject
+from repro.params import experiment_machine
+from repro.sim import simulate_workload
+from repro.sim.ooo import OooResult
+from repro.workloads import ALL_WORKLOADS
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return experiment_machine()
+
+
+class TestOooTimePs:
+    def test_time_follows_configured_clock(self):
+        res = OooResult(cycles=1000.0, insts=1, mem_ops=0, freq_ghz=2.5)
+        assert res.time_ps == cycles_to_ps(1000.0, 2.5) == 400_000
+
+    def test_default_matches_2ghz_host(self):
+        assert OooResult(cycles=1000.0, insts=1, mem_ops=0).time_ps == 500_000
+
+    def test_non_2ghz_core_is_not_500ps_per_cycle(self):
+        res = OooResult(cycles=1000.0, insts=1, mem_ops=0, freq_ghz=1.0)
+        assert res.time_ps == 1_000_000  # the old hardcode said 500_000
+
+    def test_system_ooo_time_scales_with_core_clock(self, machine):
+        def at(freq):
+            m = replace(machine, core=replace(machine.core, freq_ghz=freq))
+            return simulate_workload(
+                ALL_WORKLOADS["sei"].build("tiny"), "ooo", machine=m
+            ).time_ps
+
+        assert at(1.0) > at(2.0) > at(4.0)
+
+
+def vadd(n=16, name="vadd"):
+    A = MemObject("A", n, FLOAT32)
+    B = MemObject("B", n, FLOAT32)
+    C = MemObject("C", n, FLOAT32)
+    i = LoopVar("i")
+    loop = Loop("i", 0, n, [C.store(i, A[i] + B[i])])
+    return Kernel(name, {"A": A, "B": B, "C": C}, [loop], outputs=["C"])
+
+
+class TestKernelFingerprint:
+    """The compile cache keys on (name, fingerprint): structurally equal
+    kernels share a key even across distinct (or recycled) object ids."""
+
+    def test_identical_builds_share_fingerprint(self):
+        assert vadd().fingerprint() == vadd().fingerprint()
+
+    def test_trip_count_changes_fingerprint(self):
+        assert vadd(16).fingerprint() != vadd(32).fingerprint()
+
+    def test_body_changes_fingerprint(self):
+        n = 16
+        A = MemObject("A", n, FLOAT32)
+        B = MemObject("B", n, FLOAT32)
+        C = MemObject("C", n, FLOAT32)
+        i = LoopVar("i")
+        add = Kernel("k", {"A": A, "B": B, "C": C},
+                     [Loop("i", 0, n, [C.store(i, A[i] + B[i])])],
+                     outputs=["C"])
+        mul = Kernel("k", {"A": A, "B": B, "C": C},
+                     [Loop("i", 0, n, [C.store(i, A[i] * B[i])])],
+                     outputs=["C"])
+        assert add.fingerprint() != mul.fingerprint()
+
+    def test_scalars_change_fingerprint(self):
+        n = 16
+        A = MemObject("A", n, FLOAT32)
+        B = MemObject("B", n, FLOAT32)
+        i = LoopVar("i")
+
+        def k(scalars):
+            return Kernel("k", {"A": A, "B": B},
+                          [Loop("i", 0, n, [B.store(i, A[i])])],
+                          scalars=scalars, outputs=["B"])
+
+        assert k({"alpha": 1.0}).fingerprint() != k({"alpha": 2.0}).fingerprint()
+
+
+class TestResidualAccounting:
+    """Accelerator configs must not inflate or deflate the instruction
+    ledger: offloaded + residual recovers the functional total, so the
+    reported ``insts`` matches the OoO baseline for the same workload."""
+
+    @pytest.mark.parametrize("workload", ["fdt", "spmv", "sei"])
+    @pytest.mark.parametrize("config", ["mono_da_io", "dist_da_f"])
+    def test_accel_insts_match_baseline(self, machine, workload, config):
+        ooo = simulate_workload(
+            ALL_WORKLOADS[workload].build("tiny"), "ooo", machine=machine
+        )
+        acc = simulate_workload(
+            ALL_WORKLOADS[workload].build("tiny"), config, machine=machine
+        )
+        assert acc.insts == ooo.insts

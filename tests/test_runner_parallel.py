@@ -1,0 +1,84 @@
+"""Parallel matrix population must be cell-for-cell identical to serial."""
+
+import pytest
+
+from repro.experiments.runner import ResultMatrix, resolve_jobs, run_matrix
+
+# a deliberately tiny 2x2 slice so the process pool spins up fast
+WORKLOADS = ("cho", "nw")
+CONFIGS = ("ooo", "dist_da_io")
+
+
+def cell_sig(run):
+    return (
+        run.workload, run.config, run.time_ps, run.insts, run.mem_ops,
+        run.energy_nj, run.movement_bytes, run.mmio_bytes,
+        run.accel_iterations, run.validated, run.traffic_breakdown,
+        run.cache_stats,
+    )
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs(None) == 4
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_floor_at_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-3) == 1
+
+
+class TestParallelEquality:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_matrix(scale="tiny", workloads=WORKLOADS,
+                          configs=CONFIGS, jobs=1)
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return run_matrix(scale="tiny", workloads=WORKLOADS,
+                          configs=CONFIGS, jobs=2)
+
+    def test_same_cells_present(self, serial, parallel):
+        assert set(serial.results) == set(parallel.results) == {
+            (w, c) for w in WORKLOADS for c in CONFIGS
+        }
+
+    def test_cells_identical(self, serial, parallel):
+        for key in serial.results:
+            assert cell_sig(serial.results[key]) == cell_sig(
+                parallel.results[key]
+            ), key
+
+    def test_coverage_merged_per_workload(self, serial, parallel):
+        assert set(parallel.coverage) == set(WORKLOADS)
+        for w in WORKLOADS:
+            assert parallel.coverage[w].row() == serial.coverage[w].row()
+
+    def test_all_validated(self, parallel):
+        assert parallel.all_validated()
+
+    def test_progress_lines_emitted(self):
+        lines = []
+        run_matrix(scale="tiny", workloads=("cho",), configs=CONFIGS,
+                   jobs=1, progress=lines.append)
+        assert len(lines) == len(CONFIGS)
+        assert all("cho" in line for line in lines)
+
+
+class TestLazyMatrix:
+    def test_get_populates_and_reuses(self):
+        matrix = ResultMatrix(scale="tiny", workloads=WORKLOADS,
+                              configs=CONFIGS)
+        first = matrix.get("cho", "ooo")
+        assert matrix.get("cho", "ooo") is first
+        # the shared trace cache has the workload's functional trace
+        assert matrix.trace_cache.peak_trace_elems("cho", "tiny") > 0
