@@ -1,0 +1,87 @@
+"""Static kernel analysis: verifier, dependence/footprint, race lint.
+
+Three cooperating passes over kernel IR, run before interpretation or
+compilation ever sees a kernel:
+
+* :mod:`repro.analysis.verifier` — structural + bounds legality
+  (rules ``AN-V..``); wired as a default-on guard in
+  :meth:`repro.ir.interp.Interpreter.run` and
+  :func:`repro.compiler.pipeline.compile_kernel`
+  (opt out with ``REPRO_NO_VERIFY=1``).
+* :mod:`repro.analysis.deps` — affine dependence & footprint analysis
+  (rules ``AN-D..``), cross-checked against the DFG offload classifier.
+* :mod:`repro.analysis.races` — offload-race detection
+  (rules ``AN-R..``).
+
+``python -m repro.analysis`` lints every registered workload.
+"""
+
+from .deps import (
+    AccessRegion,
+    DepKind,
+    LoopDepSummary,
+    agrees_with_classification,
+    analyze_innermost_loop,
+    analyze_kernel,
+    dependence_findings,
+    innermost_walk,
+)
+from .findings import Finding, Severity, errors_of, max_severity
+from .lint import (
+    LintReport,
+    collect_kernels,
+    lint_all,
+    lint_kernel,
+    lint_kernels,
+    lint_workload,
+)
+from .races import (
+    LoopFootprint,
+    ObjectFootprint,
+    cluster_spans,
+    cross_kernel_findings,
+    kernel_footprints,
+    race_findings,
+)
+from .ranges import VarRange, affine_form, affine_range, expr_interval
+from .verifier import (
+    OPT_OUT_ENV,
+    assert_kernel_verified,
+    verification_enabled,
+    verify_kernel,
+)
+
+__all__ = [
+    "AccessRegion",
+    "DepKind",
+    "Finding",
+    "LintReport",
+    "LoopDepSummary",
+    "LoopFootprint",
+    "ObjectFootprint",
+    "OPT_OUT_ENV",
+    "Severity",
+    "VarRange",
+    "affine_form",
+    "affine_range",
+    "agrees_with_classification",
+    "analyze_innermost_loop",
+    "analyze_kernel",
+    "assert_kernel_verified",
+    "cluster_spans",
+    "collect_kernels",
+    "cross_kernel_findings",
+    "dependence_findings",
+    "errors_of",
+    "expr_interval",
+    "innermost_walk",
+    "kernel_footprints",
+    "lint_all",
+    "lint_kernel",
+    "lint_kernels",
+    "lint_workload",
+    "max_severity",
+    "race_findings",
+    "verification_enabled",
+    "verify_kernel",
+]

@@ -1,0 +1,77 @@
+"""Lint CLI: ``python -m repro.analysis [--strict] [--json] [...]``.
+
+Runs the verifier, dependence, and race passes over every kernel each
+registered workload issues and prints the findings. ``--strict`` exits
+non-zero when any ERROR finding exists (the CI gate); ``--json`` emits
+the machine-readable reports instead of text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .findings import Severity
+from .lint import lint_all
+
+_SEVERITIES = {s.value: s for s in Severity}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="statically lint all registered workload kernels",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", metavar="SHORT",
+        help="lint only these workload short names (default: all)",
+    )
+    parser.add_argument(
+        "--scale", default="tiny", choices=("tiny", "small", "large"),
+        help="workload build scale (default: tiny)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any error-severity finding exists",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON reports",
+    )
+    parser.add_argument(
+        "--min-severity", default="info", choices=sorted(_SEVERITIES),
+        help="hide findings below this severity in text output",
+    )
+    args = parser.parse_args(argv)
+
+    reports = lint_all(scale=args.scale, shorts=args.workloads)
+    total_errors = sum(len(r.errors) for r in reports)
+
+    if args.as_json:
+        print(json.dumps(
+            {"reports": [r.to_dict() for r in reports],
+             "errors": total_errors},
+            indent=2,
+        ))
+    else:
+        floor = _SEVERITIES[args.min_severity].rank
+        for report in reports:
+            shown = [f for f in report.findings if f.severity.rank >= floor]
+            status = "ok" if report.clean else "FAIL"
+            print(f"[{status}] {report.workload}: "
+                  f"{len(report.kernels)} kernel(s), "
+                  f"{len(report.findings)} finding(s)")
+            for finding in shown:
+                print(f"    {finding.format()}")
+        print(f"{len(reports)} workload(s) linted, "
+              f"{total_errors} error(s)")
+
+    if args.strict and total_errors:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

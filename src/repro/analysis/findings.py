@@ -1,0 +1,92 @@
+"""Finding model shared by every static-analysis pass.
+
+A :class:`Finding` is one diagnostic: a stable rule id, a severity, a
+path-qualified location inside the kernel (``kernel/loop[i]/stmt[2]``)
+and a human-readable message. Findings are plain data so the lint CLI
+can emit them machine-readably (``--json``) and tests can assert on
+rule ids instead of message text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    * ``ERROR`` — the kernel is statically illegal; the default-on
+      guard in the compiler/interpreter refuses it and ``--strict``
+      lint runs exit non-zero.
+    * ``WARNING`` — likely-wrong or unprovable-but-suspicious; reported
+      but never fatal.
+    * ``INFO`` — advisory facts (classifications, footprint overlaps
+      the runtime's ordering is known to handle).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a static-analysis pass."""
+
+    rule: str                 # stable id, e.g. "AN-V10"
+    severity: Severity
+    location: str             # "kernel/loop[i]/stmt[2]"
+    message: str
+    kernel: str = ""
+    obj: Optional[str] = None  # memory object involved, when applicable
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "kernel": self.kernel,
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.obj is not None:
+            out["obj"] = self.obj
+        return out
+
+    def format(self) -> str:
+        return (
+            f"{self.severity.value:7s} {self.rule} {self.location}: "
+            f"{self.message}"
+        )
+
+
+def errors_of(findings: List[Finding]) -> List[Finding]:
+    return [f for f in findings if f.severity is Severity.ERROR]
+
+
+def max_severity(findings: List[Finding]) -> Optional[Severity]:
+    if not findings:
+        return None
+    return max((f.severity for f in findings), key=lambda s: s.rank)
+
+
+@dataclass
+class Location:
+    """Mutable path builder used while walking a kernel."""
+
+    kernel: str
+    parts: List[str] = field(default_factory=list)
+
+    def push(self, part: str) -> None:
+        self.parts.append(part)
+
+    def pop(self) -> None:
+        self.parts.pop()
+
+    def path(self) -> str:
+        return "/".join([self.kernel] + self.parts)

@@ -1,0 +1,98 @@
+"""Lint driver: run every analysis pass over kernels and workloads.
+
+The unit of linting is a :class:`Kernel`; workloads are linted by
+statically enumerating the kernels their schedule issues (without
+interpreting them — array state never changes, so data-dependent
+schedules such as BFS's frontier loop terminate after the first
+repeated kernel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..ir.program import Kernel
+from ..workloads import workload_registry
+from ..workloads.base import WorkloadInstance
+from .deps import dependence_findings
+from .findings import Finding, errors_of
+from .races import cross_kernel_findings, race_findings
+from .verifier import verify_kernel
+
+#: schedules are iterated statically (arrays never change), so any
+#: data-dependent schedule loops forever; stop after this many calls
+MAX_SCHEDULE_CALLS = 64
+
+
+def lint_kernel(kernel: Kernel) -> List[Finding]:
+    """All single-kernel findings: verifier, dependence, races."""
+    findings = verify_kernel(kernel)
+    # dependence/race analysis assumes a structurally valid kernel
+    if not errors_of(findings):
+        findings += dependence_findings(kernel)
+        findings += race_findings(kernel)
+    return findings
+
+
+def collect_kernels(instance: WorkloadInstance,
+                    max_calls: int = MAX_SCHEDULE_CALLS) -> List[Kernel]:
+    """Unique kernels the instance's schedule issues, in first-issue
+    order, deduplicated by structural fingerprint."""
+    seen: Dict[str, Kernel] = {}
+    for i, call in enumerate(instance.calls()):
+        if i >= max_calls:
+            break
+        fp = call.kernel.fingerprint()
+        if fp not in seen:
+            seen[fp] = call.kernel
+    return list(seen.values())
+
+
+@dataclass
+class LintReport:
+    """Findings for one workload (or one ad-hoc kernel set)."""
+
+    workload: str
+    kernels: List[str] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return errors_of(self.findings)
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "kernels": list(self.kernels),
+            "findings": [f.to_dict() for f in self.findings],
+            "errors": len(self.errors),
+        }
+
+
+def lint_kernels(name: str, kernels: Sequence[Kernel]) -> LintReport:
+    report = LintReport(workload=name)
+    for kernel in kernels:
+        report.kernels.append(kernel.name)
+        report.findings.extend(lint_kernel(kernel))
+    report.findings.extend(cross_kernel_findings(list(kernels)))
+    return report
+
+
+def lint_workload(short: str, scale: str = "tiny") -> LintReport:
+    """Lint every kernel a registered workload's schedule issues."""
+    registry = workload_registry()
+    instance = registry[short].build(scale)
+    return lint_kernels(short, collect_kernels(instance))
+
+
+def lint_all(scale: str = "tiny",
+             shorts: Optional[Sequence[str]] = None) -> List[LintReport]:
+    """Lint all registered workloads (or the given subset)."""
+    registry = workload_registry()
+    names = list(shorts) if shorts else sorted(registry)
+    return [lint_workload(short, scale) for short in names]

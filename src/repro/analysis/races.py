@@ -1,0 +1,257 @@
+"""Offload-race detector (rules AN-R01..AN-R03).
+
+An offloaded loop runs on access units at the data's home clusters
+while the host executes the residual (rejected-for-offload) loops of
+the same kernel and launches the next kernel. The runtime serializes
+kernel *calls*, so program-order footprint sharing is normal and only
+advisory — but an offloaded loop whose write footprint overlaps what
+the host-residual part of the *same kernel* touches has no such
+ordering inside the kernel and is a real hazard.
+
+Footprints are static per-loop region summaries from
+:mod:`repro.analysis.deps`, widened to byte extents via each object's
+element size and mapped to L3 cluster spans with the same slab layout
+(stripe-aligned bump allocation) and static-NUCA striping the
+simulator uses (:mod:`repro.mem.slab`, :mod:`repro.mem.nuca`), so a
+finding can say *which clusters* both parties hit.
+
+Rules
+-----
+==========  ========  =====================================================
+AN-R01      warning   offloaded loop's write footprint overlaps a
+                      host-residual loop's reads or writes (same kernel)
+AN-R02      info      two offloaded loops of one kernel have overlapping
+                      write/read footprints (runtime orders them; the
+                      overlap forces that ordering)
+AN-R03      info      concurrently-placed kernels share a written object
+                      region across clusters
+==========  ========  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dfg.classify import classify_kernel_loop
+from ..ir.program import Kernel
+from ..params import MachineParams, default_machine
+from .deps import (
+    LoopDepSummary,
+    analyze_innermost_loop,
+    innermost_walk,
+)
+from .findings import Finding, Severity
+
+Interval = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ObjectFootprint:
+    """Static element region one loop touches in one object."""
+
+    obj: str
+    reads: Optional[Interval]   # None = unknown extent (whole object)
+    writes: Optional[Interval]
+    has_reads: bool
+    has_writes: bool
+
+
+@dataclass(frozen=True)
+class LoopFootprint:
+    """All object regions of one innermost loop, plus its role."""
+
+    location: str
+    offloaded: bool
+    objects: Dict[str, ObjectFootprint]
+
+
+def _merge(a: Optional[Interval], b: Optional[Interval],
+           known: bool) -> Optional[Interval]:
+    if not known:
+        return None
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def _object_footprints(summary: LoopDepSummary,
+                       kernel: Kernel) -> Dict[str, ObjectFootprint]:
+    per_obj: Dict[str, Dict[str, object]] = {}
+    for region in summary.reads + summary.writes:
+        slot = per_obj.setdefault(region.obj, {
+            "reads": None, "writes": None,
+            "has_reads": False, "has_writes": False,
+            "reads_known": True, "writes_known": True,
+        })
+        key = "writes" if region.is_write else "reads"
+        slot[f"has_{key}"] = True
+        if region.interval is None:
+            slot[f"{key}_known"] = False
+        slot[key] = _merge(slot[key], region.interval,
+                           bool(slot[f"{key}_known"]))
+    out: Dict[str, ObjectFootprint] = {}
+    for obj, slot in per_obj.items():
+        n = kernel.objects[obj].num_elements if obj in kernel.objects else None
+
+        def clamp(iv: Optional[Interval]) -> Optional[Interval]:
+            if iv is None or n is None:
+                return iv
+            return (max(iv[0], 0), min(iv[1], n - 1))
+
+        out[obj] = ObjectFootprint(
+            obj=obj,
+            reads=clamp(slot["reads"]) if slot["reads_known"] else None,
+            writes=clamp(slot["writes"]) if slot["writes_known"] else None,
+            has_reads=bool(slot["has_reads"]),
+            has_writes=bool(slot["has_writes"]),
+        )
+    return out
+
+
+def kernel_footprints(kernel: Kernel) -> List[LoopFootprint]:
+    """Per-innermost-loop footprints, tagged offloaded/host-residual
+    with the same classifier the compiler uses."""
+    footprints: List[LoopFootprint] = []
+    for loop, env, path in innermost_walk(kernel):
+        summary = analyze_innermost_loop(loop, kernel, env, location=path)
+        classify = classify_kernel_loop(loop, kernel)
+        footprints.append(LoopFootprint(
+            location=path,
+            offloaded=classify.kind.offloadable,
+            objects=_object_footprints(summary, kernel),
+        ))
+    return footprints
+
+
+# ---------------------------------------------------------------------------
+# cluster spans
+# ---------------------------------------------------------------------------
+def cluster_spans(kernel: Kernel,
+                  machine: Optional[MachineParams] = None
+                  ) -> Dict[str, Tuple[int, ...]]:
+    """Home-cluster set of every object under the simulator's layout:
+    stripe-aligned bump allocation + static range striping."""
+    machine = machine or default_machine()
+    stripe = machine.l3_cluster_bytes
+    n = machine.l3_clusters
+    spans: Dict[str, Tuple[int, ...]] = {}
+    base = 0
+    for name, obj in kernel.objects.items():
+        # stripe-aligned bump layout, mirroring SystemSimulator.run()
+        base = (base + stripe - 1) // stripe * stripe
+        first = (base // stripe) % n
+        stripes = (obj.size_bytes + stripe - 1) // stripe
+        spans[name] = tuple(sorted({(first + k) % n
+                                    for k in range(min(stripes, n))}))
+        base += obj.size_bytes
+    return spans
+
+
+def _overlap(a: Optional[Interval], b: Optional[Interval]) -> bool:
+    """Unknown extents conservatively overlap everything."""
+    if a is None or b is None:
+        return True
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+def _span_text(kernel: Kernel, obj: str,
+               spans: Dict[str, Tuple[int, ...]]) -> str:
+    clusters = spans.get(obj)
+    if not clusters:
+        return ""
+    return " (clusters " + ",".join(str(c) for c in clusters) + ")"
+
+
+# ---------------------------------------------------------------------------
+# rules
+# ---------------------------------------------------------------------------
+def race_findings(kernel: Kernel,
+                  machine: Optional[MachineParams] = None) -> List[Finding]:
+    """AN-R01/AN-R02 findings within one kernel."""
+    footprints = kernel_footprints(kernel)
+    spans = cluster_spans(kernel, machine)
+    findings: List[Finding] = []
+    for i, a in enumerate(footprints):
+        for b in footprints[i + 1:]:
+            if a.offloaded == b.offloaded:
+                if not a.offloaded:
+                    continue  # host vs host: ordinary sequential code
+                rule, sev = "AN-R02", Severity.INFO
+                what = "both offloaded"
+            else:
+                rule, sev = "AN-R01", Severity.WARNING
+                what = "offloaded vs host-residual"
+            off, host = (a, b) if a.offloaded else (b, a)
+            for obj, fp in off.objects.items():
+                if not fp.has_writes:
+                    continue
+                other = host.objects.get(obj)
+                if other is None:
+                    continue
+                conflicts = []
+                if other.has_writes and _overlap(fp.writes, other.writes):
+                    conflicts.append("write/write")
+                if other.has_reads and _overlap(fp.writes, other.reads):
+                    conflicts.append("write/read")
+                if not conflicts:
+                    continue
+                findings.append(Finding(
+                    rule=rule, severity=sev, location=off.location,
+                    message=(
+                        f"{what}: {'+'.join(conflicts)} overlap on "
+                        f"{obj!r} with {host.location}"
+                        f"{_span_text(kernel, obj, spans)}"
+                    ),
+                    kernel=kernel.name, obj=obj,
+                ))
+    return findings
+
+
+def cross_kernel_findings(kernels: Sequence[Kernel],
+                          machine: Optional[MachineParams] = None
+                          ) -> List[Finding]:
+    """AN-R03: written-object sharing between kernels that could be
+    resident on the clusters at the same time (e.g. adjacent calls of a
+    pipeline). Advisory — the runtime serializes kernel calls, so the
+    finding documents where that serialization is load-bearing."""
+    findings: List[Finding] = []
+    per_kernel = [(k, kernel_footprints(k), cluster_spans(k, machine))
+                  for k in kernels]
+    for i, (ka, fa, spans) in enumerate(per_kernel):
+        for kb, fb, _ in per_kernel[i + 1:]:
+            if ka.name == kb.name:
+                continue
+            shared: Dict[str, List[str]] = {}
+            for lf_a in fa:
+                if not lf_a.offloaded:
+                    continue
+                for obj, fp_a in lf_a.objects.items():
+                    if not fp_a.has_writes or obj not in kb.objects:
+                        continue
+                    for lf_b in fb:
+                        if not lf_b.offloaded:
+                            continue
+                        fp_b = lf_b.objects.get(obj)
+                        if fp_b is None:
+                            continue
+                        if ((fp_b.has_reads
+                             and _overlap(fp_a.writes, fp_b.reads))
+                                or (fp_b.has_writes
+                                    and _overlap(fp_a.writes, fp_b.writes))):
+                            shared.setdefault(obj, []).append(lf_b.location)
+            for obj, locations in shared.items():
+                findings.append(Finding(
+                    rule="AN-R03", severity=Severity.INFO,
+                    location=f"{ka.name}<->{kb.name}",
+                    message=(
+                        f"offloads of both kernels touch written object "
+                        f"{obj!r} ({', '.join(sorted(set(locations)))})"
+                        f"{_span_text(ka, obj, spans)}; correctness "
+                        f"relies on the runtime serializing the calls"
+                    ),
+                    kernel=ka.name, obj=obj,
+                ))
+    return findings

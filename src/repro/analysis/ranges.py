@@ -1,0 +1,270 @@
+"""Static value-range machinery shared by the analysis passes.
+
+Two cooperating views of an index expression:
+
+* :func:`affine_form` — exact multi-variable affine decomposition
+  ``c0 + sum(ci * vi)`` over loop variables (the n-variable extension of
+  the per-variable recurrences in :mod:`repro.dfg.scev`). When every
+  variable's extent is known exactly, the resulting range is *tight*:
+  a bound violation is a definite out-of-bounds access.
+* :func:`expr_interval` — conservative interval arithmetic over the
+  full expression grammar (min/max clamps, selects, division, ...).
+  Sound over-approximation: can prove safety, never a violation.
+
+Loop extents are modeled by :class:`VarRange`; ``exact`` is True only
+when the loop's bounds are compile-time constants, so ranges derived
+through data- or outer-variable-dependent bounds are demoted to
+"possible" findings by the verifier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..ir.expr import (
+    BinOp,
+    Const,
+    Expr,
+    Load,
+    LoopVar,
+    Scalar,
+    Select,
+    Temp,
+    UnaryOp,
+)
+from ..ir.stmt import Loop
+
+Interval = Tuple[int, int]  # closed [lo, hi]
+
+
+@dataclass(frozen=True)
+class VarRange:
+    """Inclusive value range of one induction variable."""
+
+    lo: int
+    hi: int
+    #: True when derived from constant loop bounds (range is attained)
+    exact: bool = True
+
+    @property
+    def empty(self) -> bool:
+        return self.hi < self.lo
+
+
+Env = Dict[str, VarRange]
+
+
+# ---------------------------------------------------------------------------
+# affine forms
+# ---------------------------------------------------------------------------
+def affine_form(expr: Expr) -> Optional[Tuple[int, Dict[str, int]]]:
+    """Decompose ``expr`` into ``(const, {var: coeff})`` when it is an
+    integer affine combination of loop variables. Returns None for any
+    expression involving loads, scalars, temps, or non-affine operators.
+    """
+    kind = expr.__class__
+    if kind is Const:
+        if isinstance(expr.value, int):
+            return (expr.value, {})
+        return None
+    if kind is LoopVar:
+        return (0, {expr.name: 1})
+    if kind in (Scalar, Temp, Load, Select):
+        return None
+    if kind is UnaryOp:
+        if expr.op != "-":
+            return None
+        inner = affine_form(expr.operand)
+        if inner is None:
+            return None
+        c, coeffs = inner
+        return (-c, {v: -k for v, k in coeffs.items()})
+    if kind is BinOp:
+        return _affine_binop(expr)
+    return None
+
+
+def _affine_binop(expr: BinOp) -> Optional[Tuple[int, Dict[str, int]]]:
+    left = affine_form(expr.lhs)
+    right = affine_form(expr.rhs)
+    if left is None or right is None:
+        return None
+    lc, lco = left
+    rc, rco = right
+    if expr.op in ("+", "-"):
+        sign = 1 if expr.op == "+" else -1
+        coeffs = dict(lco)
+        for v, k in rco.items():
+            coeffs[v] = coeffs.get(v, 0) + sign * k
+        return (lc + sign * rc, {v: k for v, k in coeffs.items() if k})
+    if expr.op == "*":
+        if not lco:  # const * affine
+            return (lc * rc, {v: lc * k for v, k in rco.items() if lc * k})
+        if not rco:  # affine * const
+            return (rc * lc, {v: rc * k for v, k in lco.items() if rc * k})
+        return None
+    return None
+
+
+def affine_range(const: int, coeffs: Dict[str, int],
+                 env: Env) -> Optional[Tuple[int, int, bool]]:
+    """(lo, hi, exact) of an affine form under ``env``; None when some
+    variable's extent is unknown."""
+    lo = hi = const
+    exact = True
+    for var, coeff in coeffs.items():
+        rng = env.get(var)
+        if rng is None or rng.empty:
+            return None
+        exact = exact and rng.exact
+        if coeff >= 0:
+            lo += coeff * rng.lo
+            hi += coeff * rng.hi
+        else:
+            lo += coeff * rng.hi
+            hi += coeff * rng.lo
+    # a form over >1 variable is only attained at the corners when the
+    # variables range independently; dependent extents are inexact by
+    # construction (VarRange.exact=False), single-variable forms always
+    # attain their endpoints
+    return (lo, hi, exact)
+
+
+# ---------------------------------------------------------------------------
+# conservative interval arithmetic
+# ---------------------------------------------------------------------------
+def expr_interval(expr: Expr, env: Env) -> Optional[Interval]:
+    """Sound over-approximating interval of ``expr`` under ``env``.
+
+    Returns None when the value is statically unbounded (loads, scalars,
+    temps, or operators we do not model).
+    """
+    kind = expr.__class__
+    if kind is Const:
+        v = expr.value
+        if isinstance(v, float) and not v.is_integer():
+            return (math.floor(v), math.ceil(v))
+        return (int(v), int(v))
+    if kind is LoopVar:
+        rng = env.get(expr.name)
+        if rng is None or rng.empty:
+            return None
+        return (rng.lo, rng.hi)
+    if kind in (Scalar, Temp, Load):
+        return None
+    if kind is UnaryOp:
+        return _unop_interval(expr, env)
+    if kind is Select:
+        t = expr_interval(expr.if_true, env)
+        f = expr_interval(expr.if_false, env)
+        if t is None or f is None:
+            return None
+        return (min(t[0], f[0]), max(t[1], f[1]))
+    if kind is BinOp:
+        return _binop_interval(expr, env)
+    return None
+
+
+def _unop_interval(expr: UnaryOp, env: Env) -> Optional[Interval]:
+    inner = expr_interval(expr.operand, env)
+    if inner is None:
+        return None
+    lo, hi = inner
+    if expr.op == "-":
+        return (-hi, -lo)
+    if expr.op == "abs":
+        if lo >= 0:
+            return (lo, hi)
+        if hi <= 0:
+            return (-hi, -lo)
+        return (0, max(-lo, hi))
+    if expr.op == "floor":
+        return (lo, hi)
+    if expr.op == "not":
+        return (0, 1)
+    return None  # sqrt/exp/log: not index material
+
+
+def _binop_interval(expr: BinOp, env: Env) -> Optional[Interval]:
+    op = expr.op
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        return (0, 1)
+    left = expr_interval(expr.lhs, env)
+    right = expr_interval(expr.rhs, env)
+    if left is None or right is None:
+        return None
+    ll, lh = left
+    rl, rh = right
+    if op == "+":
+        return (ll + rl, lh + rh)
+    if op == "-":
+        return (ll - rh, lh - rl)
+    if op == "*":
+        products = (ll * rl, ll * rh, lh * rl, lh * rh)
+        return (min(products), max(products))
+    if op == "min":
+        return (min(ll, rl), min(lh, rh))
+    if op == "max":
+        return (max(ll, rl), max(lh, rh))
+    if op == "/":
+        if rl <= 0 <= rh:
+            return None  # divisor range contains zero
+        quotients = (ll / rl, ll / rh, lh / rl, lh / rh)
+        return (math.floor(min(quotients)), math.ceil(max(quotients)))
+    if op == "%":
+        if rl == rh and rl != 0:
+            m = abs(rl)
+            if ll >= 0:
+                return (0, m - 1)
+            return (-(m - 1), m - 1)
+        return None
+    if op in ("<<", ">>"):
+        if ll < 0 or rl < 0 or rh > 62:
+            return None
+        shift = (lambda a, b: a << b) if op == "<<" else (lambda a, b: a >> b)
+        vals = (shift(ll, rl), shift(ll, rh), shift(lh, rl), shift(lh, rh))
+        return (min(vals), max(vals))
+    if op in ("&", "|", "^"):
+        if ll == lh and rl == rh:  # both points: fold
+            val = {"&": ll & rl, "|": ll | rl, "^": ll ^ rl}[op]
+            return (val, val)
+        return None
+    return None
+
+
+def const_value(expr: Expr) -> Optional[int]:
+    """Fold a constant integer expression; None when not constant."""
+    iv = expr_interval(expr, {})
+    if iv is not None and iv[0] == iv[1]:
+        return iv[0]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# loop extents
+# ---------------------------------------------------------------------------
+def loop_var_range(loop: Loop, env: Env) -> Optional[VarRange]:
+    """Value range of ``loop.var`` over ``range(lower, upper, step)``.
+
+    ``exact`` is True only when both bounds are compile-time constants;
+    bounds involving outer loop variables produce a sound union range
+    marked inexact, and data-dependent bounds return None.
+    """
+    lower = expr_interval(loop.lower, env)
+    upper = expr_interval(loop.upper, env)
+    if lower is None or upper is None:
+        return None
+    lo_c = const_value(loop.lower)
+    up_c = const_value(loop.upper)
+    if lo_c is not None and up_c is not None:
+        values = range(lo_c, up_c, loop.step)
+        if not values:
+            return VarRange(lo_c, lo_c - 1, exact=True)  # empty
+        return VarRange(min(values[0], values[-1]),
+                        max(values[0], values[-1]), exact=True)
+    # non-constant bounds: sound union over every possible trip range
+    if loop.step > 0:
+        return VarRange(lower[0], upper[1] - 1, exact=False)
+    return VarRange(upper[0] + 1, lower[1], exact=False)

@@ -1,0 +1,381 @@
+"""Structural + range verification of kernel IR (rules AN-V01..AN-V15).
+
+The static counterpart of LLVM's module verifier for our kernel IR
+(paper §V leans on LLVM's SSA verifier before deciding offload
+legality). Where :meth:`repro.ir.program.Kernel.validate` raises on the
+first constructor-time violation, this pass checks *everything* —
+including properties only establishable with value-range analysis —
+and reports each violation as a :class:`~repro.analysis.findings.Finding`
+with a rule id and a path-qualified location.
+
+Rules
+-----
+==========  ========  =====================================================
+AN-V01      error     loop variable used out of scope
+AN-V02      error     shadowed loop variable
+AN-V03      error     temp read before assignment
+AN-V04      warning   conditionally-assigned temp read under a different
+                      (or no) predicate
+AN-V05      error     load/store on an undeclared memory object
+AN-V06      error     undeclared scalar parameter
+AN-V07      error     malformed When (loop in body, empty body)
+AN-V08      warning   float-valued expression stored to an integer object
+AN-V09      warning   bitwise/shift operator applied to a float operand
+AN-V10      error*    static out-of-bounds affine access (*warning when
+                      the access is predicated or the range is inexact)
+AN-V11      warning   statically dead loop (zero trip count)
+AN-V12      error     unknown output object
+AN-V13      warning   declared output object is never stored to
+AN-V14      error     malformed loop (empty body, zero step)
+AN-V15      error     kernel has no loops
+==========  ========  =====================================================
+
+``assert_kernel_verified`` is the default-on guard wired into
+``compile_kernel`` and the golden interpreter; set ``REPRO_NO_VERIFY=1``
+to opt out (e.g. to reproduce a dynamic failure the verifier would
+reject statically).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AnalysisError
+from ..ir.expr import (
+    BinOp,
+    Const,
+    Expr,
+    Load,
+    LoopVar,
+    Scalar,
+    Select,
+    Temp,
+    UnaryOp,
+)
+from ..ir.program import Kernel
+from ..ir.stmt import Assign, Loop, Stmt, Store, When
+from .findings import Finding, Location, Severity, errors_of
+from .ranges import (
+    Env,
+    affine_form,
+    affine_range,
+    expr_interval,
+    loop_var_range,
+)
+
+#: cache attribute set on kernels that passed the guard once
+_VERIFIED_ATTR = "_analysis_verified"
+#: environment variable disabling the default-on guard
+OPT_OUT_ENV = "REPRO_NO_VERIFY"
+
+
+def verification_enabled() -> bool:
+    return os.environ.get(OPT_OUT_ENV, "") in ("", "0")
+
+
+def verify_kernel(kernel: Kernel) -> List[Finding]:
+    """Run every verifier rule; returns all findings (possibly empty)."""
+    return _Verifier(kernel).run()
+
+
+def assert_kernel_verified(kernel: Kernel, context: str = "") -> None:
+    """Guard entry point: raise :class:`AnalysisError` on ERROR findings.
+
+    Results are cached per kernel object, so per-call users (the
+    interpreter runs once per kernel invocation) pay the analysis once.
+    """
+    if not verification_enabled():
+        return
+    if kernel.__dict__.get(_VERIFIED_ATTR):
+        return
+    findings = verify_kernel(kernel)
+    errors = errors_of(findings)
+    if errors:
+        where = f" (at {context})" if context else ""
+        lines = "\n".join(f.format() for f in errors)
+        raise AnalysisError(
+            f"kernel {kernel.name!r} failed static verification{where}:\n"
+            f"{lines}",
+            findings=errors,
+        )
+    kernel.__dict__[_VERIFIED_ATTR] = True
+
+
+# ---------------------------------------------------------------------------
+#: tri-state float inference: True / False / None (unknown)
+_TriState = Optional[bool]
+
+#: per-temp state: (predicate repr it was assigned under or None, dtype)
+_TempInfo = Tuple[Optional[str], _TriState]
+
+
+class _Verifier:
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.findings: List[Finding] = []
+        self.loc = Location(kernel.name)
+        self.stored_objects: set = set()
+
+    # -- helpers -----------------------------------------------------------
+    def emit(self, rule: str, severity: Severity, message: str,
+             obj: Optional[str] = None) -> None:
+        self.findings.append(Finding(
+            rule=rule, severity=severity, location=self.loc.path(),
+            message=message, kernel=self.kernel.name, obj=obj,
+        ))
+
+    # -- entry -------------------------------------------------------------
+    def run(self) -> List[Finding]:
+        kernel = self.kernel
+        if not kernel.loops:
+            self.emit("AN-V15", Severity.ERROR, "kernel has no loops")
+        for out in kernel.outputs:
+            if out not in kernel.objects:
+                self.emit("AN-V12", Severity.ERROR,
+                          f"unknown output object {out!r}", obj=out)
+        for loop in kernel.loops:
+            self._check_loop(loop, scope=[], env={}, temps={},
+                             when_stack=[])
+        for out in kernel.outputs:
+            if out in kernel.objects and out not in self.stored_objects:
+                self.emit("AN-V13", Severity.WARNING,
+                          f"output object {out!r} is never stored to",
+                          obj=out)
+        return self.findings
+
+    # -- loops -------------------------------------------------------------
+    def _check_loop(self, loop: Loop, scope: List[str], env: Env,
+                    temps: Dict[str, _TempInfo],
+                    when_stack: List[str]) -> None:
+        self.loc.push(f"loop[{loop.var}]")
+        try:
+            if loop.step == 0:
+                self.emit("AN-V14", Severity.ERROR, "loop step is zero")
+            if not loop.body:
+                self.emit("AN-V14", Severity.ERROR, "loop body is empty")
+            if loop.var in scope:
+                self.emit("AN-V02", Severity.ERROR,
+                          f"loop variable {loop.var!r} shadows an "
+                          f"enclosing loop")
+            # bound expressions evaluate in the *enclosing* scope
+            for bound in (loop.lower, loop.upper):
+                self._check_expr(bound, scope, env, temps, when_stack)
+            var_range = (loop_var_range(loop, env)
+                         if loop.step != 0 else None)
+            if var_range is not None and var_range.empty:
+                self.emit("AN-V11", Severity.WARNING,
+                          f"loop over {loop.var!r} statically executes "
+                          f"zero iterations")
+            inner_scope = scope + [loop.var]
+            inner_env = dict(env)
+            if var_range is not None and not var_range.empty:
+                inner_env[loop.var] = var_range
+            # temps defined before a nested loop stay visible inside it;
+            # definitions inside don't leak back (fresh env per iteration)
+            inner_temps = dict(temps)
+            for idx, stmt in enumerate(loop.body):
+                if isinstance(stmt, Loop):
+                    self._check_loop(stmt, inner_scope, inner_env,
+                                     dict(inner_temps), when_stack)
+                else:
+                    self.loc.push(f"stmt[{idx}]")
+                    try:
+                        self._check_stmt(stmt, inner_scope, inner_env,
+                                         inner_temps, when_stack)
+                    finally:
+                        self.loc.pop()
+        finally:
+            self.loc.pop()
+
+    # -- statements ---------------------------------------------------------
+    def _check_stmt(self, stmt: Stmt, scope: List[str], env: Env,
+                    temps: Dict[str, _TempInfo],
+                    when_stack: List[str]) -> None:
+        if isinstance(stmt, When):
+            self._check_when(stmt, scope, env, temps, when_stack)
+            return
+        if isinstance(stmt, Assign):
+            self._check_expr(stmt.value, scope, env, temps, when_stack)
+            cond = when_stack[-1] if when_stack else None
+            temps[stmt.name] = (cond, self._float_of(stmt.value, temps))
+            return
+        if isinstance(stmt, Store):
+            self._check_expr(stmt.index, scope, env, temps, when_stack)
+            self._check_expr(stmt.value, scope, env, temps, when_stack)
+            self.stored_objects.add(stmt.obj)
+            obj = self.kernel.objects.get(stmt.obj)
+            if obj is None:
+                self.emit("AN-V05", Severity.ERROR,
+                          f"store to undeclared object {stmt.obj!r}",
+                          obj=stmt.obj)
+            else:
+                self._check_bounds(stmt.obj, stmt.index, env,
+                                   guarded=bool(when_stack),
+                                   is_write=True)
+                if (not obj.dtype.is_float
+                        and self._float_of(stmt.value, temps) is True):
+                    self.emit(
+                        "AN-V08", Severity.WARNING,
+                        f"float-valued expression stored to integer "
+                        f"object {stmt.obj!r} ({obj.dtype!r}); the value "
+                        f"is silently truncated", obj=stmt.obj,
+                    )
+            return
+        self.emit("AN-V14", Severity.ERROR,
+                  f"unknown statement kind {type(stmt).__name__}")
+
+    def _check_when(self, stmt: When, scope: List[str], env: Env,
+                    temps: Dict[str, _TempInfo],
+                    when_stack: List[str]) -> None:
+        self.loc.push("when")
+        try:
+            if not stmt.body:
+                self.emit("AN-V07", Severity.ERROR, "When body is empty")
+            self._check_expr(stmt.cond, scope, env, temps, when_stack)
+            inner_stack = when_stack + [repr(stmt.cond)]
+            for idx, inner in enumerate(stmt.body):
+                if isinstance(inner, Loop):
+                    self.emit("AN-V07", Severity.ERROR,
+                              "When bodies may not contain loops")
+                    continue
+                self.loc.push(f"stmt[{idx}]")
+                try:
+                    self._check_stmt(inner, scope, env, temps, inner_stack)
+                finally:
+                    self.loc.pop()
+        finally:
+            self.loc.pop()
+
+    # -- expressions ---------------------------------------------------------
+    def _check_expr(self, expr: Expr, scope: List[str], env: Env,
+                    temps: Dict[str, _TempInfo],
+                    when_stack: List[str]) -> None:
+        for node in expr.walk():
+            if isinstance(node, LoopVar):
+                if node.name not in scope:
+                    self.emit("AN-V01", Severity.ERROR,
+                              f"loop variable {node.name!r} used out of "
+                              f"scope (live: {scope or 'none'})")
+            elif isinstance(node, Scalar):
+                if node.name not in self.kernel.scalars:
+                    self.emit("AN-V06", Severity.ERROR,
+                              f"undeclared scalar {node.name!r}")
+            elif isinstance(node, Temp):
+                self._check_temp_read(node, temps, when_stack)
+            elif isinstance(node, Load):
+                if node.obj not in self.kernel.objects:
+                    self.emit("AN-V05", Severity.ERROR,
+                              f"load from undeclared object "
+                              f"{node.obj!r}", obj=node.obj)
+                else:
+                    self._check_bounds(node.obj, node.index, env,
+                                       guarded=bool(when_stack),
+                                       is_write=False)
+            elif isinstance(node, BinOp):
+                if node.op in ("&", "|", "^", "<<", ">>"):
+                    for side in (node.lhs, node.rhs):
+                        if self._float_of(side, temps) is True:
+                            self.emit(
+                                "AN-V09", Severity.WARNING,
+                                f"bitwise op {node.op!r} applied to a "
+                                f"float-valued operand {side!r}; the "
+                                f"operand is silently truncated to int",
+                            )
+
+    def _check_temp_read(self, node: Temp, temps: Dict[str, _TempInfo],
+                         when_stack: List[str]) -> None:
+        info = temps.get(node.name)
+        if info is None:
+            self.emit("AN-V03", Severity.ERROR,
+                      f"temp %{node.name} read before assignment")
+            return
+        assigned_under, _ = info
+        if assigned_under is not None and assigned_under not in when_stack:
+            self.emit(
+                "AN-V04", Severity.WARNING,
+                f"temp %{node.name} was assigned under predicate "
+                f"{assigned_under} but is read under "
+                f"{when_stack[-1] if when_stack else 'no predicate'}; "
+                f"the read faults whenever the predicate was false",
+            )
+
+    # -- bounds --------------------------------------------------------------
+    def _check_bounds(self, obj_name: str, index: Expr, env: Env,
+                      guarded: bool, is_write: bool) -> None:
+        obj = self.kernel.objects[obj_name]
+        size = obj.num_elements
+        rng: Optional[Tuple[int, int]] = None
+        exact = False
+        form = affine_form(index)
+        if form is not None:
+            res = affine_range(form[0], form[1], env)
+            if res is not None:
+                rng = (res[0], res[1])
+                exact = res[2]
+        if rng is None:
+            # clamp idioms (min/max) are handled by interval arithmetic;
+            # anything involving loads/scalars/temps stays unknown
+            if any(isinstance(n, (Load, Scalar, Temp))
+                   for n in index.walk()):
+                return
+            rng = expr_interval(index, env)
+            if rng is None:
+                return
+        lo, hi = rng
+        if lo >= 0 and hi < size:
+            return
+        kind = "store" if is_write else "load"
+        definite = exact and not guarded
+        self.emit(
+            "AN-V10",
+            Severity.ERROR if definite else Severity.WARNING,
+            f"{kind} {obj_name}[{index!r}] has static index range "
+            f"[{lo}, {hi}] outside object bounds [0, {size - 1}]"
+            + ("" if definite else " (may be unreachable)"),
+            obj=obj_name,
+        )
+
+    # -- dtype inference -----------------------------------------------------
+    def _float_of(self, expr: Expr, temps: Dict[str, _TempInfo]) -> _TriState:
+        """True = definitely float-valued, False = definitely integer,
+        None = statically unknown."""
+        kind = expr.__class__
+        if kind is Const:
+            return isinstance(expr.value, float)
+        if kind is LoopVar:
+            return False
+        if kind is Scalar:
+            return None  # runtime value; ints and floats both occur
+        if kind is Temp:
+            info = temps.get(expr.name)
+            return info[1] if info is not None else None
+        if kind is Load:
+            obj = self.kernel.objects.get(expr.obj)
+            return obj.dtype.is_float if obj is not None else None
+        if kind is UnaryOp:
+            if expr.op in ("sqrt", "exp", "log"):
+                return True
+            if expr.op in ("floor", "not"):
+                return False
+            return self._float_of(expr.operand, temps)
+        if kind is Select:
+            t = self._float_of(expr.if_true, temps)
+            f = self._float_of(expr.if_false, temps)
+            if t is True or f is True:
+                return True
+            if t is False and f is False:
+                return False
+            return None
+        if kind is BinOp:
+            if expr.op in ("==", "!=", "<", "<=", ">", ">=",
+                           "&", "|", "^", "<<", ">>"):
+                return False
+            lhs = self._float_of(expr.lhs, temps)
+            rhs = self._float_of(expr.rhs, temps)
+            if lhs is True or rhs is True:
+                return True
+            if lhs is False and rhs is False:
+                return False
+            return None
+        return None

@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis.verifier import assert_kernel_verified
 from ..dfg.build import build_dfg
 from ..dfg.classify import (
     Classification,
@@ -132,6 +133,8 @@ def compile_kernel(kernel: Kernel, mode: CompileMode = CompileMode.DIST,
                    coverage: Optional[CoverageRecorder] = None,
                    disable_stream_spec: bool = False) -> CompiledKernel:
     """Compile every offloadable innermost loop of ``kernel``."""
+    # static legality guard (repro.analysis); REPRO_NO_VERIFY=1 opts out
+    assert_kernel_verified(kernel, context="compiler")
     coverage = coverage if coverage is not None else CoverageRecorder()
     offloads: List[CompiledOffload] = []
     rejected: List[Tuple[Loop, Classification]] = []

@@ -151,12 +151,15 @@ def has_serial_chain(loop: Loop, kernel: Kernel) -> bool:
 
 
 def _stores_of(loop: Loop) -> List[Store]:
+    """Every store in the loop body, at any predication depth."""
     out: List[Store] = []
-    for stmt in loop.body:
-        if isinstance(stmt, Store):
-            out.append(stmt)
-        elif isinstance(stmt, When):
-            out.extend(s for s in stmt.body if isinstance(s, Store))
-        elif isinstance(stmt, Loop):
-            out.extend(_stores_of(stmt))
+
+    def walk(body) -> None:
+        for stmt in body:
+            if isinstance(stmt, Store):
+                out.append(stmt)
+            elif isinstance(stmt, (When, Loop)):
+                walk(stmt.body)
+
+    walk(loop.body)
     return out

@@ -23,6 +23,18 @@ class DFGError(ReproError):
     """Failure while building or analyzing a dataflow graph."""
 
 
+class AnalysisError(ReproError):
+    """Static analysis rejected a kernel (see ``repro.analysis``).
+
+    Carries the list of :class:`repro.analysis.Finding` objects that
+    triggered the rejection in ``findings``.
+    """
+
+    def __init__(self, message: str, findings=()):
+        super().__init__(message)
+        self.findings = list(findings)
+
+
 class PartitionError(ReproError):
     """Graph partitioning could not produce a legal solution."""
 

@@ -163,7 +163,7 @@ class Load(Expr):
     @property
     def is_indirect(self) -> bool:
         """True when the index itself depends on loaded data."""
-        return any(True for _ in self.index.loads())
+        return next(self.index.loads(), None) is not None
 
     def __repr__(self) -> str:
         return f"{self.obj}[{self.index!r}]"

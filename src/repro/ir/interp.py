@@ -105,6 +105,12 @@ class Interpreter:
 
         ``arrays`` must contain a flat NumPy array per declared object.
         """
+        # static legality guard (repro.analysis); env-var opt-out via
+        # REPRO_NO_VERIFY=1. Imported lazily: repro.ir must be loadable
+        # before repro.analysis (which imports from it).
+        from ..analysis.verifier import assert_kernel_verified
+
+        assert_kernel_verified(kernel, context="interpreter")
         self._check_arrays(kernel, arrays)
         env_scalars = dict(kernel.scalars)
         if scalars:
@@ -193,7 +199,11 @@ class Interpreter:
                state: "_State") -> None:
         index = int(self._eval(stmt.index, env, state))
         value = self._eval(stmt.value, env, state)
-        arr = state.arrays[stmt.obj]
+        arr = state.arrays.get(stmt.obj)
+        if arr is None:
+            raise InterpreterError(
+                f"store to unknown object {stmt.obj!r} at index {index}"
+            )
         if not (0 <= index < arr.size):
             raise InterpreterError(
                 f"store out of bounds: {stmt.obj}[{index}] (size {arr.size})"
@@ -228,7 +238,11 @@ class Interpreter:
                 ) from None
         if kind is Load:
             index = int(self._eval(expr.index, env, state))
-            arr = state.arrays[expr.obj]
+            arr = state.arrays.get(expr.obj)
+            if arr is None:
+                raise InterpreterError(
+                    f"load from unknown object {expr.obj!r} at index {index}"
+                )
             if not (0 <= index < arr.size):
                 raise InterpreterError(
                     f"load out of bounds: {expr.obj}[{index}] "

@@ -53,7 +53,8 @@ class Store(Stmt):
 
     @property
     def is_indirect(self) -> bool:
-        return any(True for _ in self.index.loads())
+        """True when the index itself depends on loaded data."""
+        return next(self.index.loads(), None) is not None
 
     def __repr__(self) -> str:
         return f"{self.obj}[{self.index!r}] = {self.value!r}"

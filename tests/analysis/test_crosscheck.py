@@ -1,0 +1,92 @@
+"""Cross-check: static dependence analysis vs the DFG offload classifier.
+
+For every innermost loop of every registered workload, the
+GCD/interval dependence classification (:mod:`repro.analysis.deps`)
+must be *compatible* with the offload classification
+(:func:`repro.dfg.classify.classify_kernel_loop`): the two answer
+different questions (what is true of the memory accesses vs how to
+legally offload), so refinements are allowed — see
+``agrees_with_classification`` — but a contradiction
+(``PARALLEL`` vs SERIAL, or non-``PARALLEL`` vs PARALLELIZABLE) means
+one analysis has a bug.
+
+Historical note, kept as a regression guard: this cross-check caught a
+real classifier bug — ``_stores_of`` only descended one ``When`` level,
+so BFS's doubly-predicated scatter store was invisible and the loop was
+classified PARALLELIZABLE with no reasons. There are currently **no**
+intentional disagreements on the registered workloads; the one known
+intentional disagreement class (interval analysis proving disjointness
+where the classifier sees two RANDOM indices) is covered by
+``test_deps.py::TestFindings::test_d03_interval_analysis_beats_classifier``
+and does not occur in any registered workload.
+"""
+
+import pytest
+
+from repro.analysis import (
+    DepKind,
+    agrees_with_classification,
+    analyze_innermost_loop,
+    collect_kernels,
+    innermost_walk,
+)
+from repro.dfg.classify import Classification, classify_kernel_loop
+from repro.workloads import ALL_WORKLOADS
+
+
+def innermost_classifications(short):
+    """(path, dep kind, offload kind) for each innermost loop of each
+    kernel the workload issues."""
+    instance = ALL_WORKLOADS[short].build("tiny")
+    out = []
+    for kernel in collect_kernels(instance):
+        for loop, env, path in innermost_walk(kernel):
+            summary = analyze_innermost_loop(loop, kernel, env,
+                                             location=path)
+            classify = classify_kernel_loop(loop, kernel)
+            out.append((path, summary.kind, classify.kind))
+    return out
+
+
+@pytest.mark.parametrize("short", sorted(ALL_WORKLOADS))
+def test_dependence_agrees_with_offload_classifier(short):
+    rows = innermost_classifications(short)
+    assert rows, f"workload {short!r} issued no kernels"
+    disagreements = [
+        (path, dep.value, off.value)
+        for path, dep, off in rows
+        if not agrees_with_classification(dep, off)
+    ]
+    assert not disagreements
+
+
+class TestKnownClassifications:
+    """Spot-check loops whose classification pairs are load-bearing."""
+
+    def kinds_of(self, short):
+        return {path: (dep, off)
+                for path, dep, off in innermost_classifications(short)}
+
+    def test_bfs_scatter_not_parallelizable(self):
+        # regression for the nested-When classifier bug: the predicated
+        # scatter store must be visible to both analyses
+        (kinds,) = set(map(tuple, self.kinds_of("bfs").values()))
+        assert kinds == (DepKind.SERIAL, Classification.PIPELINABLE)
+
+    def test_pchase_is_a_carried_chain(self):
+        kinds = self.kinds_of("pch")
+        assert all(dep is not DepKind.PARALLEL
+                   for dep, _ in kinds.values())
+
+    def test_spmv_inner_is_reduction(self):
+        kinds = self.kinds_of("spmv")
+        assert all(dep is DepKind.REDUCTION
+                   and off is Classification.PIPELINABLE
+                   for dep, off in kinds.values())
+
+    def test_seidel_stencil_parallel_inner(self):
+        # seidel's inner loop reads neighbouring *rows*; its innermost
+        # dependence is outer-carried, so the inner loop itself is
+        # parallel and the classifier agrees it is offloadable
+        kinds = self.kinds_of("sei")
+        assert all(off.offloadable for _, off in kinds.values())

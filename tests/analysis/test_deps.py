@@ -1,0 +1,173 @@
+"""Tests for the affine dependence/footprint pass (AN-D01..AN-D03)."""
+
+from repro.analysis import (
+    DepKind,
+    agrees_with_classification,
+    analyze_kernel,
+    dependence_findings,
+)
+from repro.analysis.findings import Severity
+from repro.dfg.classify import Classification
+from repro.ir import (
+    FLOAT32,
+    INT32,
+    Kernel,
+    Loop,
+    LoopVar,
+    MemObject,
+)
+
+I = LoopVar("i")
+J = LoopVar("j")
+
+
+def one_summary(kernel):
+    summaries = analyze_kernel(kernel)
+    assert len(summaries) == 1
+    return summaries[0]
+
+
+def rules_of(kernel):
+    return {f.rule for f in dependence_findings(kernel)}
+
+
+class TestClassification:
+    def test_vadd_parallel(self):
+        A = MemObject("A", 8, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        C = MemObject("C", 8, FLOAT32)
+        k = Kernel("vadd", {"A": A, "B": B, "C": C},
+                   [Loop("i", 0, 8, [C.store(I, A[I] + B[I])])])
+        assert one_summary(k).kind is DepKind.PARALLEL
+
+    def test_rmw_same_element_parallel(self):
+        A = MemObject("A", 8, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        k = Kernel("rmw", {"A": A, "B": B},
+                   [Loop("i", 0, 8, [A.store(I, A[I] + B[I])])])
+        assert one_summary(k).kind is DepKind.PARALLEL
+
+    def test_accumulator_reduction(self):
+        acc = MemObject("acc", 1, FLOAT32)
+        V = MemObject("V", 16, FLOAT32)
+        k = Kernel("red", {"acc": acc, "V": V},
+                   [Loop("i", 0, 16, [acc.store(0, acc[0] + V[I])])])
+        s = one_summary(k)
+        assert s.kind is DepKind.REDUCTION
+        assert any("accumulator" in r for r in s.reasons)
+
+    def test_stencil_carried_serial(self):
+        A = MemObject("A", 16, FLOAT32)
+        k = Kernel("st", {"A": A},
+                   [Loop("i", 1, 15, [A.store(I, A[I - 1] * 0.5)])])
+        s = one_summary(k)
+        assert s.kind is DepKind.SERIAL
+        assert any("distance" in r for r in s.reasons)
+
+    def test_indirect_write_serial(self):
+        idx = MemObject("idx", 8, INT32)
+        A = MemObject("A", 8, FLOAT32)
+        k = Kernel("sc", {"idx": idx, "A": A},
+                   [Loop("i", 0, 8, [A.store(idx[I], A[idx[I]] + 1.0)])])
+        assert one_summary(k).kind is DepKind.SERIAL
+
+    def test_gcd_disjoint_lattices_parallel(self):
+        # writes even elements, reads odd: offsets never align
+        A = MemObject("A", 16, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        k = Kernel("gcd", {"A": A, "B": B},
+                   [Loop("i", 0, 8, [A.store(I * 2, A[I * 2 + 1])])])
+        assert one_summary(k).kind is DepKind.PARALLEL
+
+    def test_distance_beyond_trip_count_parallel(self):
+        # read 16 elements ahead, but the loop only runs 8 iterations
+        A = MemObject("A", 32, FLOAT32)
+        k = Kernel("far", {"A": A},
+                   [Loop("i", 0, 8, [A.store(I, A[I + 16])])])
+        assert one_summary(k).kind is DepKind.PARALLEL
+
+    def test_disjoint_intervals_parallel_despite_random_index(self):
+        # both indices are non-affine, but their static intervals are
+        # provably disjoint: [0,9] written vs [16,25] read
+        A = MemObject("A", 32, FLOAT32)
+        k = Kernel("dj", {"A": A},
+                   [Loop("i", 0, 4, [A.store(I * I, A[I * I + 16])])])
+        assert one_summary(k).kind is DepKind.PARALLEL
+
+    def test_footprint_regions_recorded(self):
+        A = MemObject("A", 8, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        k = Kernel("fp", {"A": A, "B": B},
+                   [Loop("i", 0, 8, [B.store(I, A[I] + 1.0)])])
+        s = one_summary(k)
+        (read,) = s.reads
+        (write,) = s.writes
+        assert read.obj == "A" and read.interval == (0, 7)
+        assert write.obj == "B" and write.stride == 1
+
+
+class TestFindings:
+    def test_d01_bogus_parallel_annotation(self):
+        A = MemObject("A", 16, FLOAT32)
+        k = Kernel("bad", {"A": A},
+                   [Loop("i", 1, 15, [A.store(I, A[I - 1])],
+                         parallel=True)])
+        found = [f for f in dependence_findings(k) if f.rule == "AN-D01"]
+        assert found and found[0].severity is Severity.ERROR
+
+    def test_d01_negative_true_parallel_annotation(self):
+        A = MemObject("A", 8, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        k = Kernel("ok", {"A": A, "B": B},
+                   [Loop("i", 0, 8, [B.store(I, A[I])], parallel=True)])
+        assert "AN-D01" not in rules_of(k)
+
+    def test_d02_reduction_reported(self):
+        acc = MemObject("acc", 1, FLOAT32)
+        V = MemObject("V", 16, FLOAT32)
+        k = Kernel("red", {"acc": acc, "V": V},
+                   [Loop("i", 0, 16, [acc.store(0, acc[0] + V[I])])])
+        assert "AN-D02" in rules_of(k)
+
+    def test_d02_negative(self):
+        A = MemObject("A", 8, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        k = Kernel("ok", {"A": A, "B": B},
+                   [Loop("i", 0, 8, [B.store(I, A[I])])])
+        assert "AN-D02" not in rules_of(k)
+
+    def test_d03_interval_analysis_beats_classifier(self):
+        # the offload classifier sees two RANDOM indices on one object
+        # and declares the loop SERIAL; interval analysis proves the
+        # regions disjoint. A documented, intentional disagreement.
+        A = MemObject("A", 32, FLOAT32)
+        k = Kernel("dis", {"A": A},
+                   [Loop("i", 0, 4, [A.store(I * I, A[I * I + 16] + 1.0)])])
+        found = [f for f in dependence_findings(k) if f.rule == "AN-D03"]
+        assert found and "parallel" in found[0].message
+
+    def test_d03_negative_on_agreeing_kernel(self):
+        A = MemObject("A", 8, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        k = Kernel("ok", {"A": A, "B": B},
+                   [Loop("i", 0, 8, [B.store(I, A[I])])])
+        assert "AN-D03" not in rules_of(k)
+
+
+class TestAgreementMapping:
+    def test_parallel_refinements(self):
+        assert agrees_with_classification(
+            DepKind.PARALLEL, Classification.PARALLELIZABLE)
+        assert agrees_with_classification(
+            DepKind.PARALLEL, Classification.PIPELINABLE)
+        assert not agrees_with_classification(
+            DepKind.PARALLEL, Classification.SERIAL)
+
+    def test_non_parallel_refinements(self):
+        for kind in (DepKind.REDUCTION, DepKind.SERIAL):
+            assert agrees_with_classification(
+                kind, Classification.PIPELINABLE)
+            assert agrees_with_classification(
+                kind, Classification.SERIAL)
+            assert not agrees_with_classification(
+                kind, Classification.PARALLELIZABLE)

@@ -1,0 +1,114 @@
+"""Tests for the lint driver and the ``python -m repro.analysis`` CLI."""
+
+import json
+
+import numpy as np
+
+import repro.analysis.lint as lint_mod
+from repro.analysis import collect_kernels, lint_all, lint_kernels
+from repro.analysis.__main__ import main
+from repro.ir import FLOAT32, Kernel, Loop, LoopVar, MemObject
+from repro.workloads import ALL_WORKLOADS
+from repro.workloads.base import (
+    KernelCall,
+    Workload,
+    WorkloadInstance,
+)
+
+I = LoopVar("i")
+
+
+class TestCollectKernels:
+    def test_bfs_schedule_terminates_statically(self):
+        # BFS's schedule loops until the level array stops changing;
+        # without interpretation it never changes, so static iteration
+        # must still terminate (via first-repeat dedup + call cap)
+        instance = ALL_WORKLOADS["bfs"].build("tiny")
+        kernels = collect_kernels(instance)
+        assert [k.name for k in kernels] == ["bfs_level"]
+
+    def test_multi_kernel_workload_collects_all(self):
+        instance = ALL_WORKLOADS["dis"].build("tiny")
+        names = {k.name for k in collect_kernels(instance)}
+        assert names == {"disp_sad", "disp_box", "disp_select"}
+
+
+class TestLintAll:
+    def test_all_registered_workloads_are_error_free(self):
+        reports = lint_all(scale="tiny")
+        assert len(reports) == len(ALL_WORKLOADS)
+        bad = {r.workload: [f.format() for f in r.errors]
+               for r in reports if not r.clean}
+        assert not bad
+
+    def test_report_serialization(self):
+        (report,) = lint_all(scale="tiny", shorts=["sei"])
+        data = report.to_dict()
+        assert data["workload"] == "sei"
+        assert data["errors"] == 0
+        for finding in data["findings"]:
+            assert {"rule", "severity", "location", "message"} <= set(finding)
+
+
+def _broken_workload():
+    """A minimal registered-workload stand-in with a static OOB kernel."""
+    A = MemObject("A", 4, FLOAT32)
+    B = MemObject("B", 4, FLOAT32)
+    kernel = Kernel("oob", {"A": A, "B": B},
+                    [Loop("i", 0, 4, [B.store(I, A[I + 2])])])
+
+    class Broken(Workload):
+        name = "broken"
+        short = "bad"
+
+        def build(self, scale="tiny"):
+            arrays = {"A": np.zeros(4, np.float32),
+                      "B": np.zeros(4, np.float32)}
+
+            def schedule(instance):
+                yield KernelCall(kernel)
+
+            return WorkloadInstance(
+                "broken", "bad", dict(kernel.objects), arrays,
+                outputs=[], schedule=schedule,
+                reference=lambda inputs: {},
+            )
+
+    return Broken()
+
+
+class TestCli:
+    def test_strict_exit_zero_on_clean_registry(self, capsys):
+        assert main(["--strict", "--workloads", "sei", "pf"]) == 0
+        out = capsys.readouterr().out
+        assert "[ok] sei" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["--json", "--workloads", "sei"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["errors"] == 0
+        assert data["reports"][0]["workload"] == "sei"
+
+    def test_strict_exit_nonzero_on_errors(self, monkeypatch, capsys):
+        monkeypatch.setattr(lint_mod, "workload_registry",
+                            lambda: {"bad": _broken_workload()})
+        assert main(["--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL] bad" in out
+        assert "AN-V10" in out
+
+    def test_non_strict_reports_but_exits_zero(self, monkeypatch):
+        monkeypatch.setattr(lint_mod, "workload_registry",
+                            lambda: {"bad": _broken_workload()})
+        assert main([]) == 0
+
+
+class TestLintKernels:
+    def test_verifier_errors_suppress_downstream_passes(self):
+        A = MemObject("A", 4, FLOAT32)
+        B = MemObject("B", 4, FLOAT32)
+        k = Kernel("oob", {"A": A, "B": B},
+                   [Loop("i", 0, 4, [B.store(I, A[I + 2])])])
+        report = lint_kernels("adhoc", [k])
+        assert not report.clean
+        assert all(f.rule.startswith("AN-V") for f in report.findings)

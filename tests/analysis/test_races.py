@@ -1,0 +1,122 @@
+"""Tests for the offload-race detector (AN-R01..AN-R03)."""
+
+from repro.analysis import (
+    cluster_spans,
+    cross_kernel_findings,
+    kernel_footprints,
+    race_findings,
+)
+from repro.analysis.findings import Severity
+from repro.ir import FLOAT32, Kernel, Loop, LoopVar, MemObject
+
+I = LoopVar("i")
+J = LoopVar("j")
+
+
+def serial_loop_over(A, var_expr=I):
+    """A loop the offload classifier rejects (random read+write)."""
+    return Loop("i", 0, 8, [A.store(I * I, A[I * I] + 1.0)])
+
+
+class TestFootprints:
+    def test_offloaded_and_residual_tagged(self):
+        A = MemObject("A", 64, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        k = Kernel("k", {"A": A, "B": B}, [
+            Loop("i", 0, 8, [B.store(I, 1.0)]),
+            serial_loop_over(A),
+        ])
+        fps = kernel_footprints(k)
+        assert [fp.offloaded for fp in fps] == [True, False]
+        assert fps[0].objects["B"].writes == (0, 7)
+
+    def test_cluster_spans_large_object_stripes(self):
+        big = MemObject("big", 200_000, FLOAT32)   # ~800 KB, 4 stripes
+        small = MemObject("small", 8, FLOAT32)
+        k = Kernel("k", {"big": big, "small": small},
+                   [Loop("i", 0, 8, [small.store(I, big[I])])])
+        spans = cluster_spans(k)
+        assert spans["big"] == (0, 1, 2, 3)
+        assert spans["small"] == (4,)
+
+
+class TestIntraKernel:
+    def test_r01_offload_vs_host_residual_overlap(self):
+        A = MemObject("A", 64, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        k = Kernel("k", {"A": A, "B": B}, [
+            Loop("i", 0, 8, [A.store(I, B[I])]),   # offloaded, writes A
+            serial_loop_over(A),                   # host residual, RMWs A
+        ])
+        found = [f for f in race_findings(k) if f.rule == "AN-R01"]
+        assert found and found[0].severity is Severity.WARNING
+        assert found[0].obj == "A"
+        assert "host-residual" in found[0].message
+
+    def test_r01_negative_disjoint_objects(self):
+        A = MemObject("A", 64, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        C = MemObject("C", 8, FLOAT32)
+        k = Kernel("k", {"A": A, "B": B, "C": C}, [
+            Loop("i", 0, 8, [C.store(I, B[I])]),   # offloaded, writes C
+            serial_loop_over(A),                   # host residual, on A
+        ])
+        assert not [f for f in race_findings(k) if f.rule == "AN-R01"]
+
+    def test_r02_offload_to_offload_sharing(self):
+        A = MemObject("A", 8, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        C = MemObject("C", 8, FLOAT32)
+        k = Kernel("k", {"A": A, "B": B, "C": C}, [
+            Loop("i", 0, 8, [B.store(I, A[I])]),
+            Loop("j", 0, 8, [C.store(J, B[J])]),
+        ])
+        found = [f for f in race_findings(k) if f.rule == "AN-R02"]
+        assert found and found[0].severity is Severity.INFO
+        assert found[0].obj == "B"
+
+    def test_r02_negative_independent_offloads(self):
+        A = MemObject("A", 8, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        C = MemObject("C", 8, FLOAT32)
+        D = MemObject("D", 8, FLOAT32)
+        k = Kernel("k", {"A": A, "B": B, "C": C, "D": D}, [
+            Loop("i", 0, 8, [B.store(I, A[I])]),
+            Loop("j", 0, 8, [D.store(J, C[J])]),
+        ])
+        assert not race_findings(k)
+
+
+class TestCrossKernel:
+    def producer_consumer(self):
+        X = MemObject("X", 8, FLOAT32)
+        Y = MemObject("Y", 8, FLOAT32)
+        Z = MemObject("Z", 8, FLOAT32)
+        prod = Kernel("prod", {"X": X, "Y": Y},
+                      [Loop("i", 0, 8, [X.store(I, Y[I] + 1.0)])])
+        cons = Kernel("cons", {"X": X, "Z": Z},
+                      [Loop("i", 0, 8, [Z.store(I, X[I] * 2.0)])])
+        return prod, cons
+
+    def test_r03_shared_written_object(self):
+        prod, cons = self.producer_consumer()
+        found = [f for f in cross_kernel_findings([prod, cons])
+                 if f.rule == "AN-R03"]
+        assert found and found[0].severity is Severity.INFO
+        assert found[0].obj == "X"
+        assert "serializ" in found[0].message
+
+    def test_r03_negative_no_shared_objects(self):
+        A = MemObject("A", 8, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        C = MemObject("C", 8, FLOAT32)
+        D = MemObject("D", 8, FLOAT32)
+        k1 = Kernel("k1", {"A": A, "B": B},
+                    [Loop("i", 0, 8, [B.store(I, A[I])])])
+        k2 = Kernel("k2", {"C": C, "D": D},
+                    [Loop("i", 0, 8, [D.store(I, C[I])])])
+        assert not cross_kernel_findings([k1, k2])
+
+    def test_r03_negative_single_kernel(self):
+        prod, _ = self.producer_consumer()
+        assert not cross_kernel_findings([prod])

@@ -1,0 +1,371 @@
+"""Per-rule tests for the IR verifier (AN-V01..AN-V15).
+
+Every rule gets at least one positive (finding emitted) and one
+negative (clean kernel stays clean) case. Several structural rules
+duplicate checks the ``Kernel``/``Loop``/``When`` constructors already
+raise on — the verifier exists to catch kernels built or mutated
+*around* those constructors, so the positive cases build IR via
+``object.__new__``.
+"""
+
+import pytest
+
+from repro.errors import AnalysisError, InterpreterError
+from repro.analysis import Severity, verify_kernel
+from repro.analysis.verifier import OPT_OUT_ENV, assert_kernel_verified
+from repro.ir import (
+    FLOAT32,
+    INT32,
+    Assign,
+    BinOp,
+    Const,
+    Interpreter,
+    Kernel,
+    Load,
+    Loop,
+    LoopVar,
+    MemObject,
+    Scalar,
+    Store,
+    Temp,
+    When,
+)
+
+I = LoopVar("i")
+J = LoopVar("j")
+
+
+def raw_kernel(objects, loops, scalars=None, outputs=None,
+               name="k") -> Kernel:
+    """Build a Kernel without running constructor-time validation."""
+    k = object.__new__(Kernel)
+    k.name = name
+    k.objects = {o.name: o for o in objects}
+    k.loops = list(loops)
+    k.scalars = dict(scalars or {})
+    k.outputs = list(outputs or [])
+    return k
+
+
+def raw_loop(var, lower, upper, body, step=1) -> Loop:
+    lp = object.__new__(Loop)
+    lp.var = var
+    lp.lower = Const(lower) if isinstance(lower, int) else lower
+    lp.upper = Const(upper) if isinstance(upper, int) else upper
+    lp.step = step
+    lp.body = list(body)
+    lp.parallel = False
+    return lp
+
+
+def raw_when(cond, body) -> When:
+    w = object.__new__(When)
+    w.cond = cond
+    w.body = list(body)
+    return w
+
+
+def rules_of(kernel):
+    return {f.rule for f in verify_kernel(kernel)}
+
+
+def findings_for(kernel, rule):
+    return [f for f in verify_kernel(kernel) if f.rule == rule]
+
+
+def clean_kernel():
+    A = MemObject("A", 8, FLOAT32)
+    B = MemObject("B", 8, FLOAT32)
+    return Kernel("clean", {"A": A, "B": B},
+                  [Loop("i", 0, 8, [B.store(I, A[I] + 1.0)])],
+                  outputs=["B"])
+
+
+class TestClean:
+    def test_clean_kernel_no_findings(self):
+        assert verify_kernel(clean_kernel()) == []
+
+
+class TestScoping:
+    def test_v01_out_of_scope_loop_var(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = raw_kernel([A], [raw_loop("i", 0, 8, [Store("A", J, 0.0)])])
+        found = findings_for(k, "AN-V01")
+        assert found and found[0].severity is Severity.ERROR
+        assert "'j'" in found[0].message
+
+    def test_v01_negative_nested_scope(self):
+        A = MemObject("A", 64, FLOAT32)
+        k = Kernel("k", {"A": A}, [
+            Loop("i", 0, 8, [Loop("j", 0, 8, [A.store(I * 8 + J, 1.0)])])
+        ])
+        assert "AN-V01" not in rules_of(k)
+
+    def test_v02_shadowed_loop_var(self):
+        A = MemObject("A", 8, FLOAT32)
+        inner = raw_loop("i", 0, 8, [Store("A", I, 0.0)])
+        k = raw_kernel([A], [raw_loop("i", 0, 1, [inner])])
+        assert findings_for(k, "AN-V02")
+
+    def test_v02_negative_distinct_vars(self):
+        assert "AN-V02" not in rules_of(clean_kernel())
+
+
+class TestTemps:
+    def test_v03_temp_read_before_assignment(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = raw_kernel([A], [raw_loop("i", 0, 8,
+                                      [Store("A", I, Temp("t"))])])
+        found = findings_for(k, "AN-V03")
+        assert found and found[0].severity is Severity.ERROR
+
+    def test_v03_negative_assigned_first(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = Kernel("k", {"A": A}, [Loop("i", 0, 8, [
+            Assign("t", A[I] * 2.0),
+            A.store(I, Temp("t")),
+        ])])
+        assert "AN-V03" not in rules_of(k)
+
+    def test_v04_conditional_assign_unconditional_read(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = Kernel("k", {"A": A}, [Loop("i", 0, 8, [
+            When(I.gt(0), [Assign("t", A[I])]),
+            A.store(I, Temp("t")),
+        ])])
+        found = findings_for(k, "AN-V04")
+        assert found and found[0].severity is Severity.WARNING
+
+    def test_v04_negative_read_under_same_predicate(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = Kernel("k", {"A": A}, [Loop("i", 0, 8, [
+            When(I.gt(0), [Assign("t", A[I]), A.store(I, Temp("t"))]),
+        ])])
+        assert "AN-V04" not in rules_of(k)
+
+
+class TestDeclarations:
+    def test_v05_store_to_undeclared_object(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = raw_kernel([A], [raw_loop("i", 0, 8, [Store("Z", I, A[I])])])
+        found = findings_for(k, "AN-V05")
+        assert found and found[0].obj == "Z"
+
+    def test_v05_load_from_undeclared_object(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = raw_kernel([A], [raw_loop("i", 0, 8,
+                                      [Store("A", I, Load("Z", I))])])
+        assert findings_for(k, "AN-V05")
+
+    def test_v05_negative(self):
+        assert "AN-V05" not in rules_of(clean_kernel())
+
+    def test_v06_undeclared_scalar(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = raw_kernel([A], [raw_loop("i", 0, 8,
+                                      [Store("A", I, Scalar("alpha"))])])
+        found = findings_for(k, "AN-V06")
+        assert found and found[0].severity is Severity.ERROR
+
+    def test_v06_negative_declared_scalar(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = Kernel("k", {"A": A},
+                   [Loop("i", 0, 8, [A.store(I, Scalar("alpha"))])],
+                   scalars={"alpha": 2.0})
+        assert "AN-V06" not in rules_of(k)
+
+    def test_v12_unknown_output(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = raw_kernel([A], [raw_loop("i", 0, 8, [Store("A", I, 1.0)])],
+                       outputs=["Z"])
+        assert findings_for(k, "AN-V12")
+
+    def test_v13_output_never_stored(self):
+        A = MemObject("A", 8, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        k = Kernel("k", {"A": A, "B": B},
+                   [Loop("i", 0, 8, [A.store(I, B[I])])],
+                   outputs=["B"])
+        found = findings_for(k, "AN-V13")
+        assert found and found[0].severity is Severity.WARNING
+
+    def test_v12_v13_negative(self):
+        k = clean_kernel()
+        assert not rules_of(k) & {"AN-V12", "AN-V13"}
+
+
+class TestStructure:
+    def test_v07_loop_inside_when(self):
+        A = MemObject("A", 8, FLOAT32)
+        w = raw_when(I.gt(0), [raw_loop("j", 0, 4,
+                                        [Store("A", J, 0.0)])])
+        k = raw_kernel([A], [raw_loop("i", 0, 8, [w])])
+        assert findings_for(k, "AN-V07")
+
+    def test_v07_empty_when_body(self):
+        A = MemObject("A", 8, FLOAT32)
+        w = raw_when(I.gt(0), [])
+        k = raw_kernel([A], [raw_loop("i", 0, 8,
+                                      [w, Store("A", I, 0.0)])])
+        assert findings_for(k, "AN-V07")
+
+    def test_v07_negative_flat_when(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = Kernel("k", {"A": A}, [Loop("i", 0, 8, [
+            When(I.gt(0), [A.store(I, 1.0)]),
+        ])])
+        assert "AN-V07" not in rules_of(k)
+
+    def test_v14_zero_step(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = raw_kernel([A], [raw_loop("i", 0, 8, [Store("A", I, 0.0)],
+                                      step=0)])
+        assert findings_for(k, "AN-V14")
+
+    def test_v14_empty_loop_body(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = raw_kernel([A], [raw_loop("i", 0, 8, [])])
+        assert findings_for(k, "AN-V14")
+
+    def test_v14_negative(self):
+        assert "AN-V14" not in rules_of(clean_kernel())
+
+    def test_v15_no_loops(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = raw_kernel([A], [])
+        assert findings_for(k, "AN-V15")
+
+    def test_v15_negative(self):
+        assert "AN-V15" not in rules_of(clean_kernel())
+
+    def test_v11_dead_loop(self):
+        A = MemObject("A", 8, FLOAT32)
+        k = Kernel("k", {"A": A},
+                   [Loop("i", 4, 4, [A.store(I, 0.0)])])
+        found = findings_for(k, "AN-V11")
+        assert found and found[0].severity is Severity.WARNING
+
+    def test_v11_negative(self):
+        assert "AN-V11" not in rules_of(clean_kernel())
+
+
+class TestDtypes:
+    def test_v08_float_stored_to_int_object(self):
+        A = MemObject("A", 8, FLOAT32)
+        B = MemObject("B", 8, INT32)
+        k = Kernel("k", {"A": A, "B": B},
+                   [Loop("i", 0, 8, [B.store(I, A[I] * 0.5)])])
+        found = findings_for(k, "AN-V08")
+        assert found and found[0].severity is Severity.WARNING
+
+    def test_v08_negative_int_to_int(self):
+        A = MemObject("A", 8, INT32)
+        B = MemObject("B", 8, INT32)
+        k = Kernel("k", {"A": A, "B": B},
+                   [Loop("i", 0, 8, [B.store(I, A[I] + 1)])])
+        assert "AN-V08" not in rules_of(k)
+
+    def test_v09_bitwise_on_float(self):
+        A = MemObject("A", 8, FLOAT32)
+        B = MemObject("B", 8, INT32)
+        k = Kernel("k", {"A": A, "B": B},
+                   [Loop("i", 0, 8,
+                         [B.store(I, BinOp("&", A[I], Const(3)))])])
+        found = findings_for(k, "AN-V09")
+        assert found and found[0].severity is Severity.WARNING
+
+    def test_v09_negative_bitwise_on_int(self):
+        A = MemObject("A", 8, INT32)
+        B = MemObject("B", 8, INT32)
+        k = Kernel("k", {"A": A, "B": B},
+                   [Loop("i", 0, 8,
+                         [B.store(I, BinOp("&", A[I], Const(3)))])])
+        assert "AN-V09" not in rules_of(k)
+
+
+class TestBounds:
+    def oob_kernel(self):
+        A = MemObject("A", 4, FLOAT32)
+        B = MemObject("B", 4, FLOAT32)
+        return Kernel("oob", {"A": A, "B": B},
+                      [Loop("i", 0, 4, [B.store(I, A[I + 2])])])
+
+    def test_v10_definite_oob_is_error(self):
+        found = findings_for(self.oob_kernel(), "AN-V10")
+        assert found and found[0].severity is Severity.ERROR
+        assert "[2, 5]" in found[0].message
+
+    def test_v10_guarded_oob_is_warning(self):
+        A = MemObject("A", 4, FLOAT32)
+        B = MemObject("B", 4, FLOAT32)
+        k = Kernel("k", {"A": A, "B": B}, [Loop("i", 0, 4, [
+            When(I.lt(2), [B.store(I, A[I + 2])]),
+        ])])
+        found = findings_for(k, "AN-V10")
+        assert found and found[0].severity is Severity.WARNING
+
+    def test_v10_inexact_range_is_warning(self):
+        # inner bound depends on the outer variable: range is a sound
+        # union, so the violation is possible, not definite
+        A = MemObject("A", 4, FLOAT32)
+        B = MemObject("B", 16, FLOAT32)
+        k = Kernel("k", {"A": A, "B": B}, [Loop("i", 0, 4, [
+            Loop("j", 0, I + 1, [B.store(I * 4 + J, A[J + 2])]),
+        ])])
+        found = findings_for(k, "AN-V10")
+        assert found and found[0].severity is Severity.WARNING
+
+    def test_v10_negative_in_bounds(self):
+        assert "AN-V10" not in rules_of(clean_kernel())
+
+    def test_v10_negative_clamped_index(self):
+        # pathfinder idiom: (i-1).max(0) / (i+1).min(n-1) stays in bounds
+        A = MemObject("A", 8, FLOAT32)
+        B = MemObject("B", 8, FLOAT32)
+        k = Kernel("k", {"A": A, "B": B}, [Loop("i", 0, 8, [
+            B.store(I, A[(I - 1).max(0)] + A[(I + 1).min(7)]),
+        ])])
+        assert "AN-V10" not in rules_of(k)
+
+    def test_v10_negative_indirect_index_unknown(self):
+        idx = MemObject("idx", 8, INT32)
+        A = MemObject("A", 8, FLOAT32)
+        k = Kernel("k", {"idx": idx, "A": A},
+                   [Loop("i", 0, 8, [A.store(idx[I], 1.0)])])
+        assert "AN-V10" not in rules_of(k)
+
+
+class TestGuard:
+    def test_guard_raises_with_findings(self):
+        k = TestBounds().oob_kernel()
+        with pytest.raises(AnalysisError) as exc:
+            assert_kernel_verified(k)
+        assert exc.value.findings
+        assert exc.value.findings[0].rule == "AN-V10"
+
+    def test_guard_caches_clean_kernel(self):
+        k = clean_kernel()
+        assert_kernel_verified(k)
+        assert k.__dict__["_analysis_verified"] is True
+        assert_kernel_verified(k)  # second call hits the cache
+
+    def test_opt_out_env_reaches_runtime_check(self, monkeypatch):
+        import numpy as np
+
+        monkeypatch.setenv(OPT_OUT_ENV, "1")
+        k = TestBounds().oob_kernel()
+        arrays = {"A": np.zeros(4, dtype=np.float32),
+                  "B": np.zeros(4, dtype=np.float32)}
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            Interpreter().run(k, arrays)
+
+    def test_interp_unknown_object_error_names_object(self, monkeypatch):
+        import numpy as np
+
+        monkeypatch.setenv(OPT_OUT_ENV, "1")
+        A = MemObject("A", 4, FLOAT32)
+        k = raw_kernel([A], [raw_loop("i", 0, 4, [Store("Z", I, 1.0)])])
+        arrays = {"A": np.zeros(4, dtype=np.float32)}
+        with pytest.raises(InterpreterError,
+                           match="store to unknown object 'Z'"):
+            Interpreter().run(k, arrays)

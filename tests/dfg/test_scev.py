@@ -129,3 +129,96 @@ class TestProperties:
         assert rec is not None
         assert rec.stride == a + b
         assert rec.const_offset == c
+
+
+class TestSelect:
+    def test_select_is_not_affine(self):
+        expr = Select(I.gt(4), I, Const(0))
+        assert analyze_index(expr, "i") is None
+
+    def test_select_without_loads_is_random(self):
+        expr = Select(I.gt(4), I, Const(0))
+        assert classify_pattern(expr, "i") is AccessPattern.RANDOM
+
+    def test_select_containing_load_is_indirect(self):
+        expr = Select(I.gt(4), Load("idx", I), Const(0))
+        assert classify_pattern(expr, "i") is AccessPattern.INDIRECT
+
+
+class TestUnaryOp:
+    def test_negated_affine_flips_stride_and_offset(self):
+        rec = analyze_index(UnaryOp("-", I * 2 + 3), "i")
+        assert rec.stride == -2 and rec.const_offset == -3
+
+    def test_negated_induction_variable(self):
+        rec = analyze_index(Const(10) + UnaryOp("-", I), "i")
+        assert rec.stride == -1 and rec.const_offset == 10
+
+    def test_floor_of_induction_variable_is_random(self):
+        expr = UnaryOp("floor", I)
+        assert analyze_index(expr, "i") is None
+        assert classify_pattern(expr, "i") is AccessPattern.RANDOM
+
+    def test_abs_of_induction_variable_is_random(self):
+        assert analyze_index(UnaryOp("abs", I), "i") is None
+
+
+class TestInvariants:
+    def test_scalar_is_stride_zero_unknown_offset(self):
+        rec = analyze_index(Scalar("base"), "i")
+        assert rec.stride == 0
+        assert rec.const_offset is None
+        assert not rec.outer_dependent
+        assert rec.pattern is AccessPattern.INVARIANT
+
+    def test_temp_is_stride_zero(self):
+        rec = analyze_index(Temp("t"), "i")
+        assert rec.stride == 0 and rec.const_offset is None
+
+    def test_constant_offset_plus_scalar_keeps_offset_unknown(self):
+        rec = analyze_index(Scalar("base") + 4, "i")
+        assert rec.stride == 0 and rec.const_offset is None
+
+    def test_min_of_invariants_is_invariant(self):
+        rec = analyze_index(Scalar("a").min(Scalar("b")), "i")
+        assert rec.stride == 0 and rec.const_offset is None
+
+
+class TestOuterDependence:
+    def test_outer_variable_is_invariant_but_outer_dependent(self):
+        rec = analyze_index(J, "i")
+        assert rec.stride == 0
+        assert rec.const_offset is None
+        assert rec.outer_dependent
+        assert rec.pattern is AccessPattern.INVARIANT
+
+    def test_row_major_index_wrt_inner_variable(self):
+        rec = analyze_index(J * 8 + I, "i")
+        assert rec.stride == 1
+        assert rec.const_offset is None
+        assert rec.outer_dependent
+
+    def test_row_major_index_wrt_outer_variable(self):
+        rec = analyze_index(J * 8 + I, "j")
+        assert rec.stride == 8
+        assert rec.const_offset is None
+        assert rec.outer_dependent
+
+
+class TestNonAffineUses:
+    def test_division_of_induction_variable(self):
+        assert analyze_index(I / 2, "i") is None
+        assert classify_pattern(I / 2, "i") is AccessPattern.RANDOM
+
+    def test_modulo_of_induction_variable(self):
+        assert analyze_index(I % 4, "i") is None
+
+    def test_shift_of_induction_variable(self):
+        assert analyze_index(I << 1, "i") is None
+
+    def test_clamped_induction_variable(self):
+        assert analyze_index(I.min(7), "i") is None
+        assert classify_pattern(I.min(7), "i") is AccessPattern.RANDOM
+
+    def test_product_of_loop_variables(self):
+        assert analyze_index(I * J, "i") is None

@@ -255,13 +255,30 @@ class TestErrors:
             Interpreter().run(k, arrays)
 
     def test_out_of_bounds_load(self):
+        # dynamic OOB through an indirect index: invisible to the static
+        # verifier, caught by the interpreter's runtime bounds check
+        idx = MemObject("idx", 4, INT32)
+        A = MemObject("A", 4, FLOAT32)
+        B = MemObject("B", 4, FLOAT32)
+        i = LoopVar("i")
+        k = Kernel("oob", {"idx": idx, "A": A, "B": B}, [
+            Loop("i", 0, 4, [B.store(i, A[idx[i]])])
+        ])
+        arrays = make_arrays(k)
+        arrays["idx"] = np.array([0, 1, 9, 3], dtype=np.int32)
+        with pytest.raises(InterpreterError, match="out of bounds"):
+            Interpreter().run(k, arrays)
+
+    def test_statically_out_of_bounds_rejected_by_verifier(self):
+        from repro.errors import AnalysisError
+
         A = MemObject("A", 4, FLOAT32)
         B = MemObject("B", 4, FLOAT32)
         i = LoopVar("i")
         k = Kernel("oob", {"A": A, "B": B}, [
             Loop("i", 0, 4, [B.store(i, A[i + 2])])
         ])
-        with pytest.raises(InterpreterError, match="out of bounds"):
+        with pytest.raises(AnalysisError, match="AN-V10"):
             Interpreter().run(k, make_arrays(k))
 
     def test_undeclared_object_rejected_at_build(self):
