@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark of the experiment matrix.
+
+Times the (workload x configuration) matrix twice — batched columnar
+replay (``REPRO_FAST=1``, the default) and the scalar per-access
+reference path (``REPRO_FAST=0``) — asserts the two produce identical
+results cell for cell, and writes a machine-readable report to
+``BENCH_matrix.json``:
+
+* wall seconds, cells and cells/second per mode;
+* the interpret-vs-replay split (the first configuration of each
+  workload pays the golden interpreter; the rest replay its functional
+  trace from the trace cache);
+* per-cell wall times and the fast-over-scalar speedup.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/bench_matrix.py \
+        --scale small --out benchmarks/perf/BENCH_matrix.json
+
+The scalar pass dominates the benchmark's own runtime; use ``--scale
+tiny`` (CI) or restrict ``--workloads`` for a quick check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import (
+    BASELINE,
+    PAPER_CONFIGS,
+    ResultMatrix,
+)
+from repro.obs import OBS
+from repro.sim.results import RunResult
+from repro.workloads import PAPER_ORDER
+
+#: serial 12x6 small-matrix wall time before the columnar/batched
+#: pipeline landed (PR 3's >=3x target is measured against this)
+PRE_CHANGE_SMALL_MATRIX_S = 100.3
+
+
+def _cell_sig(result: RunResult) -> Tuple:
+    """Everything the figures read, for the fast==scalar identity check."""
+    return (
+        result.time_ps,
+        result.insts,
+        result.mem_ops,
+        result.energy_nj,
+        result.movement_bytes,
+        result.mmio_bytes,
+        result.accel_iterations,
+        result.validated,
+        tuple(sorted(result.traffic_breakdown.items())),
+        tuple(sorted(result.cache_stats.as_dict().items())),
+        tuple(sorted(result.energy.by_component().items())),
+    )
+
+
+def _time_mode(fast: bool, scale: str, workloads: Sequence[str],
+               configs: Sequence[str], jobs: Optional[int]) -> Dict:
+    os.environ["REPRO_FAST"] = "1" if fast else "0"
+    OBS.reset()
+    start = time.perf_counter()
+    matrix = ResultMatrix(
+        scale=scale, workloads=tuple(workloads), configs=tuple(configs)
+    ).run_all(jobs=jobs)
+    wall_s = time.perf_counter() - start
+
+    # interp-vs-replay split: the first cell of each workload runs the
+    # golden interpreter, every later cell replays its cached trace
+    first_of: Dict[str, str] = {}
+    interp_s = 0.0
+    replay_s = 0.0
+    per_cell: List[Dict] = []
+    for cell in OBS.cells:
+        role = first_of.setdefault(cell.workload, cell.config)
+        interpreted = role == cell.config
+        if interpreted:
+            interp_s += cell.wall_s
+        else:
+            replay_s += cell.wall_s
+        per_cell.append({
+            "workload": cell.workload,
+            "config": cell.config,
+            "wall_s": round(cell.wall_s, 4),
+            "trace_elems": cell.trace_elems,
+            "interpreted": interpreted,
+        })
+    n_cells = len(matrix.results)
+    return {
+        "mode": "fast" if fast else "scalar",
+        "repro_fast": int(fast),
+        "wall_s": round(wall_s, 3),
+        "cells": n_cells,
+        "cells_per_s": round(n_cells / wall_s, 3) if wall_s else None,
+        "interp_s": round(interp_s, 3),
+        "replay_s": round(replay_s, 3),
+        "validated": matrix.all_validated(),
+        "per_cell": per_cell,
+        "_sigs": {  # stripped before writing; used for the identity check
+            f"{w}/{c}": _cell_sig(r)
+            for (w, c), r in matrix.results.items()
+        },
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small",
+                        help="workload scale (tiny/small/large)")
+    parser.add_argument("--workloads", default=",".join(PAPER_ORDER),
+                        help="comma-separated workload names")
+    parser.add_argument("--configs",
+                        default=",".join((BASELINE,) + PAPER_CONFIGS),
+                        help="comma-separated configuration names")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="matrix parallelism (default: serial)")
+    parser.add_argument("--out", default="benchmarks/perf/BENCH_matrix.json",
+                        help="output JSON path")
+    parser.add_argument("--skip-scalar", action="store_true",
+                        help="time only the fast path (no reference pass, "
+                             "no identity check)")
+    args = parser.parse_args(argv)
+
+    workloads = [w for w in args.workloads.split(",") if w]
+    configs = [c for c in args.configs.split(",") if c]
+    prior_fast = os.environ.get("REPRO_FAST")
+
+    try:
+        fast = _time_mode(True, args.scale, workloads, configs, args.jobs)
+        modes = [fast]
+        mismatches: List[str] = []
+        if not args.skip_scalar:
+            scalar = _time_mode(False, args.scale, workloads, configs,
+                                args.jobs)
+            modes.append(scalar)
+            mismatches = [
+                key for key, sig in fast["_sigs"].items()
+                if scalar["_sigs"].get(key) != sig
+            ]
+    finally:
+        if prior_fast is None:
+            os.environ.pop("REPRO_FAST", None)
+        else:
+            os.environ["REPRO_FAST"] = prior_fast
+
+    speedup = None
+    if len(modes) == 2 and modes[0]["wall_s"]:
+        speedup = round(modes[1]["wall_s"] / modes[0]["wall_s"], 3)
+    # headline number: the full small matrix took 100.3 s before the
+    # columnar/batched pipeline (the scalar mode timed above also gained
+    # from the hoisting/inlining that landed alongside it)
+    vs_history = None
+    if (args.scale == "small" and modes[0]["wall_s"]
+            and len(workloads) >= 12 and len(configs) >= 6):
+        vs_history = round(PRE_CHANGE_SMALL_MATRIX_S / modes[0]["wall_s"], 3)
+
+    report = {
+        "scale": args.scale,
+        "workloads": workloads,
+        "configs": configs,
+        "jobs": args.jobs or 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "speedup_fast_over_scalar": speedup,
+        "pre_change_small_matrix_s": PRE_CHANGE_SMALL_MATRIX_S,
+        "speedup_vs_pre_change": vs_history,
+        "identical_results": (None if args.skip_scalar
+                              else not mismatches),
+        "mismatched_cells": mismatches,
+        "modes": [
+            {k: v for k, v in mode.items() if k != "_sigs"}
+            for mode in modes
+        ],
+    }
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    for mode in report["modes"]:
+        print(f"{mode['mode']:>6}: {mode['wall_s']:8.2f}s "
+              f"({mode['cells_per_s']} cells/s, "
+              f"interp {mode['interp_s']}s / replay {mode['replay_s']}s)")
+    if speedup is not None:
+        print(f"speedup (fast over scalar): {speedup}x")
+    if vs_history is not None:
+        print(f"speedup (fast vs {PRE_CHANGE_SMALL_MATRIX_S}s pre-change "
+              f"small matrix): {vs_history}x")
+    if mismatches:
+        print(f"ERROR: {len(mismatches)} cells differ between modes:",
+              ", ".join(mismatches), file=sys.stderr)
+        return 1
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

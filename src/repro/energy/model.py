@@ -44,10 +44,17 @@ class EnergyLedger:
     def counts(self) -> Mapping[Tuple[str, str], float]:
         return dict(self._counts)
 
+    # Summaries iterate the count dict in *sorted key order*: dict
+    # insertion order depends on which code path charged a (component,
+    # event) pair first, and the batched replay paths (REPRO_FAST=1)
+    # charge pooled counts in a different order than the scalar reference.
+    # The per-pair counts are identical exact integers either way; a
+    # deterministic summation order makes the float totals bit-identical
+    # too.
     def total_pj(self) -> float:
         return sum(
             getattr(self.table, event) * n
-            for (_, event), n in self._counts.items()
+            for (_, event), n in sorted(self._counts.items())
         )
 
     def total_nj(self) -> float:
@@ -56,13 +63,13 @@ class EnergyLedger:
     def by_component(self) -> Dict[str, float]:
         """Energy in pJ per component."""
         out: Dict[str, float] = defaultdict(float)
-        for (component, event), n in self._counts.items():
+        for (component, event), n in sorted(self._counts.items()):
             out[component] += getattr(self.table, event) * n
         return dict(out)
 
     def by_event(self) -> Dict[str, float]:
         out: Dict[str, float] = defaultdict(float)
-        for (_, event), n in self._counts.items():
+        for (_, event), n in sorted(self._counts.items()):
             out[event] += getattr(self.table, event) * n
         return dict(out)
 

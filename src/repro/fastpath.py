@@ -1,0 +1,27 @@
+"""Feature gate for the batched (columnar) replay fast path.
+
+``REPRO_FAST=1`` (the default) lets the timing models drive the memory
+system through the chunked batch entry points
+(:meth:`~repro.mem.hierarchy.MemoryHierarchy.host_access_batch` and
+friends); ``REPRO_FAST=0`` keeps the per-access scalar reference path.
+Both produce bit-identical :class:`~repro.sim.results.RunResult`\\ s —
+the batch paths only hoist lookups and aggregate commutative accounting
+— and the equivalence is enforced by ``tests/sim/test_fastpath_equiv.py``.
+
+The environment variable is consulted at every simulation entry (once
+per kernel call / offload run, never per access), so a test can flip it
+in-process with ``monkeypatch.setenv``.
+"""
+
+from __future__ import annotations
+
+import os
+
+ENV_VAR = "REPRO_FAST"
+
+
+def fast_path_enabled() -> bool:
+    """True unless ``REPRO_FAST`` is explicitly disabled (0/false/off)."""
+    return os.environ.get(ENV_VAR, "1").strip().lower() not in (
+        "0", "false", "off", "no",
+    )

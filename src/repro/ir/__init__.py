@@ -29,6 +29,7 @@ from .expr import (
 )
 from .stmt import Assign, Loop, Stmt, Store, When
 from .program import Kernel, MemObject
+from .trace import ColumnarTrace
 from .interp import InterpResult, Interpreter, MemAccess, OpCounts
 
 __all__ = [
@@ -37,5 +38,6 @@ __all__ = [
     "UnaryOp", "Select", "COMPLEX_OPS",
     "Stmt", "Assign", "Store", "When", "Loop",
     "Kernel", "MemObject",
+    "ColumnarTrace",
     "Interpreter", "InterpResult", "MemAccess", "OpCounts",
 ]

@@ -15,7 +15,7 @@ The interpreter serves three roles:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, NamedTuple, Optional
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from .expr import (
 )
 from .stmt import Assign, Loop, Stmt, Store, When
 from .program import Kernel
+from .trace import ColumnarTrace
 
 
 class MemAccess(NamedTuple):
@@ -77,11 +78,15 @@ class OpCounts:
 
 @dataclass
 class InterpResult:
-    """Outputs and accounting from one kernel execution."""
+    """Outputs and accounting from one kernel execution.
+
+    ``trace`` is columnar (:class:`~repro.ir.trace.ColumnarTrace`); it
+    iterates as :class:`MemAccess` records in program order.
+    """
 
     counts: OpCounts
     arrays: Dict[str, np.ndarray]
-    trace: Optional[List[MemAccess]]
+    trace: Optional[ColumnarTrace]
     iterations: Dict[str, int] = field(default_factory=dict)
     accesses_per_object: Dict[str, int] = field(default_factory=dict)
     #: innermost-loop body executions (total inner iterations)
@@ -127,7 +132,8 @@ class Interpreter:
         return InterpResult(
             counts=state.counts,
             arrays=arrays,
-            trace=state.trace,
+            trace=(ColumnarTrace.from_records(state.trace)
+                   if state.trace is not None else None),
             iterations=dict(state.iterations),
             accesses_per_object=dict(state.obj_accesses),
             inner_iterations=state.inner_iterations,
@@ -212,8 +218,11 @@ class Interpreter:
         state.counts.stores += 1
         state.obj_accesses[stmt.obj] = state.obj_accesses.get(stmt.obj, 0) + 1
         if state.trace is not None:
+            # plain tuple, not MemAccess: structurally identical, and the
+            # NamedTuple constructor is measurable at millions of appends
+            # (ColumnarTrace.from_records consumes either)
             state.trace.append(
-                MemAccess(self._site_ids[id(stmt)], stmt.obj, index, True)
+                (self._site_ids[id(stmt)], stmt.obj, index, True)
             )
 
     # ------------------------------------------------------------------
@@ -254,14 +263,22 @@ class Interpreter:
             )
             if state.trace is not None:
                 state.trace.append(
-                    MemAccess(self._site_ids[id(expr)], expr.obj, index, False)
+                    (self._site_ids[id(expr)], expr.obj, index, False)
                 )
             return arr[index].item()
         if kind is BinOp:
             lhs = self._eval(expr.lhs, env, state)
             rhs = self._eval(expr.rhs, env, state)
-            self._count_op(expr.op, lhs, rhs, state)
-            return _apply_binop(expr.op, lhs, rhs)
+            # _count_op inlined (hottest interpreter operation)
+            op = expr.op
+            counts = state.counts
+            if op in COMPLEX_OPS:
+                counts.complex_ops += 1
+            elif isinstance(lhs, float) or isinstance(rhs, float):
+                counts.float_ops += 1
+            else:
+                counts.int_ops += 1
+            return _apply_binop(op, lhs, rhs)
         if kind is UnaryOp:
             val = self._eval(expr.operand, env, state)
             self._count_op(expr.op, val, 0, state)
@@ -358,7 +375,8 @@ def _apply_unop(op: str, val):
 class _State:
     arrays: Dict[str, np.ndarray]
     scalars: Dict[str, float]
-    trace: Optional[List[MemAccess]]
+    #: MemAccess-shaped plain tuples (site_id, obj, elem_index, is_write)
+    trace: Optional[List[Tuple[int, str, int, bool]]]
     counts: OpCounts = field(default_factory=OpCounts)
     iterations: Dict[str, int] = field(default_factory=dict)
     obj_accesses: Dict[str, int] = field(default_factory=dict)

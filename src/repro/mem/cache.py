@@ -57,8 +57,8 @@ class Cache:
     # -- operations ----------------------------------------------------------
     def probe(self, addr: int) -> bool:
         """Tag check without any state change."""
-        set_idx, tag = self._index(self.line_of(addr))
-        return tag in self._sets[set_idx]
+        line = addr >> self.line_shift
+        return (line // self.num_sets) in self._sets[line % self.num_sets]
 
     def access(self, addr: int, is_write: bool) -> AccessOutcome:
         """Demand access. On miss the line is allocated (write-allocate).
@@ -67,8 +67,11 @@ class Cache:
         must write back to the next level.
         """
         self.accesses += 1
-        line = self.line_of(addr)
-        set_idx, tag = self._index(line)
+        # line_of/_index inlined: this is the hottest method in the
+        # simulator (millions of calls per matrix cell)
+        line = addr >> self.line_shift
+        set_idx = line % self.num_sets
+        tag = line // self.num_sets
         cset = self._sets[set_idx]
         if tag in cset:
             self.hits += 1
@@ -78,6 +81,30 @@ class Cache:
         self.misses += 1
         evicted = self._insert(set_idx, tag, dirty=is_write)
         return AccessOutcome(hit=False, evicted=evicted)
+
+    def touch_resident(self, addr: int, make_dirty: bool,
+                       count: int) -> None:
+        """Bulk-account ``count`` hits to a line known resident and MRU.
+
+        The batched replay path collapses a run of back-to-back accesses
+        to one line into the first (full) access plus this bulk update;
+        the line was just accessed, so it is resident at the MRU position
+        and each collapsed access is a guaranteed hit. Updating the dirty
+        bit in place preserves LRU order exactly like the scalar
+        pop-reinsert of an MRU entry.
+        """
+        if count <= 0:
+            return
+        set_idx, tag = self._index(self.line_of(addr))
+        cset = self._sets[set_idx]
+        if tag not in cset:
+            raise KeyError(
+                f"touch_resident on absent line {addr:#x} in {self.name}"
+            )
+        self.accesses += count
+        self.hits += count
+        if make_dirty and not cset[tag]:
+            cset[tag] = True
 
     def fill(self, addr: int, dirty: bool = False,
              is_prefetch: bool = False) -> Optional[Tuple[int, bool]]:
@@ -122,10 +149,22 @@ class Cache:
 
     def invalidate_range(self, base: int, size: int) -> int:
         """Invalidate all lines overlapping [base, base+size); returns the
-        number of dirty lines written back."""
+        number of dirty lines written back.
+
+        When the range dwarfs what the cache can even hold (e.g. flushing
+        a multi-MB object through a 1 KB ACP), probing every line in the
+        range is O(range); instead walk the resident tags and drop the
+        ones inside the range, which is O(occupancy).
+        """
         first = self.line_of(base)
         last = self.line_of(base + max(size, 1) - 1)
         dirty_count = 0
+        if (last - first + 1) > self.occupancy:
+            for line in self.resident_lines():
+                if first <= line <= last:
+                    if self.invalidate(line << self.line_shift):
+                        dirty_count += 1
+            return dirty_count
         for line in range(first, last + 1):
             addr = line << self.line_shift
             if self.invalidate(addr):

@@ -19,7 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..energy import EnergyLedger
+from ..events import ps_to_cycles
 from ..noc import HOST_NODE, Mesh, MessageKind, TrafficLedger
 from ..obs import OBS
 from ..params import CACHE_LINE_BYTES, CacheParams, MachineParams
@@ -86,8 +89,13 @@ class MemoryHierarchy:
         self._line = CACHE_LINE_BYTES
         self._stats_prefetches = 0
         #: line -> residual latency a late prefetch exposes to the first
-        #: demand hit (prefetch timeliness model)
+        #: demand hit (prefetch timeliness model). Bounded: entries for
+        #: prefetched lines evicted before any demand hit are never
+        #: popped, so without a cap the map grows for the whole run.
         self._late_prefetch: Dict[int, int] = {}
+        #: deferred DRAM fill/writeback accounting, open only while a
+        #: batch replay method is on the stack (None on the scalar path)
+        self._dram_pool: Optional[_DramPool] = None
 
     # ------------------------------------------------------------------
     # host path
@@ -130,6 +138,17 @@ class MemoryHierarchy:
     #: waits for (the prefetcher runs only a couple of lines ahead)
     PREFETCH_LATE_FRACTION = 0.5
 
+    #: most late-prefetch residuals tracked at once; a prefetch this many
+    #: prefetches old has either been demanded (popped) or evicted from
+    #: L2, so dropping its residual FIFO-style loses nothing meaningful
+    LATE_PREFETCH_CAP = 8192
+
+    def _note_late_prefetch(self, line: int, residual: int) -> None:
+        late = self._late_prefetch
+        if line not in late and len(late) >= self.LATE_PREFETCH_CAP:
+            late.pop(next(iter(late)))  # oldest surviving entry
+        late[line] = residual
+
     def _run_prefetcher(self, stream_id: int, addr: int) -> None:
         for pf_addr in self.prefetcher.observe(stream_id, addr):
             if self.l2.probe(pf_addr):
@@ -143,9 +162,9 @@ class MemoryHierarchy:
             self.movement_bytes += self._line
             if evicted and evicted[1]:
                 self._writeback_into_l3(evicted[0])
-            self._late_prefetch[self.l2.line_of(pf_addr)] = int(
+            self._note_late_prefetch(self.l2.line_of(pf_addr), int(
                 fill_latency * self.PREFETCH_LATE_FRACTION
-            )
+            ))
             self._stats_prefetches += 1
 
     def _l3_demand(self, addr: int, from_node: int,
@@ -171,6 +190,20 @@ class MemoryHierarchy:
         return latency
 
     def _dram_fill(self, cluster: int) -> int:
+        pool = self._dram_pool
+        if pool is not None:
+            pool.fills[cluster] = pool.fills.get(cluster, 0) + 1
+            lat = pool.fill_lat.get(cluster)
+            if lat is None:
+                lat = pool.fill_lat[cluster] = (
+                    self.dram.params.latency_cycles + _ps_to_cycles_int(
+                        self.traffic.latency_of(cluster, MC_NODE, 0)
+                        + self.traffic.latency_of(
+                            MC_NODE, cluster, self._line),
+                        self.machine.core.freq_ghz,
+                    )
+                )
+            return lat
         lat_req = self.traffic.record(
             MessageKind.CACHE_REQ, cluster, MC_NODE, 0
         )
@@ -183,10 +216,61 @@ class MemoryHierarchy:
             lat_req + lat_fill, self.machine.core.freq_ghz
         )
 
+    def _open_dram_pool(self) -> Optional["_DramPool"]:
+        """Start deferring DRAM fill/writeback accounting; returns the
+        pool to pass to :meth:`_flush_dram_pool`, or None when an
+        enclosing batch already owns one."""
+        if self._dram_pool is not None:
+            return None
+        pool = self._dram_pool = _DramPool()
+        return pool
+
+    def _flush_dram_pool(self, pool: "_DramPool") -> None:
+        """Charge the pooled DRAM traffic/energy/movement (commutative
+        integer counts — bit-identical to the per-fill scalar charges)."""
+        self._dram_pool = None
+        traffic = self.traffic
+        line = self._line
+        total = 0
+        for cluster, count in pool.fills.items():
+            total += count
+            traffic.record(MessageKind.CACHE_REQ, cluster, MC_NODE, 0,
+                           count=count)
+            traffic.record(MessageKind.CACHE_FILL, MC_NODE, cluster,
+                           line, count=count)
+        if total:
+            self.dram.reads += total
+            self.energy.charge("dram", "dram_line_access", total)
+            self.movement_bytes += total * line
+        total = 0
+        for cluster, count in pool.wbs.items():
+            total += count
+            traffic.record(MessageKind.CACHE_WRITEBACK, cluster, MC_NODE,
+                           line, count=count)
+        if total:
+            self.dram.writes += total
+            self.energy.charge("dram", "dram_line_access", total)
+            self.movement_bytes += total * line
+        if pool.l2_wbs:
+            self.energy.charge("l2", "l2_access", pool.l2_wbs)
+            self.movement_bytes += pool.l2_wbs * line
+        total = 0
+        for cluster, count in pool.l3_wbs.items():
+            total += count
+            self.energy.charge("l3", "l3_access", count)
+            traffic.record(MessageKind.CACHE_WRITEBACK, HOST_NODE,
+                           cluster, line, count=count)
+        if total:
+            self.movement_bytes += total * line
+
     def _writeback_into_l2(self, line: int) -> None:
         addr = line * self._line
-        self.energy.charge("l2", "l2_access")
-        self.movement_bytes += self._line
+        pool = self._dram_pool
+        if pool is not None:
+            pool.l2_wbs += 1
+        else:
+            self.energy.charge("l2", "l2_access")
+            self.movement_bytes += self._line
         evicted = self.l2.fill(addr, dirty=True)
         if evicted and evicted[1]:
             self._writeback_into_l3(evicted[0])
@@ -194,16 +278,24 @@ class MemoryHierarchy:
     def _writeback_into_l3(self, line: int) -> None:
         addr = line * self._line
         cluster = self.l3.home_cluster(addr)
-        self.energy.charge("l3", "l3_access")
-        self.traffic.record(
-            MessageKind.CACHE_WRITEBACK, HOST_NODE, cluster, self._line
-        )
-        self.movement_bytes += self._line
+        pool = self._dram_pool
+        if pool is not None:
+            pool.l3_wbs[cluster] = pool.l3_wbs.get(cluster, 0) + 1
+        else:
+            self.energy.charge("l3", "l3_access")
+            self.traffic.record(
+                MessageKind.CACHE_WRITEBACK, HOST_NODE, cluster, self._line
+            )
+            self.movement_bytes += self._line
         evicted = self.l3.fill(addr, dirty=True)
         if evicted and evicted[1]:
             self._writeback_to_dram(cluster)
 
     def _writeback_to_dram(self, cluster: int) -> None:
+        pool = self._dram_pool
+        if pool is not None:
+            pool.wbs[cluster] = pool.wbs.get(cluster, 0) + 1
+            return
         self.traffic.record(
             MessageKind.CACHE_WRITEBACK, cluster, MC_NODE, self._line
         )
@@ -362,6 +454,314 @@ class MemoryHierarchy:
             self._writeback_to_dram(home)
 
     # ------------------------------------------------------------------
+    # batched fast paths (REPRO_FAST=1)
+    #
+    # Each *_batch method replays a chunk of accesses through exactly the
+    # same cache/DRAM state transitions as its scalar counterpart, in the
+    # same order, but (a) hoists attribute and latency lookups out of the
+    # loop, (b) collapses runs of back-to-back same-line host accesses
+    # into one full access plus a bulk hit update, and (c) defers the
+    # per-access energy charges and NoC records into per-(kind, src, dst)
+    # counters flushed once per chunk. All deferred quantities are
+    # commutative integer counts, so the resulting ledgers are
+    # bit-identical to the scalar path (enforced by
+    # tests/sim/test_fastpath_equiv.py).
+    # ------------------------------------------------------------------
+    def host_access_batch(self, addrs: np.ndarray, is_write: np.ndarray,
+                          stream_ids: np.ndarray) -> int:
+        """Replay a chunk of host demand accesses (see :meth:`host_access`).
+
+        Returns the summed post-L1 exposure ``sum(max(lat - l1_lat, 0))``
+        in cycles — the only per-access timing quantity the OoO model
+        consumes.
+        """
+        n = len(addrs)
+        if n == 0:
+            return 0
+        m = self.machine
+        l1, l2, l3 = self.l1, self.l2, self.l3
+        l1_lat = m.l1.latency_cycles
+        l2_lat = m.l2.latency_cycles
+        l3_lat = m.l3.latency_cycles
+        line = self._line
+        freq = m.core.freq_ghz
+        prefetcher = self.prefetcher
+        late = self._late_prefetch
+        stripe = l3.stripe_bytes
+        ncl = l3.num_clusters
+        lat_of = self.traffic.latency_of
+        l1_access = l1.access
+        l2_line_of = l2.line_of
+
+        lines = addrs >> l1.line_shift
+        cuts = np.flatnonzero(lines[1:] != lines[:-1]) + 1
+        starts = np.concatenate(([0], cuts))
+        ends = np.concatenate((cuts, [n]))
+        run_write = np.logical_or.reduceat(is_write, starts)
+        addr_l = addrs.tolist()
+        write_l = is_write.tolist()
+        sid_l = stream_ids.tolist()
+
+        stall = 0
+        n_l2 = 0
+        moved = 0
+        demand_counts: Dict[int, int] = {}
+        demand_cycles: Dict[int, int] = {}
+        pool = self._open_dram_pool()
+        try:
+            for i, end, any_write in zip(starts.tolist(), ends.tolist(),
+                                         run_write.tolist()):
+                addr = addr_l[i]
+                lat = l1_lat
+                out1 = l1_access(addr, write_l[i])
+                ev1 = out1.evicted
+                if ev1 is not None and ev1[1]:
+                    self._writeback_into_l2(ev1[0])
+                if not out1.hit:
+                    # L1 miss -> L2
+                    n_l2 += 1
+                    lat += l2_lat
+                    out2 = l2.access(addr, is_write=False)
+                    moved += line
+                    ev2 = out2.evicted
+                    if ev2 is not None and ev2[1]:
+                        self._writeback_into_l3(ev2[0])
+                    if prefetcher is not None:
+                        for pf_addr in prefetcher.observe(sid_l[i], addr):
+                            if l2.probe(pf_addr):
+                                continue
+                            cluster = (pf_addr // stripe) % ncl
+                            demand_counts[cluster] = (
+                                demand_counts.get(cluster, 0) + 1
+                            )
+                            conv = demand_cycles.get(cluster)
+                            if conv is None:
+                                conv = demand_cycles[cluster] = (
+                                    _ps_to_cycles_int(
+                                        lat_of(HOST_NODE, cluster, 0)
+                                        + lat_of(cluster, HOST_NODE, line),
+                                        freq,
+                                    )
+                                )
+                            fill_latency = l3_lat + conv
+                            out3 = l3.access(pf_addr, is_write=False)
+                            ev3 = out3.evicted
+                            if ev3 is not None and ev3[1]:
+                                self._writeback_to_dram(cluster)
+                            if not out3.hit:
+                                fill_latency += self._dram_fill(cluster)
+                            evp = l2.fill(pf_addr, is_prefetch=True)
+                            moved += line
+                            if evp and evp[1]:
+                                self._writeback_into_l3(evp[0])
+                            self._note_late_prefetch(
+                                l2_line_of(pf_addr), int(
+                                    fill_latency
+                                    * self.PREFETCH_LATE_FRACTION
+                                )
+                            )
+                            self._stats_prefetches += 1
+                    if out2.hit:
+                        lat += late.pop(l2_line_of(addr), 0)
+                    else:
+                        # L2 miss -> home L3 slice over the mesh
+                        cluster = (addr // stripe) % ncl
+                        demand_counts[cluster] = (
+                            demand_counts.get(cluster, 0) + 1
+                        )
+                        conv = demand_cycles.get(cluster)
+                        if conv is None:
+                            conv = demand_cycles[cluster] = (
+                                _ps_to_cycles_int(
+                                    lat_of(HOST_NODE, cluster, 0)
+                                    + lat_of(cluster, HOST_NODE, line),
+                                    freq,
+                                )
+                            )
+                        lat += l3_lat + conv
+                        out3 = l3.access(addr, is_write=False)
+                        ev3 = out3.evicted
+                        if ev3 is not None and ev3[1]:
+                            self._writeback_to_dram(cluster)
+                        if not out3.hit:
+                            lat += self._dram_fill(cluster)
+                        moved += line
+                rest = end - i - 1
+                if rest:
+                    # back-to-back same-line accesses: guaranteed L1 hits
+                    l1.touch_resident(addr, any_write, rest)
+                if lat > l1_lat:
+                    stall += lat - l1_lat
+        finally:
+            if pool is not None:
+                self._flush_dram_pool(pool)
+        self.energy.charge("l1", "l1_access", n)
+        if n_l2:
+            self.energy.charge("l2", "l2_access", n_l2)
+        traffic = self.traffic
+        for cluster, count in demand_counts.items():
+            self.energy.charge("l3", "l3_access", count)
+            traffic.record(MessageKind.CACHE_REQ, HOST_NODE, cluster, 0,
+                           count=count)
+            traffic.record(MessageKind.CACHE_FILL, cluster, HOST_NODE,
+                           line, count=count)
+        self.movement_bytes += moved
+        return stall
+
+    def accel_line_fetch_batch(self, local_cluster: int,
+                               line_addrs: np.ndarray,
+                               is_write: bool) -> int:
+        """Line-granular fill/drain of a chunk (see
+        :meth:`accel_line_fetch`); returns total latency cycles."""
+        n = len(line_addrs)
+        if n == 0:
+            return 0
+        m = self.machine
+        line = self._line
+        freq = m.core.freq_ghz
+        l3 = self.l3
+        stripe = l3.stripe_bytes
+        ncl = l3.num_clusters
+        l3_access = l3.access
+        lat_of = self.traffic.latency_of
+        bank_lat = m.l3_bank_latency
+        l3_lat = m.l3.latency_cycles
+        counts: Dict[int, int] = {}
+        conv: Dict[int, int] = {}
+        total = 0
+        moved = 0
+        pool = self._open_dram_pool()
+        try:
+            for addr in line_addrs.tolist():
+                home = (addr // stripe) % ncl
+                seen = counts.get(home)
+                if seen is None:
+                    counts[home] = 1
+                    conv[home] = _ps_to_cycles_int(
+                        lat_of(local_cluster, home, 0)
+                        + (lat_of(local_cluster, home, line) if is_write
+                           else lat_of(home, local_cluster, line)),
+                        freq,
+                    )
+                else:
+                    counts[home] = seen + 1
+                if home == local_cluster:
+                    total += 1 + bank_lat + conv[home]
+                else:
+                    total += 1 + l3_lat + conv[home]
+                    moved += line
+                out = l3_access(addr, is_write=is_write)
+                ev = out.evicted
+                if ev is not None and ev[1]:
+                    self._writeback_to_dram(home)
+                if not out.hit and not is_write:
+                    total += self._dram_fill(home)
+        finally:
+            if pool is not None:
+                self._flush_dram_pool(pool)
+        energy = self.energy
+        traffic = self.traffic
+        energy.charge("access_unit", "acp_access", n)
+        for home, count in counts.items():
+            energy.charge("l3", "l3_access", count)
+            traffic.record(MessageKind.ACC_HANDSHAKE, local_cluster, home,
+                           0, count=count)
+            if is_write:
+                traffic.record(MessageKind.ACC_OPERAND, local_cluster,
+                               home, line, count=count)
+            else:
+                traffic.record(MessageKind.ACC_OPERAND, home,
+                               local_cluster, line, count=count)
+        self.movement_bytes += moved
+        return total
+
+    def accel_elem_access_batch(self, local_cluster: int,
+                                addrs: np.ndarray, is_write: bool,
+                                elem_bytes: int) -> int:
+        """Element-granular near-data accesses for a chunk (see
+        :meth:`accel_elem_access`); returns total latency cycles."""
+        n = len(addrs)
+        if n == 0:
+            return 0
+        m = self.machine
+        line = self._line
+        freq = m.core.freq_ghz
+        l3 = self.l3
+        stripe = l3.stripe_bytes
+        ncl = l3.num_clusters
+        acps = self.acps
+        lat_of = self.traffic.latency_of
+        bank_lat = m.l3_bank_latency
+        counts: Dict[int, int] = {}
+        conv: Dict[int, int] = {}
+        n_l3 = 0  # miss-side bank reads + dirty ACP retires
+        total = 0
+        moved = 0
+        pool = self._open_dram_pool()
+        try:
+            for addr in addrs.tolist():
+                home = (addr // stripe) % ncl
+                seen = counts.get(home)
+                if seen is None:
+                    counts[home] = 1
+                    conv[home] = _ps_to_cycles_int(
+                        lat_of(local_cluster, home, 0)
+                        + (lat_of(local_cluster, home, elem_bytes)
+                           if is_write
+                           else lat_of(home, local_cluster, elem_bytes)),
+                        freq,
+                    )
+                else:
+                    counts[home] = seen + 1
+                if home != local_cluster:
+                    moved += elem_bytes
+                total += 1 + conv[home]
+                out = acps[home].access(addr, is_write)
+                ev = out.evicted
+                if ev is not None and ev[1]:
+                    # dirty line retires into the local bank
+                    n_l3 += 1
+                    evicted = l3.fill(ev[0] * line, dirty=True)
+                    if evicted and evicted[1]:
+                        self._writeback_to_dram(home)
+                if out.hit:
+                    continue
+                n_l3 += 1
+                total += bank_lat
+                out3 = l3.access(addr, is_write=False)
+                ev3 = out3.evicted
+                if ev3 is not None and ev3[1]:
+                    self._writeback_to_dram(home)
+                if not out3.hit:
+                    total += self._dram_fill(home)
+        finally:
+            if pool is not None:
+                self._flush_dram_pool(pool)
+        energy = self.energy
+        traffic = self.traffic
+        energy.charge("access_unit", "acp_access", n)
+        if n_l3:
+            energy.charge("l3", "l3_access", n_l3)
+        for home, count in counts.items():
+            traffic.record(MessageKind.ACC_HANDSHAKE, local_cluster, home,
+                           0, count=count)
+            if is_write:
+                traffic.record(MessageKind.ACC_OPERAND, local_cluster,
+                               home, elem_bytes, count=count)
+            else:
+                traffic.record(MessageKind.ACC_OPERAND, home,
+                               local_cluster, elem_bytes, count=count)
+        self.movement_bytes += moved
+        return total
+
+    def l3_demand_batch(self, from_node: int,
+                        as_accel: bool = False) -> "L3DemandWindow":
+        """Open a deferred-accounting window over repeated
+        :meth:`l3_demand` calls from one node (Mono-CA private-cache
+        misses). Call :meth:`L3DemandWindow.flush` when done."""
+        return L3DemandWindow(self, from_node, as_accel)
+
+    # ------------------------------------------------------------------
     # flushes (coherence transitions)
     # ------------------------------------------------------------------
     def flush_host_range(self, base: int, size: int) -> int:
@@ -369,8 +769,8 @@ class MemoryHierarchy:
         dirty = self.l1.invalidate_range(base, size)
         dirty += self.l2.invalidate_range(base, size)
         # dirty lines stream down to their home L3 slices
-        for _ in range(dirty):
-            self.energy.charge("l3", "l3_access")
+        if dirty:
+            self.energy.charge("l3", "l3_access", dirty)
         self.movement_bytes += dirty * self._line
         return dirty
 
@@ -409,7 +809,84 @@ class MemoryHierarchy:
         OBS.inc("mem.movement_bytes", self.movement_bytes)
 
 
-def _ps_to_cycles_int(ps: int, freq_ghz: float) -> int:
-    from ..events import ps_to_cycles
+class _DramPool:
+    """Deferred rare-path accounting counters, open only while a batch
+    replay method runs: DRAM fills/writebacks per cluster, plus the host
+    path's L1->L2 and L2->L3 dirty writebacks."""
 
+    __slots__ = ("fills", "wbs", "fill_lat", "l2_wbs", "l3_wbs")
+
+    def __init__(self):
+        self.fills: Dict[int, int] = {}
+        self.wbs: Dict[int, int] = {}
+        self.fill_lat: Dict[int, int] = {}
+        self.l2_wbs = 0
+        self.l3_wbs: Dict[int, int] = {}
+
+
+class L3DemandWindow:
+    """Deferred accounting over repeated :meth:`MemoryHierarchy.l3_demand`
+    calls from one mesh node.
+
+    Cache/DRAM state still advances per access in program order; only the
+    per-access energy charge, the two NoC records and the movement bytes
+    are pooled per home cluster and flushed once. The request/fill
+    latency conversion is memoized per cluster (the mesh is static).
+    """
+
+    __slots__ = ("hier", "from_node", "kind", "_counts", "_conv", "_pool")
+
+    def __init__(self, hier: MemoryHierarchy, from_node: int,
+                 as_accel: bool):
+        self.hier = hier
+        self.from_node = from_node
+        self.kind = (MessageKind.ACC_OPERAND if as_accel
+                     else MessageKind.CACHE_FILL)
+        self._counts: Dict[int, int] = {}
+        self._conv: Dict[int, int] = {}
+        self._pool = hier._open_dram_pool()
+
+    def access(self, addr: int) -> int:
+        """One demand access; returns latency cycles (as l3_demand)."""
+        h = self.hier
+        cluster = h.l3.home_cluster(addr)
+        seen = self._counts.get(cluster)
+        if seen is None:
+            self._counts[cluster] = 1
+            self._conv[cluster] = _ps_to_cycles_int(
+                h.traffic.latency_of(self.from_node, cluster, 0)
+                + h.traffic.latency_of(cluster, self.from_node, h._line),
+                h.machine.core.freq_ghz,
+            )
+        else:
+            self._counts[cluster] = seen + 1
+        latency = h.machine.l3.latency_cycles + self._conv[cluster]
+        out3 = h.l3.access(addr, is_write=False)
+        ev = out3.evicted
+        if ev is not None and ev[1]:
+            h._writeback_to_dram(cluster)
+        if not out3.hit:
+            latency += h._dram_fill(cluster)
+        return latency
+
+    def flush(self) -> None:
+        """Charge the pooled energy/NoC/movement accounting."""
+        h = self.hier
+        if self._pool is not None:
+            h._flush_dram_pool(self._pool)
+            self._pool = None
+        total = 0
+        for cluster, count in self._counts.items():
+            total += count
+            h.energy.charge("l3", "l3_access", count)
+            h.traffic.record(MessageKind.CACHE_REQ, self.from_node,
+                             cluster, 0, count=count)
+            h.traffic.record(self.kind, cluster, self.from_node,
+                             h._line, count=count)
+        h.movement_bytes += total * h._line
+        self._counts.clear()
+        self._conv.clear()
+
+
+def _ps_to_cycles_int(ps: int, freq_ghz: float) -> int:
     return int(round(ps_to_cycles(ps, freq_ghz)))

@@ -65,13 +65,21 @@ class NucaL3:
         return self.slices[self.home_cluster(addr)].probe(addr)
 
     def invalidate_range(self, base: int, size: int) -> int:
-        """Invalidate a range across all slices; returns dirty writebacks."""
+        """Invalidate a range across all slices; returns dirty writebacks.
+
+        For ranges larger than total residency, each slice walks its own
+        resident tags (O(occupancy)) instead of probing every line.
+        """
+        if size <= 0:
+            return 0
+        aligned = (base // CACHE_LINE_BYTES) * CACHE_LINE_BYTES
+        span_lines = -(-(base + size - aligned) // CACHE_LINE_BYTES)
+        if span_lines > sum(s.occupancy for s in self.slices):
+            return sum(
+                s.invalidate_range(base, size) for s in self.slices
+            )
         dirty = 0
-        for line_base in range(
-            (base // CACHE_LINE_BYTES) * CACHE_LINE_BYTES,
-            base + size,
-            CACHE_LINE_BYTES,
-        ):
+        for line_base in range(aligned, base + size, CACHE_LINE_BYTES):
             cluster = self.home_cluster(line_base)
             if self.slices[cluster].invalidate(line_base):
                 dirty += 1

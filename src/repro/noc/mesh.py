@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 from ..errors import ConfigError
+from ..events import cycles_to_ps
 from ..params import NocParams
 
 #: mesh node where the host core (and its L1/L2) attaches
@@ -34,6 +35,17 @@ class Mesh:
         self.params = params
         self.cols = params.mesh_cols
         self.rows = params.mesh_rows
+        # Manhattan distances, precomputed once: hops() sits on every
+        # traffic-accounting path and the mesh is tiny (O(n^2) ints)
+        n = self.rows * self.cols
+        self._hops: List[List[int]] = [
+            [
+                abs(s // self.cols - d // self.cols)
+                + abs(s % self.cols - d % self.cols)
+                for d in range(n)
+            ]
+            for s in range(n)
+        ]
 
     @property
     def num_nodes(self) -> int:
@@ -57,8 +69,15 @@ class Mesh:
     # -- routing ----------------------------------------------------------
     def hops(self, src: int, dst: int) -> int:
         """Manhattan distance (number of link traversals) src -> dst."""
-        a, b = self.coord(src), self.coord(dst)
-        return abs(a.row - b.row) + abs(a.col - b.col)
+        if src < 0 or dst < 0:
+            self._check(src)
+            self._check(dst)
+        try:
+            return self._hops[src][dst]
+        except IndexError:
+            self._check(src)
+            self._check(dst)
+            raise  # pragma: no cover - _check raises first
 
     def route(self, src: int, dst: int) -> List[int]:
         """XY route: full node path including both endpoints."""
@@ -86,8 +105,6 @@ class Mesh:
         Pipeline model: per-hop latency for the head flit plus one cycle
         per additional flit of serialization.
         """
-        from ..events import cycles_to_ps
-
         flits = self.num_flits(payload_bytes)
         cycles = self.hops(src, dst) * self.params.hop_latency_cycles
         cycles += max(flits - 1, 0)

@@ -59,6 +59,19 @@ class TrafficLedger:
         self.byte_hops_by_class: Dict[TrafficClass, float] = defaultdict(float)
         self.messages_by_class: Dict[TrafficClass, int] = defaultdict(int)
         self.bytes_by_pair: Dict[Tuple[int, int], float] = defaultdict(float)
+        #: (src, dst, payload) -> one-way latency ps; messages repeat the
+        #: same few shapes millions of times, the mesh is static
+        self._lat_memo: Dict[Tuple[int, int, int], int] = {}
+
+    def latency_of(self, src: int, dst: int, payload_bytes: int) -> int:
+        """Memoized one-way message latency (what :meth:`record` returns)."""
+        key = (src, dst, payload_bytes)
+        lat = self._lat_memo.get(key)
+        if lat is None:
+            lat = self._lat_memo[key] = self.mesh.latency_ps(
+                src, dst, payload_bytes + HEADER_BYTES
+            )
+        return lat
 
     def record(self, kind: MessageKind, src: int, dst: int,
                payload_bytes: int, count: int = 1) -> int:
@@ -79,9 +92,9 @@ class TrafficLedger:
             self.energy.charge("noc", "noc_byte_hop", total_bytes * hops)
             self.energy.charge(
                 "noc", "noc_router_flit",
-                flits * self.mesh.routers_traversed(src, dst) * count,
+                flits * (hops + 1) * count,
             )
-        return self.mesh.latency_ps(src, dst, payload_bytes + HEADER_BYTES)
+        return self.latency_of(src, dst, payload_bytes)
 
     # -- summaries ---------------------------------------------------------
     def total_bytes(self) -> float:

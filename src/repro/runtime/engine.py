@@ -22,6 +22,7 @@ from ..compiler.pipeline import CompiledOffload
 from ..energy import EnergyLedger
 from ..errors import SimulationError
 from ..events import Channel, Delay, Get, Put, Simulator, cycles_to_ps
+from ..fastpath import fast_path_enabled
 from ..interface.config import AccessConfig, AccessKind, PartitionConfig
 from ..interface.intrinsics import mmio_bytes
 from ..interface.scheduler import HardwareScheduler
@@ -106,6 +107,9 @@ class OffloadEngine:
         self._configured_offloads: set = set()
         self._offload_ctx: Dict[int, int] = {}
         self._ctx = 0
+        #: batched replay enabled for this run (re-read per run() so tests
+        #: can flip REPRO_FAST in-process)
+        self._fast = fast_path_enabled()
 
     def buffer_key(self, offload: CompiledOffload, access_id: int) -> int:
         """Scheduler buffer id serving an access (combining-aware)."""
@@ -143,6 +147,51 @@ class OffloadEngine:
             )
         # centralized accelerator: no in-place access, pull the line
         return self._line_fetch(cluster, addr, is_write)
+
+    def _line_fetch_many(self, cluster: int, line_addrs: np.ndarray,
+                         is_write: bool) -> int:
+        """Batched :meth:`_line_fetch` over a chunk (REPRO_FAST=1 only);
+        bit-identical to the per-line loop."""
+        if self.private_cache is None:
+            return self.hierarchy.accel_line_fetch_batch(
+                cluster, line_addrs, is_write
+            )
+        return self._private_fetch_many(cluster, line_addrs, is_write)
+
+    def _elem_access_many(self, cluster: int, addrs: np.ndarray,
+                          is_write: bool, elem_bytes: int) -> int:
+        """Batched :meth:`_elem_access` over a chunk (REPRO_FAST=1 only);
+        bit-identical to the per-element loop."""
+        if self.private_cache is None:
+            return self.hierarchy.accel_elem_access_batch(
+                cluster, addrs, is_write, elem_bytes
+            )
+        return self._private_fetch_many(cluster, addrs, is_write)
+
+    def _private_fetch_many(self, cluster: int, addrs: np.ndarray,
+                            is_write: bool) -> int:
+        """Mono-CA chunk replay: the private cache advances per access in
+        program order; the per-miss L3 accounting is pooled in an
+        :class:`~repro.mem.hierarchy.L3DemandWindow`."""
+        n = len(addrs)
+        if n == 0:
+            return 0
+        self.energy.charge("accel", "private_cache_access", n)
+        access = self.private_cache.access
+        writeback = self.hierarchy.writeback_line_from
+        window = self.hierarchy.l3_demand_batch(cluster)
+        total = n  # 1 cycle per private-cache lookup
+        try:
+            for addr in addrs.tolist():
+                out = access(addr, is_write)
+                ev = out.evicted
+                if ev is not None and ev[1]:
+                    writeback(ev[0], cluster)
+                if not out.hit:
+                    total += window.access(addr)
+        finally:
+            window.flush()
+        return total
 
     # ------------------------------------------------------------------
     # host configuration phase
@@ -195,6 +244,7 @@ class OffloadEngine:
             trips: int, invocations: int,
             site_streams: SiteStreams) -> EngineStats:
         """Execute one kernel call's worth of the offloaded loop."""
+        self._fast = fast_path_enabled()
         stats = EngineStats()
         if trips <= 0:
             return stats
@@ -453,6 +503,35 @@ class _RunContext:
     def _is_invariant(self, acc: AccessConfig) -> bool:
         return acc.stride_elems == 0 and acc.kind is AccessKind.STREAM_READ
 
+    def _fetch_chunk(self, at: int, lines: np.ndarray,
+                     is_write: bool) -> int:
+        """Line fetches for one chunk: batched replay when REPRO_FAST=1,
+        the per-line reference loop otherwise."""
+        engine = self.engine
+        if engine._fast:
+            return engine._line_fetch_many(at, lines, is_write)
+        total = 0
+        for line_addr in lines:
+            total += engine._line_fetch(at, int(line_addr), is_write)
+        return total
+
+    def _indirect_chunk(self, acc: AccessConfig, at: int,
+                        elems: np.ndarray) -> int:
+        """Indirect element accesses for one chunk (same gating)."""
+        engine = self.engine
+        base = engine.slab.by_name(acc.obj).base
+        eb = acc.elem_bytes
+        if engine._fast:
+            return engine._elem_access_many(
+                at, base + elems * eb, acc.is_write, eb
+            )
+        total = 0
+        for elem in elems.tolist():
+            total += engine._elem_access(
+                at, base + elem * eb, acc.is_write, eb
+            )
+        return total
+
     def _migrated(self, static_cluster: int, addr) -> int:
         """Cluster the access unit presents at for this chunk."""
         if not self.engine.migrating or addr is None:
@@ -474,9 +553,7 @@ class _RunContext:
             if self.shared_port is not None:
                 yield Get(self.shared_port)
             at = self._migrated(cluster, lines[0] if len(lines) else None)
-            lat_cycles = 0
-            for line_addr in lines:
-                lat_cycles += engine._line_fetch(at, int(line_addr), False)
+            lat_cycles = self._fetch_chunk(at, lines, False)
             n_elems = (1 if invariant
                        else len(self._elems_for_chunk(acc, c)))
             if len(lines):
@@ -500,9 +577,7 @@ class _RunContext:
             if self.shared_port is not None:
                 yield Get(self.shared_port)
             at = self._migrated(cluster, lines[0] if len(lines) else None)
-            lat_cycles = 0
-            for line_addr in lines:
-                lat_cycles += engine._line_fetch(at, int(line_addr), True)
+            lat_cycles = self._fetch_chunk(at, lines, True)
             if len(lines):
                 energy.charge("access_unit", "fsm_step", len(lines))
                 energy.charge("access_unit", "buffer_access", len(lines))
@@ -538,11 +613,7 @@ class _RunContext:
                     cluster,
                     self._addr(acc, elems[0]) if len(elems) else None,
                 )
-                for elem in elems:
-                    ind_cycles += engine._elem_access(
-                        at, self._addr(acc, elem), acc.is_write,
-                        acc.elem_bytes,
-                    )
+                ind_cycles += self._indirect_chunk(acc, at, elems)
                 if len(elems):
                     energy.charge(
                         "access_unit", "translation_lookup", len(elems)
@@ -639,11 +710,7 @@ class _RunContext:
                         cluster,
                         self._addr(acc, elems[0]) if len(elems) else None,
                     )
-                    for elem in elems:
-                        ind_cycles += engine._elem_access(
-                            at, self._addr(acc, elem), acc.is_write,
-                            acc.elem_bytes,
-                        )
+                    ind_cycles += self._indirect_chunk(acc, at, elems)
                     if len(elems):
                         energy.charge("access_unit", "translation_lookup",
                                       len(elems))

@@ -12,17 +12,25 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..fastpath import fast_path_enabled
 from ..ir.interp import MemAccess
+from ..ir.trace import ColumnarTrace
 
 
 class SiteStreams:
     """Ordered element indices per static access site."""
 
     def __init__(self, trace: Iterable[MemAccess]):
+        if isinstance(trace, ColumnarTrace) and fast_path_enabled():
+            # vectorized group-by; identical streams to the scalar loop
+            self._streams: Dict[int, np.ndarray] = dict(
+                trace.streams_by_site()
+            )
+            return
         buckets: Dict[int, List[int]] = {}
         for acc in trace:
             buckets.setdefault(acc.site_id, []).append(acc.elem_index)
-        self._streams: Dict[int, np.ndarray] = {
+        self._streams = {
             site: np.asarray(idxs, dtype=np.int64)
             for site, idxs in buckets.items()
         }

@@ -21,14 +21,19 @@ from typing import Iterable, Optional
 
 from ..energy import EnergyLedger
 from ..events import cycles_to_ps
+from ..fastpath import fast_path_enabled
 from ..ir.interp import MemAccess, OpCounts
 from ..ir.program import Kernel
+from ..ir.trace import ColumnarTrace
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.slab import SlabAllocator
 from ..params import MachineParams
 
 #: fraction of the shorter of (compute, memory) that fails to overlap
 SERIALIZATION_FACTOR = 0.15
+
+#: accesses replayed per host_access_batch call on the fast path
+BATCH_CHUNK = 1 << 16
 
 
 @dataclass
@@ -72,22 +77,39 @@ class OooModel:
         l1_lat = self.machine.l1.latency_cycles
         mlp = min(self.machine.core.mem_level_parallelism,
                   self.machine.l1.mshrs)
-        stall_cycles = 0.0
+        # stalls accumulate as an exact integer cycle sum; the MLP overlap
+        # factor is applied once at the end, which keeps the scalar and
+        # batched replay paths bit-identical (float multiply of the same
+        # integer sum) instead of order-dependent float accumulation
+        stall_units = 0
         loads = 0
         stores = 0
-        host_access = self.hierarchy.host_access
-        for site, obj, idx, is_write in trace:
-            addr = obj_alloc[obj].base + idx * elem_bytes[obj]
-            latency = host_access(addr, is_write, stream_id=site)
-            if is_write:
-                stores += 1
-            else:
-                loads += 1
-            if latency > l1_lat:
-                overlap = (
-                    serial_fraction + (1.0 - serial_fraction) / mlp
+        if isinstance(trace, ColumnarTrace) and fast_path_enabled():
+            addrs = trace.addresses(
+                {name: alloc.base for name, alloc in obj_alloc.items()},
+                elem_bytes,
+            )
+            batch = self.hierarchy.host_access_batch
+            for lo in range(0, len(addrs), BATCH_CHUNK):
+                hi = lo + BATCH_CHUNK
+                stall_units += batch(
+                    addrs[lo:hi], trace.is_write[lo:hi], trace.site[lo:hi]
                 )
-                stall_cycles += (latency - l1_lat) * overlap
+            stores = trace.num_writes()
+            loads = len(trace) - stores
+        else:
+            host_access = self.hierarchy.host_access
+            for site, obj, idx, is_write in trace:
+                addr = obj_alloc[obj].base + idx * elem_bytes[obj]
+                latency = host_access(addr, is_write, stream_id=site)
+                if is_write:
+                    stores += 1
+                else:
+                    loads += 1
+                if latency > l1_lat:
+                    stall_units += latency - l1_lat
+        overlap = serial_fraction + (1.0 - serial_fraction) / mlp
+        stall_cycles = stall_units * overlap
 
         insts = counts.total_insts + extra_host_insts
         compute_cycles = insts / self.machine.core.issue_width

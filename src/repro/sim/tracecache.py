@@ -28,13 +28,19 @@ import os
 import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..ir.interp import InterpResult, MemAccess, OpCounts
 from ..ir.program import Kernel
+from ..ir.trace import ColumnarTrace
 from ..obs import OBS
+
+#: a recorded access trace: columnar (normal) or a plain MemAccess list
+#: (legacy pickles / hand-built tests) — both speak the same sequence
+#: protocol
+TraceLike = Union[ColumnarTrace, List[MemAccess]]
 
 
 @dataclass
@@ -47,7 +53,7 @@ class FunctionalView:
     """
 
     counts: OpCounts
-    trace: List[MemAccess]
+    trace: TraceLike
     inner_iterations: int
     inner_iters_by_loop: Dict[int, int]
     inner_invocations_by_loop: Dict[int, int]
@@ -60,7 +66,7 @@ class FunctionalCallRecord:
     kernel: Kernel
     scalars: Dict[str, float]
     counts: OpCounts
-    trace: List[MemAccess]
+    trace: TraceLike
     inner_iterations: int
     #: innermost-loop position (per ``kernel.innermost_loops()``) -> value
     inner_iters_by_index: Dict[int, int] = field(default_factory=dict)
@@ -76,7 +82,9 @@ class FunctionalCallRecord:
             kernel=kernel,
             scalars=dict(scalars),
             counts=res.counts,
-            trace=list(res.trace or ()),
+            # the interpreter hands back a ColumnarTrace: store it as-is
+            # (no per-access tuple copy; spills pickle the column buffers)
+            trace=res.trace if res.trace is not None else [],
             inner_iterations=res.inner_iterations,
             inner_iters_by_index={
                 index_of[k]: v

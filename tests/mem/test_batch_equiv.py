@@ -1,0 +1,180 @@
+"""Property tests: batched memory-system entry points == scalar reference.
+
+Two hierarchies built from the same machine parameters replay the same
+randomized access stream, one through the ``*_batch`` fast paths and one
+access at a time; every observable counter must come out identical —
+summed latencies, per-event energy, cache statistics, NoC traffic, DRAM
+counters and data movement. This is the micro-level guarantee behind the
+whole-run gate in ``tests/sim/test_fastpath_equiv.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.energy import EnergyLedger
+from repro.mem import MemoryHierarchy
+from repro.params import default_machine
+
+
+def make_hierarchy():
+    energy = EnergyLedger()
+    return MemoryHierarchy(default_machine(), energy), energy
+
+
+def host_stream(seed: int, n: int = 3000):
+    """Addresses with sequential runs, same-line repeats, strided walks
+    and random pointers — exercising run collapsing, the prefetcher and
+    conflict evictions."""
+    rng = np.random.default_rng(seed)
+    base = 0x1000_0000
+    parts = [
+        base + np.arange(n // 4, dtype=np.int64) * 8,          # sequential
+        base + np.repeat(np.arange(n // 16, dtype=np.int64) * 64, 4),
+        base + np.arange(n // 4, dtype=np.int64) * 4096,       # strided
+        base + rng.integers(0, 1 << 22, n // 4).astype(np.int64) & ~7,
+    ]
+    addrs = np.concatenate(parts)[:n]
+    is_write = rng.random(len(addrs)) < 0.3
+    stream_ids = rng.integers(0, 4, len(addrs)).astype(np.int64)
+    return addrs, is_write, stream_ids
+
+
+def assert_same_state(fast, fast_energy, ref, ref_energy):
+    assert fast_energy.by_event() == ref_energy.by_event()
+    assert fast_energy.total_pj() == ref_energy.total_pj()
+    assert fast.stats().as_dict() == ref.stats().as_dict()
+    assert fast.movement_bytes == ref.movement_bytes
+    assert fast.dram.reads == ref.dram.reads
+    assert fast.dram.writes == ref.dram.writes
+    assert fast.traffic.breakdown() == ref.traffic.breakdown()
+    assert fast.traffic.total_byte_hops() == ref.traffic.total_byte_hops()
+    for a, b in ((fast.l1, ref.l1), (fast.l2, ref.l2)):
+        assert (a.accesses, a.hits, a.misses, a.writebacks,
+                a.prefetch_fills) == (b.accesses, b.hits, b.misses,
+                                      b.writebacks, b.prefetch_fills)
+    assert sorted(fast.l1.resident_lines()) == sorted(ref.l1.resident_lines())
+    assert sorted(fast.l2.resident_lines()) == sorted(ref.l2.resident_lines())
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_host_access_batch_matches_scalar(seed):
+    addrs, is_write, stream_ids = host_stream(seed)
+    fast, fast_energy = make_hierarchy()
+    ref, ref_energy = make_hierarchy()
+
+    batch_stall = fast.host_access_batch(addrs, is_write, stream_ids)
+
+    l1_lat = ref.machine.l1.latency_cycles
+    scalar_stall = 0
+    for addr, w, sid in zip(addrs.tolist(), is_write.tolist(),
+                            stream_ids.tolist()):
+        lat = ref.host_access(addr, w, stream_id=sid)
+        if lat > l1_lat:
+            scalar_stall += lat - l1_lat
+
+    assert batch_stall == scalar_stall
+    assert_same_state(fast, fast_energy, ref, ref_energy)
+
+
+def test_host_access_batch_chunking_invariant():
+    """Splitting one stream across many batch calls changes nothing."""
+    addrs, is_write, stream_ids = host_stream(7)
+    whole, whole_energy = make_hierarchy()
+    split, split_energy = make_hierarchy()
+
+    total_whole = whole.host_access_batch(addrs, is_write, stream_ids)
+    total_split = 0
+    for lo in range(0, len(addrs), 257):  # odd chunk to cut runs mid-way
+        hi = lo + 257
+        total_split += split.host_access_batch(
+            addrs[lo:hi], is_write[lo:hi], stream_ids[lo:hi]
+        )
+    assert total_whole == total_split
+    assert_same_state(whole, whole_energy, split, split_energy)
+
+
+@pytest.mark.parametrize("is_write", [False, True])
+def test_accel_line_fetch_batch_matches_scalar(is_write):
+    rng = np.random.default_rng(11)
+    addrs = (np.int64(0x1000_0000)
+             + rng.integers(0, 1 << 20, 1500).astype(np.int64) * 64)
+    fast, fast_energy = make_hierarchy()
+    ref, ref_energy = make_hierarchy()
+
+    batch_lat = fast.accel_line_fetch_batch(2, addrs, is_write)
+    scalar_lat = sum(
+        ref.accel_line_fetch(2, addr, is_write) for addr in addrs.tolist()
+    )
+    assert batch_lat == scalar_lat
+    assert fast_energy.by_event() == ref_energy.by_event()
+    assert fast.stats().as_dict() == ref.stats().as_dict()
+    assert fast.movement_bytes == ref.movement_bytes
+    assert fast.traffic.breakdown() == ref.traffic.breakdown()
+    assert fast.dram.reads == ref.dram.reads
+    assert fast.dram.writes == ref.dram.writes
+
+
+@pytest.mark.parametrize("elem_bytes,is_write",
+                         [(4, False), (4, True), (8, False)])
+def test_accel_elem_access_batch_matches_scalar(elem_bytes, is_write):
+    rng = np.random.default_rng(13)
+    addrs = (np.int64(0x2000_0000)
+             + rng.integers(0, 1 << 18, 2000).astype(np.int64) * elem_bytes)
+    fast, fast_energy = make_hierarchy()
+    ref, ref_energy = make_hierarchy()
+
+    batch_lat = fast.accel_elem_access_batch(1, addrs, is_write, elem_bytes)
+    scalar_lat = sum(
+        ref.accel_elem_access(1, addr, is_write, elem_bytes)
+        for addr in addrs.tolist()
+    )
+    assert batch_lat == scalar_lat
+    assert fast_energy.by_event() == ref_energy.by_event()
+    assert fast.stats().as_dict() == ref.stats().as_dict()
+    assert fast.movement_bytes == ref.movement_bytes
+    assert fast.traffic.breakdown() == ref.traffic.breakdown()
+    assert fast.dram.reads == ref.dram.reads
+    assert fast.dram.writes == ref.dram.writes
+
+
+def test_l3_demand_window_matches_scalar():
+    rng = np.random.default_rng(17)
+    addrs = (np.int64(0x3000_0000)
+             + rng.integers(0, 1 << 19, 1200).astype(np.int64) * 64)
+    fast, fast_energy = make_hierarchy()
+    ref, ref_energy = make_hierarchy()
+
+    window = fast.l3_demand_batch(from_node=3, as_accel=True)
+    batch_lat = 0
+    try:
+        for addr in addrs.tolist():
+            batch_lat += window.access(addr)
+    finally:
+        window.flush()
+    scalar_lat = sum(
+        ref.l3_demand(addr, from_node=3, as_accel=True)
+        for addr in addrs.tolist()
+    )
+    assert batch_lat == scalar_lat
+    assert fast_energy.by_event() == ref_energy.by_event()
+    assert fast.stats().as_dict() == ref.stats().as_dict()
+    assert fast.movement_bytes == ref.movement_bytes
+    assert fast.traffic.breakdown() == ref.traffic.breakdown()
+    assert fast.dram.reads == ref.dram.reads
+
+
+def test_late_prefetch_map_is_bounded():
+    """The late-prefetch residual map FIFO-evicts at its cap instead of
+    growing with the footprint of a streaming workload."""
+    h, _ = make_hierarchy()
+    cap = h.LATE_PREFETCH_CAP
+    for i in range(3 * cap):
+        h._note_late_prefetch(i, residual=5)
+        assert len(h._late_prefetch) <= cap
+    assert len(h._late_prefetch) == cap
+    # oldest entries were evicted, newest survive
+    assert 0 not in h._late_prefetch
+    assert (3 * cap - 1) in h._late_prefetch
+    # re-noting a resident line must not evict anything
+    h._note_late_prefetch(3 * cap - 1, residual=9)
+    assert len(h._late_prefetch) == cap

@@ -200,3 +200,78 @@ class TestProperties:
         for a in addrs:
             assert c.access(a, False).hit
         assert c.misses == before
+
+
+class TestInvalidateRangeOccupancyWalk:
+    """Flushing a multi-MB object through a small (ACP-sized) cache must
+    walk the resident tags, not every line in the range, and must report
+    exactly the same dirty count and end state as the per-line reference."""
+
+    def _populated_pair(self):
+        walk = tiny_cache()       # 1 KB, 16 lines: range >> capacity
+        ref = tiny_cache()
+        for k, cache in enumerate((walk, ref)):
+            for i in range(40):   # with conflict evictions along the way
+                cache.access(0x10_0000 + i * 3 * CACHE_LINE_BYTES, i % 2 == 0)
+        return walk, ref
+
+    def test_huge_range_matches_per_line_reference(self):
+        walk, ref = self._populated_pair()
+        base, size = 0, 64 * 1024 * 1024  # 64 MB span over a 1 KB cache
+        assert (size // CACHE_LINE_BYTES) > walk.occupancy
+        dirty_walk = walk.invalidate_range(base, size)
+        # reference: probe line by line (what the occupancy walk replaces)
+        dirty_ref = 0
+        for line in sorted(ref.resident_lines()):
+            if ref.invalidate(line * CACHE_LINE_BYTES):
+                dirty_ref += 1
+        assert dirty_walk == dirty_ref
+        assert walk.occupancy == 0
+        assert walk.writebacks == ref.writebacks
+        assert walk.invalidations == ref.invalidations
+
+    def test_huge_range_respects_bounds(self):
+        walk, _ = self._populated_pair()
+        resident_before = set(walk.resident_lines())
+        # a huge range that still misses every resident line: no-op
+        dirty = walk.invalidate_range(0x4000_0000, 64 * 1024 * 1024)
+        assert dirty == 0
+        assert set(walk.resident_lines()) == resident_before
+
+    def test_small_range_unchanged(self):
+        c = tiny_cache()
+        c.access(0x100, True)
+        c.access(0x100 + CACHE_LINE_BYTES, False)
+        assert c.invalidate_range(0x100, 2 * CACHE_LINE_BYTES) == 1
+        assert c.occupancy == 0
+
+
+class TestTouchResident:
+    """Bulk hit accounting used by the batched replay's run collapsing."""
+
+    def test_counts_hits_without_state_change(self):
+        c = tiny_cache()
+        c.access(0x100, False)
+        before = set(c.resident_lines())
+        c.touch_resident(0x100, make_dirty=False, count=5)
+        assert c.accesses == 6 and c.hits == 5 and c.misses == 1
+        assert set(c.resident_lines()) == before
+
+    def test_marks_dirty_like_write_hits(self):
+        a, b = tiny_cache(), tiny_cache()
+        a.access(0x100, False)
+        a.touch_resident(0x100, make_dirty=True, count=3)
+        b.access(0x100, False)
+        for _ in range(3):
+            assert b.access(0x100, True).hit
+        assert a.invalidate(0x100) == b.invalidate(0x100) is True
+
+    def test_absent_line_raises(self):
+        c = tiny_cache()
+        with pytest.raises(KeyError):
+            c.touch_resident(0x100, make_dirty=False, count=1)
+
+    def test_zero_count_noop(self):
+        c = tiny_cache()
+        c.touch_resident(0x100, make_dirty=True, count=0)  # absent is fine
+        assert c.accesses == 0
