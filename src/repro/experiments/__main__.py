@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.experiments [--scale small] [--out report.txt]
+                                [--out-json matrix.json]
                                 [--jobs N] [--stats]
 
 Runs the full 12-benchmark x 6-configuration matrix plus the case
@@ -10,7 +11,11 @@ studies and sensitivity sweeps, printing each table/figure in the
 paper's order. ``--jobs N`` (or ``REPRO_JOBS=N``) parallelizes the
 matrix over worker processes; results are identical to the serial run.
 ``--out`` writes each section to the file incrementally, so a failure in
-a late figure never loses the sections already produced. ``--stats``
+a late figure never loses the sections already produced. ``--out-json``
+additionally dumps every matrix cell's headline numbers as a
+byte-deterministic JSON document (written as soon as the matrix is
+populated, before any figure computes): the same bytes regardless of
+``--jobs``, suitable for machine diffing across runs. ``--stats``
 appends the run-observability report (interpreter invocations, trace
 cache hits, per-cell wall clocks, ...).
 """
@@ -49,6 +54,9 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None,
                         help="also write the report to this file "
                              "(incrementally, section by section)")
+    parser.add_argument("--out-json", default=None,
+                        help="dump per-cell matrix headline numbers to "
+                             "this file as deterministic JSON")
     parser.add_argument("--jobs", type=int, default=None,
                         help="parallel matrix workers "
                              "(default: $REPRO_JOBS or 1)")
@@ -77,6 +85,25 @@ def main(argv=None) -> int:
                             jobs=args.jobs, progress=progress)
         emit(f"[matrix populated in {time.time() - start:.0f}s; "
              f"all validated: {matrix.all_validated()}]\n")
+
+        if args.out_json:
+            from ..testing.golden import cell_record, snapshot_text
+
+            snapshot = {
+                "scale": args.scale,
+                "workloads": list(matrix.workloads),
+                "configs": list(matrix.configs),
+                "cells": {
+                    w: {
+                        c: cell_record(matrix.results[(w, c)])
+                        for c in matrix.configs
+                    }
+                    for w in matrix.workloads
+                },
+            }
+            with open(args.out_json, "w") as jf:
+                jf.write(snapshot_text(snapshot))
+            progress(f"matrix JSON written to {args.out_json}")
 
         emit(fig07.format_rows(fig07.compute(matrix)) + "\n")
         emit(fig08.format_rows(fig08.compute(matrix)) + "\n")

@@ -1,0 +1,55 @@
+"""Differential conformance subsystem.
+
+Structured kernel/workload generation (:mod:`repro.testing.genkernel`),
+cross-path differential oracles (:mod:`repro.testing.oracle`), greedy
+failure minimization (:mod:`repro.testing.shrink`), a JSON corpus wire
+format (:mod:`repro.testing.serialize`), and the ``python -m
+repro.testing.fuzz`` entry point that ties them together.
+"""
+
+from .genkernel import (
+    SHAPES,
+    GeneratedCase,
+    case_stream,
+    generate_case,
+    shape_histogram,
+)
+from .oracle import (
+    DEFAULT_PATHS,
+    DifferentialOracle,
+    OracleFailure,
+    OracleReport,
+    check_case,
+)
+from .serialize import (
+    FORMAT_VERSION,
+    case_from_json,
+    case_to_json,
+    dumps_case,
+    load_case,
+    loads_case,
+    save_case,
+)
+from .shrink import save_corpus_entry, shrink
+
+__all__ = [
+    "SHAPES",
+    "GeneratedCase",
+    "case_stream",
+    "generate_case",
+    "shape_histogram",
+    "DEFAULT_PATHS",
+    "DifferentialOracle",
+    "OracleFailure",
+    "OracleReport",
+    "check_case",
+    "FORMAT_VERSION",
+    "case_from_json",
+    "case_to_json",
+    "dumps_case",
+    "load_case",
+    "loads_case",
+    "save_case",
+    "save_corpus_entry",
+    "shrink",
+]

@@ -1,0 +1,488 @@
+"""Structured kernel/workload generator for the conformance suite.
+
+One seeded RNG in, one well-formed :class:`GeneratedCase` out. The
+generator is the single source of kernel-generation truth for every
+fuzzing surface in the tree — the hypothesis strategies in
+``tests/test_fuzz_pipeline.py`` draw a seed and call into this module —
+and it emits the kernel shapes that historically drove real bugs, far
+beyond 1-D elementwise: nested loops with affine multi-dimensional
+indexing, ``When``-guarded stores over data-dependent predicates,
+indirect gather/scatter accesses, loop-carried reductions, and
+multi-kernel workloads chained through a shared intermediate object.
+
+Every emitted case is *well-formed by construction*: it passes the
+static verifier with no ERROR findings and interprets without dynamic
+faults (index arrays are populated with in-bounds values, affine
+offsets respect the declared margins). The differential oracle
+(:mod:`repro.testing.oracle`) then checks that every execution path
+agrees on what the case computes and costs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..ir import (
+    FLOAT32,
+    INT32,
+    Interpreter,
+    Kernel,
+    Loop,
+    LoopVar,
+    MemObject,
+    OpCounts,
+    Scalar,
+    When,
+)
+from ..ir.expr import BinOp, Expr
+from ..ir.stmt import Assign
+from ..ir.expr import Temp
+from ..workloads.base import KernelCall, WorkloadInstance
+
+#: every shape the generator emits (the fuzz CLI's histogram keys)
+SHAPES = (
+    "elementwise",
+    "nested",
+    "guarded",
+    "reduction",
+    "gather",
+    "scatter",
+    "multi",
+)
+
+#: value-combining ops safe on arbitrary float data (no div-by-zero,
+#: no domain errors)
+SAFE_OPS = ("+", "-", "*", "min", "max")
+
+#: per-call host-side work constant used by every generated instance
+HOST_INSTS_PER_CALL = 50
+
+
+@dataclass
+class GeneratedCase:
+    """A self-contained conformance workload: kernels + initial data.
+
+    The case itself is immutable test *data*; :meth:`instance` builds a
+    fresh single-use :class:`~repro.workloads.base.WorkloadInstance` per
+    simulation run, always starting from the same initial arrays.
+    """
+
+    name: str
+    shape: str
+    seed: int
+    kernels: List[Kernel]
+    #: execution order: (kernel name, scalar overrides) per dynamic call
+    calls: List[Tuple[str, Dict[str, float]]]
+    #: initial array contents, keyed by object name
+    arrays: Dict[str, np.ndarray]
+    outputs: List[str]
+    _golden: Optional[Dict[str, np.ndarray]] = field(
+        default=None, repr=False, compare=False)
+    _golden_counts: Optional[OpCounts] = field(
+        default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    def kernel(self, name: str) -> Kernel:
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise ConfigError(f"case {self.name!r} has no kernel {name!r}")
+
+    def objects(self) -> Dict[str, MemObject]:
+        merged: Dict[str, MemObject] = {}
+        for k in self.kernels:
+            merged.update(k.objects)
+        return merged
+
+    def size(self) -> int:
+        """Shrink metric: statements + array elements (smaller = simpler)."""
+        def stmts_of(loop: Loop) -> int:
+            total = 1
+            for s in loop.body:
+                if isinstance(s, Loop):
+                    total += stmts_of(s)
+                elif isinstance(s, When):
+                    total += 1 + len(s.body)
+                else:
+                    total += 1
+            return total
+
+        stmt_total = sum(
+            stmts_of(l) for k in self.kernels for l in k.loops
+        )
+        elems = sum(a.size for a in self.arrays.values())
+        return stmt_total * 1000 + elems + len(self.calls)
+
+    # ------------------------------------------------------------------
+    def golden_run(self) -> Tuple[Dict[str, np.ndarray], OpCounts]:
+        """Golden interpreter execution from the initial arrays.
+
+        Cached: outputs and merged dynamic op counts are reused by every
+        oracle path and by the per-instance reference closure.
+        """
+        if self._golden is None:
+            arrays = {k: v.copy() for k, v in self.arrays.items()}
+            interp = Interpreter()
+            counts = OpCounts()
+            for kname, scalars in self.calls:
+                res = interp.run(self.kernel(kname), arrays, scalars)
+                counts = counts.merged(res.counts)
+            self._golden = {name: arrays[name] for name in self.outputs}
+            self._golden_counts = counts
+        return self._golden, self._golden_counts
+
+    def golden_outputs(self) -> Dict[str, np.ndarray]:
+        return self.golden_run()[0]
+
+    # ------------------------------------------------------------------
+    def instance(self) -> WorkloadInstance:
+        """Build a fresh runnable instance (instances are single-use)."""
+        kernels = {k.name: k for k in self.kernels}
+        calls = [
+            KernelCall(kernels[name], dict(scalars))
+            for name, scalars in self.calls
+        ]
+        golden = {k: v.copy() for k, v in self.golden_outputs().items()}
+
+        def reference(_inputs):
+            return {k: v.copy() for k, v in golden.items()}
+
+        return WorkloadInstance(
+            name=self.name, short=self.shape[:3],
+            objects=self.objects(),
+            arrays={k: v.copy() for k, v in self.arrays.items()},
+            outputs=list(self.outputs),
+            schedule=lambda inst: iter(calls),
+            reference=reference,
+            host_insts_per_call=HOST_INSTS_PER_CALL,
+            atol=1e-4,
+        )
+
+
+# ---------------------------------------------------------------------------
+# expression helpers
+# ---------------------------------------------------------------------------
+def _combine(rng: random.Random, terms: Sequence[Expr]) -> Expr:
+    """Fold load terms with random safe ops, optionally scaling one."""
+    expr = terms[0]
+    for term in terms[1:]:
+        expr = BinOp(rng.choice(SAFE_OPS), expr, term)
+    if rng.random() < 0.5:
+        expr = expr * round(rng.uniform(-2.0, 2.0), 3)
+    return expr
+
+
+def _input_data(rng: random.Random, n: int) -> np.ndarray:
+    data = np.random.default_rng(rng.getrandbits(31)).random(n)
+    return data.astype(np.float32)
+
+
+def _index_data(rng: random.Random, n: int, bound: int) -> np.ndarray:
+    gen = np.random.default_rng(rng.getrandbits(31))
+    return gen.integers(0, bound, size=n).astype(np.int32)
+
+
+# ---------------------------------------------------------------------------
+# shape emitters
+# ---------------------------------------------------------------------------
+I = LoopVar("i")
+J = LoopVar("j")
+
+
+def _elementwise(rng: random.Random, seed: int) -> GeneratedCase:
+    """1-D affine: ``out[i] = f(in0[i+o0], in1[i+o1], ...)``.
+
+    The port of the historical ``tests/test_fuzz_pipeline.py`` strategy:
+    always offloadable in every compile mode, one object per partition.
+    """
+    n = rng.randint(8, 48)
+    num_inputs = rng.randint(1, 3)
+    margin = 4
+    objects = {
+        f"in{k}": MemObject(f"in{k}", n + 2 * margin, FLOAT32)
+        for k in range(num_inputs)
+    }
+    out = MemObject("out", n + 2 * margin, FLOAT32)
+    objects["out"] = out
+    terms = [
+        objects[f"in{k}"][I + (margin + rng.randint(-margin, margin))]
+        for k in range(num_inputs)
+    ]
+    scalars: Dict[str, float] = {}
+    expr = _combine(rng, terms)
+    if rng.random() < 0.3:
+        scalars["alpha"] = round(rng.uniform(-1.5, 1.5), 3)
+        expr = expr * Scalar("alpha")
+    loop = Loop("i", 0, n, [out.store(I + margin, expr)])
+    kernel = Kernel("fz_elem", objects, [loop], scalars=scalars,
+                    outputs=["out"])
+    arrays = {
+        name: _input_data(rng, obj.num_elements)
+        for name, obj in objects.items()
+    }
+    return GeneratedCase(
+        name=f"elementwise-{seed}", shape="elementwise", seed=seed,
+        kernels=[kernel], calls=[("fz_elem", {})], arrays=arrays,
+        outputs=["out"],
+    )
+
+
+def _nested(rng: random.Random, seed: int) -> GeneratedCase:
+    """2-D loop nest with affine multi-dim indexing (stencil-like)."""
+    h = rng.randint(4, 9)
+    w = rng.randint(4, 9)
+    margin = 2
+    h2, w2 = h + 2 * margin, w + 2 * margin
+    num_inputs = rng.randint(1, 2)
+    objects = {
+        f"in{k}": MemObject(f"in{k}", (h2, w2), FLOAT32)
+        for k in range(num_inputs)
+    }
+    out = MemObject("out", (h2, w2), FLOAT32)
+    objects["out"] = out
+    terms = []
+    for k in range(num_inputs):
+        taps = rng.randint(1, 3)
+        for _ in range(taps):
+            dy = rng.randint(-margin, margin)
+            dx = rng.randint(-margin, margin)
+            terms.append(objects[f"in{k}"][I + (margin + dy),
+                                           J + (margin + dx)])
+    body: List = []
+    expr = _combine(rng, terms)
+    if rng.random() < 0.4:
+        body.append(Assign("t", expr))
+        expr = Temp("t") + round(rng.uniform(-1.0, 1.0), 3)
+    body.append(out.store((I + margin, J + margin), expr))
+    nest = Loop("i", 0, h, [Loop("j", 0, w, body)])
+    kernel = Kernel("fz_nest", objects, [nest], outputs=["out"])
+    arrays = {
+        name: _input_data(rng, obj.num_elements)
+        for name, obj in objects.items()
+    }
+    return GeneratedCase(
+        name=f"nested-{seed}", shape="nested", seed=seed,
+        kernels=[kernel], calls=[("fz_nest", {})], arrays=arrays,
+        outputs=["out"],
+    )
+
+
+def _guarded(rng: random.Random, seed: int) -> GeneratedCase:
+    """``When``-guarded stores: predicate on data or the loop variable."""
+    n = rng.randint(8, 40)
+    margin = 2
+    objects = {
+        "in0": MemObject("in0", n + 2 * margin, FLOAT32),
+        "out": MemObject("out", n + 2 * margin, FLOAT32),
+    }
+    in0, out = objects["in0"], objects["out"]
+    load = in0[I + margin]
+    if rng.random() < 0.5:
+        cond = load.gt(round(rng.uniform(0.2, 0.8), 3))
+    else:
+        cond = I.lt(rng.randint(1, n))
+    value = _combine(rng, [load, in0[I + margin + rng.randint(-margin,
+                                                             margin)]])
+    guarded = [out.store(I + margin, value)]
+    if rng.random() < 0.3:
+        # nested When: the shape that exposed _stores_of missing stores
+        inner_cond = load.lt(round(rng.uniform(0.5, 1.0), 3))
+        guarded = [When(inner_cond, guarded)]
+    body: List = [When(cond, guarded)]
+    if rng.random() < 0.4:
+        body.append(out.store(I + margin, value.min(1.0)))
+    loop = Loop("i", 0, n, body)
+    kernel = Kernel("fz_guard", objects, [loop], outputs=["out"])
+    arrays = {
+        name: _input_data(rng, obj.num_elements)
+        for name, obj in objects.items()
+    }
+    return GeneratedCase(
+        name=f"guarded-{seed}", shape="guarded", seed=seed,
+        kernels=[kernel], calls=[("fz_guard", {})], arrays=arrays,
+        outputs=["out"],
+    )
+
+
+def _reduction(rng: random.Random, seed: int) -> GeneratedCase:
+    """Loop-carried accumulator: ``acc[0] = acc[0] op in[i]``."""
+    n = rng.randint(8, 48)
+    objects = {
+        "in0": MemObject("in0", n, FLOAT32),
+        "acc": MemObject("acc", 1, FLOAT32),
+    }
+    in0, acc = objects["in0"], objects["acc"]
+    op = rng.choice(("+", "min", "max"))
+    update = BinOp(op, acc[0], in0[I])
+    body: List = [acc.store(0, update)]
+    outputs = ["acc"]
+    if rng.random() < 0.4:
+        out = MemObject("out", n, FLOAT32)
+        objects["out"] = out
+        body.append(out.store(I, in0[I] * round(rng.uniform(0.5, 2.0), 3)))
+        outputs.append("out")
+    loop = Loop("i", 0, n, body)
+    kernel = Kernel("fz_red", objects, [loop], outputs=outputs)
+    arrays = {
+        name: _input_data(rng, obj.num_elements)
+        for name, obj in objects.items()
+    }
+    return GeneratedCase(
+        name=f"reduction-{seed}", shape="reduction", seed=seed,
+        kernels=[kernel], calls=[("fz_red", {})], arrays=arrays,
+        outputs=outputs,
+    )
+
+
+def _gather(rng: random.Random, seed: int) -> GeneratedCase:
+    """Indirect loads: ``out[i] = f(data[idx[i]], ...)``."""
+    n = rng.randint(8, 40)
+    data_n = rng.randint(8, 64)
+    objects = {
+        "idx": MemObject("idx", n, INT32),
+        "data": MemObject("data", data_n, FLOAT32),
+        "out": MemObject("out", n, FLOAT32),
+    }
+    idx, data, out = objects["idx"], objects["data"], objects["out"]
+    terms: List[Expr] = [data[idx[I]]]
+    if data_n >= n and rng.random() < 0.5:
+        terms.append(data[I])
+    expr = _combine(rng, terms)
+    loop = Loop("i", 0, n, [out.store(I, expr)])
+    kernel = Kernel("fz_gather", objects, [loop], outputs=["out"])
+    arrays = {
+        "idx": _index_data(rng, n, data_n),
+        "data": _input_data(rng, data_n),
+        "out": _input_data(rng, n),
+    }
+    return GeneratedCase(
+        name=f"gather-{seed}", shape="gather", seed=seed,
+        kernels=[kernel], calls=[("fz_gather", {})], arrays=arrays,
+        outputs=["out"],
+    )
+
+
+def _scatter(rng: random.Random, seed: int) -> GeneratedCase:
+    """Indirect stores: ``out[idx[i]] = f(in[i])`` (program order decides
+    collisions; the golden interpreter defines the winner)."""
+    n = rng.randint(8, 40)
+    out_n = rng.randint(8, 48)
+    objects = {
+        "idx": MemObject("idx", n, INT32),
+        "in0": MemObject("in0", n, FLOAT32),
+        "out": MemObject("out", out_n, FLOAT32),
+    }
+    idx, in0, out = objects["idx"], objects["in0"], objects["out"]
+    value = in0[I] * round(rng.uniform(0.5, 2.0), 3)
+    body: List = [out.store(idx[I], value)]
+    if rng.random() < 0.3:
+        body = [When(in0[I].gt(round(rng.uniform(0.2, 0.6), 3)), body)]
+    loop = Loop("i", 0, n, body)
+    kernel = Kernel("fz_scatter", objects, [loop], outputs=["out"])
+    arrays = {
+        "idx": _index_data(rng, n, out_n),
+        "in0": _input_data(rng, n),
+        "out": _input_data(rng, out_n),
+    }
+    return GeneratedCase(
+        name=f"scatter-{seed}", shape="scatter", seed=seed,
+        kernels=[kernel], calls=[("fz_scatter", {})], arrays=arrays,
+        outputs=["out"],
+    )
+
+
+def _multi(rng: random.Random, seed: int) -> GeneratedCase:
+    """Two kernels chained through a shared intermediate object."""
+    n = rng.randint(8, 32)
+    margin = 2
+    size = n + 2 * margin
+    in0 = MemObject("in0", size, FLOAT32)
+    mid = MemObject("mid", size, FLOAT32)
+    out = MemObject("out", size, FLOAT32)
+    o1 = rng.randint(-margin, margin)
+    k1 = Kernel(
+        "fz_stage1", {"in0": in0, "mid": mid},
+        [Loop("i", 0, n,
+              [mid.store(I + margin,
+                         _combine(rng, [in0[I + margin],
+                                        in0[I + margin + o1]]))])],
+        outputs=["mid"],
+    )
+    o2 = rng.randint(-margin, margin)
+    k2 = Kernel(
+        "fz_stage2", {"mid": mid, "out": out},
+        [Loop("i", 0, n,
+              [out.store(I + margin,
+                         _combine(rng, [mid[I + margin],
+                                        mid[I + margin + o2]]))])],
+        outputs=["out"],
+    )
+    calls: List[Tuple[str, Dict[str, float]]] = [
+        ("fz_stage1", {}), ("fz_stage2", {}),
+    ]
+    if rng.random() < 0.3:
+        calls.append(("fz_stage2", {}))
+    arrays = {
+        "in0": _input_data(rng, size),
+        "mid": _input_data(rng, size),
+        "out": _input_data(rng, size),
+    }
+    return GeneratedCase(
+        name=f"multi-{seed}", shape="multi", seed=seed,
+        kernels=[k1, k2], calls=calls, arrays=arrays,
+        outputs=["out", "mid"],
+    )
+
+
+_EMITTERS = {
+    "elementwise": _elementwise,
+    "nested": _nested,
+    "guarded": _guarded,
+    "reduction": _reduction,
+    "gather": _gather,
+    "scatter": _scatter,
+    "multi": _multi,
+}
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+def generate_case(seed: int, shape: Optional[str] = None) -> GeneratedCase:
+    """Generate one case deterministically from ``(seed, shape)``.
+
+    With ``shape=None`` the seed also picks the shape, uniformly over
+    :data:`SHAPES`.
+    """
+    rng = random.Random(seed)
+    if shape is None:
+        shape = rng.choice(SHAPES)
+    try:
+        emit = _EMITTERS[shape]
+    except KeyError:
+        raise ConfigError(
+            f"unknown kernel shape {shape!r}; known: {sorted(_EMITTERS)}"
+        ) from None
+    return emit(rng, seed)
+
+
+def case_stream(seed: int, count: int,
+                shapes: Sequence[str] = SHAPES) -> Iterator[GeneratedCase]:
+    """Yield ``count`` cases; shapes round-robin so short runs still
+    cover every shape, with per-case sub-seeds drawn from ``seed``."""
+    rng = random.Random(seed)
+    for i in range(count):
+        shape = shapes[i % len(shapes)]
+        yield generate_case(rng.getrandbits(32), shape=shape)
+
+
+def shape_histogram(cases: Sequence[GeneratedCase]) -> Dict[str, int]:
+    hist = {shape: 0 for shape in SHAPES}
+    for case in cases:
+        hist[case.shape] = hist.get(case.shape, 0) + 1
+    return hist

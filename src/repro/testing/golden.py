@@ -1,0 +1,168 @@
+"""Golden snapshot of the experiment matrix's headline numbers.
+
+Serializes every (workload, configuration) cell of a matrix run to a
+deterministic JSON document — cycles, instructions, memory operations,
+data movement, NoC flits, energy — and compares it against a snapshot
+committed under ``tests/golden/``. Any change to the modeled numbers
+shows up as a reviewable JSON diff instead of silently shifting the
+paper's figures.
+
+Usage::
+
+    python -m repro.testing.golden             # verify against the snapshot
+    python -m repro.testing.golden --update    # refresh the snapshot
+    python -m repro.testing.golden --jobs 4    # verify a parallel run too
+
+The document is byte-deterministic: no wall-clock fields, sorted keys,
+and exact counter values (floats serialize through ``repr`` via the
+``json`` module, which round-trips bit-exactly). That also makes it the
+comparison format for the cross-process determinism test — a serial and
+a ``jobs=N`` matrix must dump byte-identical snapshots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Optional, Sequence
+
+from ..params import MachineParams
+from ..sim.results import RunResult
+
+#: ledger counter key for router flit traversals (the NoC headline)
+_FLIT_KEY = ("noc", "noc_router_flit")
+
+#: default committed snapshot location, resolved relative to this tree
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))),
+    "tests", "golden", "matrix_tiny.json",
+)
+
+
+def cell_record(run: RunResult) -> Dict[str, object]:
+    """The headline numbers of one matrix cell, all exact values."""
+    return {
+        "time_ps": run.time_ps,
+        "insts": run.insts,
+        "mem_ops": run.mem_ops,
+        "movement_bytes": run.movement_bytes,
+        "mmio_bytes": run.mmio_bytes,
+        "accel_iterations": run.accel_iterations,
+        "noc_flits": run.energy.count(*_FLIT_KEY),
+        "energy_pj": run.energy.total_pj(),
+        "l1": run.cache_stats.l1,
+        "l2": run.cache_stats.l2,
+        "l3": run.cache_stats.l3,
+        "dram": run.cache_stats.dram,
+        "validated": run.validated,
+    }
+
+
+def matrix_snapshot(scale: str = "tiny",
+                    machine: Optional[MachineParams] = None,
+                    workloads: Optional[Sequence[str]] = None,
+                    configs: Optional[Sequence[str]] = None,
+                    jobs: Optional[int] = None) -> Dict[str, object]:
+    """Run the matrix and collect every cell's headline record."""
+    from ..experiments.runner import BASELINE, PAPER_CONFIGS, run_matrix
+    from ..workloads import PAPER_ORDER
+
+    workloads = tuple(workloads or PAPER_ORDER)
+    configs = tuple(configs or (BASELINE,) + PAPER_CONFIGS)
+    matrix = run_matrix(scale=scale, machine=machine,
+                        workloads=workloads, configs=configs, jobs=jobs)
+    return {
+        "scale": scale,
+        "workloads": list(workloads),
+        "configs": list(configs),
+        "cells": {
+            w: {c: cell_record(matrix.results[(w, c)]) for c in configs}
+            for w in workloads
+        },
+    }
+
+
+def snapshot_text(snapshot: Dict[str, object]) -> str:
+    """Canonical byte-deterministic serialization of a snapshot."""
+    return json.dumps(snapshot, indent=1, sort_keys=True) + "\n"
+
+
+def write_snapshot(snapshot: Dict[str, object], path: str) -> None:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as f:
+        f.write(snapshot_text(snapshot))
+
+
+def load_snapshot(path: str) -> Dict[str, object]:
+    with open(path) as f:
+        return json.load(f)
+
+
+def diff_snapshots(expected: Dict[str, object],
+                   actual: Dict[str, object]) -> list:
+    """Human-readable list of per-cell field divergences."""
+    lines = []
+    exp_cells = expected.get("cells", {})
+    act_cells = actual.get("cells", {})
+    for w in sorted(set(exp_cells) | set(act_cells)):
+        if w not in exp_cells or w not in act_cells:
+            lines.append(f"{w}: present in only one snapshot")
+            continue
+        for c in sorted(set(exp_cells[w]) | set(act_cells[w])):
+            if c not in exp_cells[w] or c not in act_cells[w]:
+                lines.append(f"{w}/{c}: present in only one snapshot")
+                continue
+            exp, act = exp_cells[w][c], act_cells[w][c]
+            for field in sorted(set(exp) | set(act)):
+                if exp.get(field) != act.get(field):
+                    lines.append(
+                        f"{w}/{c}.{field}: golden={exp.get(field)!r} "
+                        f"actual={act.get(field)!r}"
+                    )
+    return lines
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.golden",
+        description="Verify (or refresh) the committed golden snapshot "
+                    "of the experiment matrix's headline numbers.",
+    )
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the snapshot instead of verifying")
+    parser.add_argument("--path", default=GOLDEN_PATH,
+                        help=f"snapshot file (default: {GOLDEN_PATH})")
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "large"))
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel matrix workers")
+    args = parser.parse_args(argv)
+
+    snapshot = matrix_snapshot(scale=args.scale, jobs=args.jobs)
+    if args.update:
+        write_snapshot(snapshot, args.path)
+        ncells = sum(len(v) for v in snapshot["cells"].values())
+        print(f"golden snapshot written to {args.path} ({ncells} cells)")
+        return 0
+    if not os.path.exists(args.path):
+        print(f"no golden snapshot at {args.path}; run with --update",
+              file=sys.stderr)
+        return 2
+    expected = load_snapshot(args.path)
+    lines = diff_snapshots(expected, snapshot)
+    if lines:
+        for line in lines:
+            print(f"GOLDEN DIFF {line}", file=sys.stderr)
+        print(f"{len(lines)} divergence(s) from {args.path}; "
+              f"rerun with --update if the change is intended",
+              file=sys.stderr)
+        return 1
+    print(f"matrix matches golden snapshot {args.path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,295 @@
+"""Differential oracles over every execution path of a generated case.
+
+One :class:`GeneratedCase` is pushed through the golden interpreter and
+through :func:`~repro.sim.system.simulate_workload` for each requested
+configuration under both replay pipelines (``REPRO_FAST=1`` batched and
+``REPRO_FAST=0`` scalar reference), and the paths must agree on
+
+* **analysis consistency** — the static verifier accepts exactly the
+  kernels the interpreter executes without a fault, and the affine
+  dependence analysis (:mod:`repro.analysis.deps`) never contradicts
+  the DFG offload classifier (rule AN-D03);
+* **numerical outputs** — every path's final output arrays equal the
+  golden interpreter's bit for bit (all paths execute the functional
+  program through the same interpreter semantics, so exact equality is
+  the contract, not an allclose);
+* **cross-path accounting** — for each configuration, the batched and
+  scalar pipelines produce the same time, instruction, memory-op,
+  cache-access, NoC and energy-ledger numbers, counter for counter;
+* **conservation** — functional quantities that are configuration-
+  independent stay put: ``mem_ops`` equals the golden dynamic
+  load+store count in every cell, the OoO baseline's instruction count
+  equals the golden dynamic instruction count plus the per-call host
+  work, the OoO L1 access count equals the access-trace length, and
+  every ledger's float totals agree with their per-component and
+  per-event breakdowns.
+
+Any disagreement is reported as an :class:`OracleFailure`; the fuzz CLI
+hands failing cases to the shrinker.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.deps import dependence_findings
+from ..analysis.verifier import verify_kernel
+from ..analysis.findings import errors_of
+from ..errors import ReproError
+from ..fastpath import ENV_VAR as FAST_ENV
+from ..params import MachineParams, experiment_machine
+from ..sim.results import RunResult
+from ..sim.system import simulate_workload
+from ..sim.tracecache import TraceCache
+from .genkernel import HOST_INSTS_PER_CALL, GeneratedCase
+
+#: the experiment configurations a case is checked across (§VI-A six)
+DEFAULT_PATHS = (
+    "ooo", "mono_ca", "mono_da_io", "mono_da_f", "dist_da_io", "dist_da_f",
+)
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One disagreement between execution paths of one case."""
+
+    case: str
+    check: str
+    config: str          # "" for path-independent checks
+    message: str
+
+    def format(self) -> str:
+        where = f" [{self.config}]" if self.config else ""
+        return f"{self.case}{where} {self.check}: {self.message}"
+
+
+@dataclass
+class OracleReport:
+    """Everything one oracle evaluation produced."""
+
+    case: str
+    shape: str
+    failures: List[OracleFailure]
+    paths: Tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@contextmanager
+def _fast_mode(fast: bool):
+    prior = os.environ.get(FAST_ENV)
+    os.environ[FAST_ENV] = "1" if fast else "0"
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop(FAST_ENV, None)
+        else:
+            os.environ[FAST_ENV] = prior
+
+
+def _metric_signature(r: RunResult) -> Dict[str, object]:
+    """Every figure-visible metric plus the raw ledger counters."""
+    return {
+        "time_ps": r.time_ps,
+        "insts": r.insts,
+        "mem_ops": r.mem_ops,
+        "movement_bytes": r.movement_bytes,
+        "mmio_bytes": r.mmio_bytes,
+        "accel_iterations": r.accel_iterations,
+        "validated": r.validated,
+        "cache_stats": r.cache_stats.as_dict(),
+        "traffic_breakdown": r.traffic_breakdown,
+        "energy_counts": dict(sorted(r.energy.counts().items())),
+    }
+
+
+class DifferentialOracle:
+    """Runs one case through every path and collects disagreements."""
+
+    def __init__(self, paths: Sequence[str] = DEFAULT_PATHS,
+                 machine: Optional[MachineParams] = None,
+                 modes: Tuple[bool, ...] = (True, False)):
+        self.paths = tuple(paths)
+        self.machine = machine or experiment_machine()
+        self.modes = modes
+
+    # ------------------------------------------------------------------
+    def check_case(self, case: GeneratedCase) -> OracleReport:
+        failures: List[OracleFailure] = []
+        self._check_analysis(case, failures)
+        golden, counts = self._golden(case, failures)
+        if golden is None:
+            return OracleReport(case.name, case.shape, failures, self.paths)
+        runs = self._simulate_all(case, failures)
+        self._check_outputs(case, golden, runs, failures)
+        self._check_cross_path(case, runs, failures)
+        self._check_conservation(case, counts, runs, failures)
+        return OracleReport(case.name, case.shape, failures, self.paths)
+
+    # ------------------------------------------------------------------
+    def _check_analysis(self, case: GeneratedCase,
+                        failures: List[OracleFailure]) -> None:
+        for kernel in case.kernels:
+            errors = errors_of(verify_kernel(kernel))
+            if errors:
+                lines = "; ".join(f.format() for f in errors)
+                failures.append(OracleFailure(
+                    case.name, "verifier-accepts", "",
+                    f"kernel {kernel.name!r} rejected by the static "
+                    f"verifier: {lines}",
+                ))
+            # AN-D03 = deps classification contradicts the DFG offload
+            # classifier; a generated kernel must never expose one
+            contradictions = [
+                f for f in dependence_findings(kernel) if f.rule == "AN-D03"
+            ]
+            for finding in contradictions:
+                failures.append(OracleFailure(
+                    case.name, "deps-vs-classifier", "", finding.format(),
+                ))
+
+    def _golden(self, case: GeneratedCase,
+                failures: List[OracleFailure]):
+        """The interpreter must execute every verifier-accepted case."""
+        try:
+            return case.golden_run()
+        except ReproError as exc:
+            failures.append(OracleFailure(
+                case.name, "interpreter-succeeds", "",
+                f"golden interpretation failed: {exc}",
+            ))
+            return None, None
+
+    # ------------------------------------------------------------------
+    def _simulate_all(self, case: GeneratedCase,
+                      failures: List[OracleFailure]
+                      ) -> Dict[Tuple[str, bool], RunResult]:
+        """Simulate every (config, fast-mode) cell of the case.
+
+        One shared trace cache per case: the functional interpretation is
+        path-independent, so each cell after the first replays it — the
+        exact sharing discipline the experiment matrix uses.
+        """
+        runs: Dict[Tuple[str, bool], RunResult] = {}
+        cache = TraceCache(max_entries=1)
+        for fast in self.modes:
+            with _fast_mode(fast):
+                for config in self.paths:
+                    try:
+                        runs[(config, fast)] = simulate_workload(
+                            case.instance(), config, machine=self.machine,
+                            trace_cache=cache,
+                            trace_key=(case.name, "fuzz"),
+                        )
+                    except Exception as exc:  # crashes are findings too
+                        failures.append(OracleFailure(
+                            case.name, "simulates", config,
+                            f"fast={int(fast)}: {type(exc).__name__}: {exc}",
+                        ))
+        return runs
+
+    # ------------------------------------------------------------------
+    def _check_outputs(self, case: GeneratedCase,
+                       golden: Dict[str, np.ndarray],
+                       runs: Dict[Tuple[str, bool], RunResult],
+                       failures: List[OracleFailure]) -> None:
+        for (config, fast), run in runs.items():
+            if not run.validated:
+                failures.append(OracleFailure(
+                    case.name, "outputs-validate", config,
+                    f"fast={int(fast)}: run failed output validation",
+                ))
+
+    def _check_cross_path(self, case: GeneratedCase,
+                          runs: Dict[Tuple[str, bool], RunResult],
+                          failures: List[OracleFailure]) -> None:
+        if set(self.modes) != {True, False}:
+            return
+        for config in self.paths:
+            fast = runs.get((config, True))
+            scalar = runs.get((config, False))
+            if fast is None or scalar is None:
+                continue
+            sig_f = _metric_signature(fast)
+            sig_s = _metric_signature(scalar)
+            for field in sig_f:
+                if sig_f[field] != sig_s[field]:
+                    failures.append(OracleFailure(
+                        case.name, "fast-vs-scalar", config,
+                        f"{field} diverged: fast={sig_f[field]!r} "
+                        f"scalar={sig_s[field]!r}",
+                    ))
+
+    # ------------------------------------------------------------------
+    def _check_conservation(self, case: GeneratedCase, counts,
+                            runs: Dict[Tuple[str, bool], RunResult],
+                            failures: List[OracleFailure]) -> None:
+        golden_mem_ops = counts.loads + counts.stores
+        ncalls = len(case.calls)
+        expected_ooo_insts = (
+            counts.total_insts + ncalls * HOST_INSTS_PER_CALL
+        )
+        for (config, fast), run in runs.items():
+            tag = f"fast={int(fast)}"
+            # functional load/store volume is configuration-independent
+            if run.mem_ops != golden_mem_ops:
+                failures.append(OracleFailure(
+                    case.name, "mem-ops-conserved", config,
+                    f"{tag}: mem_ops={run.mem_ops}, golden interpreter "
+                    f"counted {golden_mem_ops}",
+                ))
+            if config == "ooo":
+                if run.insts != expected_ooo_insts:
+                    failures.append(OracleFailure(
+                        case.name, "host-inst-accounting", config,
+                        f"{tag}: insts={run.insts}, golden counts + host "
+                        f"work = {expected_ooo_insts}",
+                    ))
+                # one L1 access per traced element access, no more
+                l1 = run.cache_stats.l1
+                if l1 != golden_mem_ops:
+                    failures.append(OracleFailure(
+                        case.name, "cache-access-sum", config,
+                        f"{tag}: l1 accesses={l1}, trace has "
+                        f"{golden_mem_ops} element accesses",
+                    ))
+            self._check_ledger(case, config, tag, run, failures)
+
+    def _check_ledger(self, case: GeneratedCase, config: str, tag: str,
+                      run: RunResult,
+                      failures: List[OracleFailure]) -> None:
+        ledger = run.energy
+        total = ledger.total_pj()
+        by_comp = sum(ledger.by_component().values())
+        by_event = sum(ledger.by_event().values())
+        for label, partial in (("component", by_comp), ("event", by_event)):
+            if not math.isclose(total, partial, rel_tol=1e-9, abs_tol=1e-6):
+                failures.append(OracleFailure(
+                    case.name, "energy-breakdown-sums", config,
+                    f"{tag}: total_pj={total!r} but per-{label} "
+                    f"breakdown sums to {partial!r}",
+                ))
+        negative = [
+            (key, n) for key, n in ledger.counts().items() if n < 0
+        ]
+        if negative:
+            failures.append(OracleFailure(
+                case.name, "ledger-nonnegative", config,
+                f"{tag}: negative event counts {negative}",
+            ))
+
+
+def check_case(case: GeneratedCase,
+               paths: Sequence[str] = DEFAULT_PATHS,
+               machine: Optional[MachineParams] = None) -> OracleReport:
+    """Convenience one-shot: run every oracle over ``case``."""
+    return DifferentialOracle(paths, machine).check_case(case)

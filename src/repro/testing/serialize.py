@@ -1,0 +1,239 @@
+"""JSON wire format for kernels and generated conformance cases.
+
+The shrinker minimizes failing cases by mutating this representation and
+the regression corpus under ``tests/corpus/`` stores it, so the format
+must round-trip *exactly*: a deserialized case rebuilds the same kernel
+structure (equal :meth:`~repro.ir.program.Kernel.fingerprint`) and
+bit-identical initial arrays. Array payloads are stored as explicit
+element lists — corpus entries are tiny by construction (the shrinker
+has already minimized them) and a human diffing a corpus file should be
+able to read the data that triggered the bug.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..ir.expr import (
+    BinOp,
+    Const,
+    Expr,
+    Load,
+    LoopVar,
+    Scalar,
+    Select,
+    Temp,
+    UnaryOp,
+)
+from ..ir.program import Kernel, MemObject
+from ..ir.stmt import Assign, Loop, Stmt, Store, When
+from ..ir.types import DType
+
+#: bump when the wire format changes incompatibly
+FORMAT_VERSION = 1
+
+_DTYPES: Dict[str, DType] = {d.short: d for d in DType}
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+def expr_to_json(expr: Expr) -> Dict[str, Any]:
+    kind = expr.__class__
+    if kind is Const:
+        return {"k": "const", "v": expr.value}
+    if kind is LoopVar:
+        return {"k": "var", "name": expr.name}
+    if kind is Scalar:
+        return {"k": "scalar", "name": expr.name}
+    if kind is Temp:
+        return {"k": "temp", "name": expr.name}
+    if kind is Load:
+        return {"k": "load", "obj": expr.obj,
+                "index": expr_to_json(expr.index)}
+    if kind is BinOp:
+        return {"k": "bin", "op": expr.op,
+                "lhs": expr_to_json(expr.lhs), "rhs": expr_to_json(expr.rhs)}
+    if kind is UnaryOp:
+        return {"k": "un", "op": expr.op,
+                "operand": expr_to_json(expr.operand)}
+    if kind is Select:
+        return {"k": "select", "cond": expr_to_json(expr.cond),
+                "t": expr_to_json(expr.if_true),
+                "f": expr_to_json(expr.if_false)}
+    raise ConfigError(f"unserializable expression {expr!r}")
+
+
+def expr_from_json(data: Dict[str, Any]) -> Expr:
+    k = data["k"]
+    if k == "const":
+        return Const(data["v"])
+    if k == "var":
+        return LoopVar(data["name"])
+    if k == "scalar":
+        return Scalar(data["name"])
+    if k == "temp":
+        return Temp(data["name"])
+    if k == "load":
+        return Load(data["obj"], expr_from_json(data["index"]))
+    if k == "bin":
+        return BinOp(data["op"], expr_from_json(data["lhs"]),
+                     expr_from_json(data["rhs"]))
+    if k == "un":
+        return UnaryOp(data["op"], expr_from_json(data["operand"]))
+    if k == "select":
+        return Select(expr_from_json(data["cond"]),
+                      expr_from_json(data["t"]), expr_from_json(data["f"]))
+    raise ConfigError(f"unknown expression kind {k!r}")
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+def stmt_to_json(stmt: Stmt) -> Dict[str, Any]:
+    if isinstance(stmt, Assign):
+        return {"k": "assign", "name": stmt.name,
+                "value": expr_to_json(stmt.value)}
+    if isinstance(stmt, Store):
+        return {"k": "store", "obj": stmt.obj,
+                "index": expr_to_json(stmt.index),
+                "value": expr_to_json(stmt.value)}
+    if isinstance(stmt, When):
+        return {"k": "when", "cond": expr_to_json(stmt.cond),
+                "body": [stmt_to_json(s) for s in stmt.body]}
+    if isinstance(stmt, Loop):
+        return {"k": "loop", "var": stmt.var,
+                "lower": expr_to_json(stmt.lower),
+                "upper": expr_to_json(stmt.upper),
+                "step": stmt.step, "parallel": stmt.parallel,
+                "body": [stmt_to_json(s) for s in stmt.body]}
+    raise ConfigError(f"unserializable statement {stmt!r}")
+
+
+def stmt_from_json(data: Dict[str, Any]) -> Stmt:
+    k = data["k"]
+    if k == "assign":
+        return Assign(data["name"], expr_from_json(data["value"]))
+    if k == "store":
+        return Store(data["obj"], expr_from_json(data["index"]),
+                     expr_from_json(data["value"]))
+    if k == "when":
+        return When(expr_from_json(data["cond"]),
+                    [stmt_from_json(s) for s in data["body"]])
+    if k == "loop":
+        return Loop(data["var"], expr_from_json(data["lower"]),
+                    expr_from_json(data["upper"]),
+                    [stmt_from_json(s) for s in data["body"]],
+                    step=data.get("step", 1),
+                    parallel=data.get("parallel", False))
+    raise ConfigError(f"unknown statement kind {k!r}")
+
+
+# ---------------------------------------------------------------------------
+# kernels and cases
+# ---------------------------------------------------------------------------
+def kernel_to_json(kernel: Kernel) -> Dict[str, Any]:
+    return {
+        "name": kernel.name,
+        "objects": {
+            name: {"shape": list(obj.shape), "dtype": obj.dtype.short}
+            for name, obj in sorted(kernel.objects.items())
+        },
+        "scalars": dict(sorted(kernel.scalars.items())),
+        "outputs": list(kernel.outputs),
+        "loops": [stmt_to_json(loop) for loop in kernel.loops],
+    }
+
+
+def kernel_from_json(data: Dict[str, Any]) -> Kernel:
+    objects = {
+        name: MemObject(name, tuple(spec["shape"]), _DTYPES[spec["dtype"]])
+        for name, spec in data["objects"].items()
+    }
+    loops = [stmt_from_json(l) for l in data["loops"]]
+    for loop in loops:
+        if not isinstance(loop, Loop):
+            raise ConfigError("top-level kernel statements must be loops")
+    return Kernel(
+        data["name"], objects, loops,
+        scalars=dict(data.get("scalars", {})),
+        outputs=list(data.get("outputs", [])),
+    )
+
+
+def array_to_json(arr: np.ndarray) -> Dict[str, Any]:
+    return {"dtype": arr.dtype.name, "data": arr.tolist()}
+
+
+def array_from_json(data: Dict[str, Any]) -> np.ndarray:
+    return np.asarray(data["data"], dtype=np.dtype(data["dtype"]))
+
+
+def case_to_json(case) -> Dict[str, Any]:
+    """Serialize a :class:`~repro.testing.genkernel.GeneratedCase`."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": case.name,
+        "shape": case.shape,
+        "seed": case.seed,
+        "kernels": [kernel_to_json(k) for k in case.kernels],
+        "calls": [
+            {"kernel": name, "scalars": dict(scalars)}
+            for name, scalars in case.calls
+        ],
+        "arrays": {
+            name: array_to_json(arr)
+            for name, arr in sorted(case.arrays.items())
+        },
+        "outputs": list(case.outputs),
+    }
+
+
+def case_from_json(data: Dict[str, Any]):
+    from .genkernel import GeneratedCase
+
+    version = data.get("version", 0)
+    if version != FORMAT_VERSION:
+        raise ConfigError(
+            f"corpus entry has format version {version}, "
+            f"this tree reads {FORMAT_VERSION}"
+        )
+    kernels = [kernel_from_json(k) for k in data["kernels"]]
+    return GeneratedCase(
+        name=data["name"],
+        shape=data["shape"],
+        seed=data.get("seed", 0),
+        kernels=kernels,
+        calls=[
+            (c["kernel"], dict(c.get("scalars", {})))
+            for c in data["calls"]
+        ],
+        arrays={
+            name: array_from_json(spec)
+            for name, spec in data["arrays"].items()
+        },
+        outputs=list(data["outputs"]),
+    )
+
+
+def dumps_case(case) -> str:
+    """Canonical (deterministic, diff-friendly) corpus text for a case."""
+    return json.dumps(case_to_json(case), indent=1, sort_keys=True) + "\n"
+
+
+def loads_case(text: str):
+    return case_from_json(json.loads(text))
+
+
+def save_case(case, path: str) -> None:
+    with open(path, "w") as f:
+        f.write(dumps_case(case))
+
+
+def load_case(path: str):
+    with open(path) as f:
+        return loads_case(f.read())

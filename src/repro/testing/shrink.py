@@ -1,0 +1,211 @@
+"""Greedy structural shrinker for failing conformance cases.
+
+Given a case and a predicate ("does it still fail?"), repeatedly tries
+structure-removing transformations on the case's JSON form — drop a
+kernel call, drop a statement, unwrap a ``When``, halve a constant loop
+bound, drop an unreferenced object — and keeps any candidate that still
+builds, still passes the static verifier-wellformedness the generator
+guarantees, and still fails. The loop runs to a fixpoint, so the result
+is 1-minimal with respect to the transformation set: removing any
+single remaining element makes the failure disappear.
+
+Minimized cases serialize to ``tests/corpus/`` for deterministic replay
+(:func:`save_corpus_entry`); the corpus is collected as parametrized
+pytest cases by ``tests/testing/test_corpus_replay.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import re
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from .genkernel import GeneratedCase
+from .serialize import case_from_json, case_to_json, dumps_case
+
+#: predicate: True while the candidate still reproduces the failure
+FailPredicate = Callable[[GeneratedCase], bool]
+
+#: hard cap on candidate evaluations per shrink (each runs the oracle)
+DEFAULT_BUDGET = 400
+
+
+# ---------------------------------------------------------------------------
+# candidate enumeration (on the JSON form)
+# ---------------------------------------------------------------------------
+def _loops_of(spec: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Every loop dict in a kernel spec, outermost first."""
+    stack = list(spec["loops"])
+    while stack:
+        node = stack.pop(0)
+        if node["k"] == "loop":
+            yield node
+            stack.extend(s for s in node["body"] if s["k"] == "loop")
+
+
+def _bodies_of(spec: Dict[str, Any]) -> Iterator[List[Dict[str, Any]]]:
+    """Every statement list (loop bodies and When bodies) in a kernel."""
+    for loop in _loops_of(spec):
+        yield loop["body"]
+        stack = [s for s in loop["body"] if s["k"] == "when"]
+        while stack:
+            when = stack.pop(0)
+            yield when["body"]
+            stack.extend(s for s in when["body"] if s["k"] == "when")
+
+
+def _referenced_objects(data: Dict[str, Any]) -> set:
+    """Object names appearing in any load/store of any kernel."""
+    names: set = set()
+
+    def walk(node: Any) -> None:
+        if isinstance(node, dict):
+            if node.get("k") in ("load", "store") and "obj" in node:
+                names.add(node["obj"])
+            for v in node.values():
+                walk(v)
+        elif isinstance(node, list):
+            for v in node:
+                walk(v)
+
+    for kernel in data["kernels"]:
+        walk(kernel["loops"])
+    return names
+
+
+def _candidates(data: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    """Yield strictly-smaller mutations of the serialized case."""
+    # 1. drop one dynamic call (and any kernel no call references)
+    if len(data["calls"]) > 1:
+        for i in range(len(data["calls"])):
+            cand = copy.deepcopy(data)
+            del cand["calls"][i]
+            live = {c["kernel"] for c in cand["calls"]}
+            cand["kernels"] = [
+                k for k in cand["kernels"] if k["name"] in live
+            ]
+            yield cand
+    # 2. drop one statement from any body (keeping bodies non-empty)
+    for ki in range(len(data["kernels"])):
+        bodies = list(_bodies_of(data["kernels"][ki]))
+        for bi, body in enumerate(bodies):
+            if len(body) < 2:
+                continue
+            for si in range(len(body)):
+                cand = copy.deepcopy(data)
+                cand_bodies = list(_bodies_of(cand["kernels"][ki]))
+                del cand_bodies[bi][si]
+                yield cand
+    # 3. unwrap a When (replace the guard with its body)
+    for ki in range(len(data["kernels"])):
+        bodies = list(_bodies_of(data["kernels"][ki]))
+        for bi, body in enumerate(bodies):
+            for si, stmt in enumerate(body):
+                if stmt["k"] != "when":
+                    continue
+                cand = copy.deepcopy(data)
+                cand_bodies = list(_bodies_of(cand["kernels"][ki]))
+                inner = cand_bodies[bi][si]["body"]
+                cand_bodies[bi][si:si + 1] = inner
+                yield cand
+    # 4. halve a constant loop trip count (toward a 1-iteration loop)
+    for ki in range(len(data["kernels"])):
+        loops = list(_loops_of(data["kernels"][ki]))
+        for li, loop in enumerate(loops):
+            lower, upper = loop["lower"], loop["upper"]
+            if lower["k"] != "const" or upper["k"] != "const":
+                continue
+            trips = upper["v"] - lower["v"]
+            if trips <= 1:
+                continue
+            cand = copy.deepcopy(data)
+            cand_loop = list(_loops_of(cand["kernels"][ki]))[li]
+            cand_loop["upper"] = {
+                "k": "const",
+                "v": lower["v"] + max(1, trips // 2),
+            }
+            yield cand
+    # 5. drop objects (and their arrays) nothing references any more
+    referenced = _referenced_objects(data)
+    dead = [
+        name for name in data["arrays"]
+        if name not in referenced
+    ]
+    if dead:
+        cand = copy.deepcopy(data)
+        for name in dead:
+            cand["arrays"].pop(name, None)
+        for kernel in cand["kernels"]:
+            for name in dead:
+                kernel["objects"].pop(name, None)
+        cand["outputs"] = [o for o in cand["outputs"] if o not in dead]
+        if cand["outputs"]:
+            yield cand
+
+
+def _rebuild(data: Dict[str, Any]) -> Optional[GeneratedCase]:
+    """Deserialize a candidate; None when the mutation broke validity."""
+    try:
+        case = case_from_json(data)
+    except Exception:
+        return None
+    try:
+        for kernel in case.kernels:
+            kernel.validate()
+    except Exception:
+        return None
+    return case
+
+
+# ---------------------------------------------------------------------------
+# the greedy loop
+# ---------------------------------------------------------------------------
+def shrink(case: GeneratedCase, still_fails: FailPredicate,
+           budget: int = DEFAULT_BUDGET) -> GeneratedCase:
+    """Minimize ``case`` while ``still_fails`` holds.
+
+    Greedy first-improvement descent: any accepted candidate restarts
+    the transformation scan, so the result is minimal w.r.t. single
+    transformations (within ``budget`` predicate evaluations).
+    """
+    best = case_from_json(case_to_json(case))  # private copy
+    spent = 0
+    improved = True
+    while improved and spent < budget:
+        improved = False
+        best_json = case_to_json(best)
+        for cand_json in _candidates(best_json):
+            if spent >= budget:
+                break
+            candidate = _rebuild(cand_json)
+            if candidate is None:
+                continue
+            spent += 1
+            try:
+                failing = still_fails(candidate)
+            except Exception:
+                failing = True  # predicate crash = failure reproduced
+            if failing and candidate.size() < best.size():
+                best = candidate
+                improved = True
+                break
+    best.name = f"{case.name}-min"
+    return best
+
+
+# ---------------------------------------------------------------------------
+# corpus persistence
+# ---------------------------------------------------------------------------
+def corpus_filename(case: GeneratedCase) -> str:
+    slug = re.sub(r"[^a-zA-Z0-9_-]", "-", case.name)
+    return f"{slug}.json"
+
+
+def save_corpus_entry(case: GeneratedCase, corpus_dir: str) -> str:
+    """Serialize ``case`` into ``corpus_dir`` and return the file path."""
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, corpus_filename(case))
+    with open(path, "w") as f:
+        f.write(dumps_case(case))
+    return path

@@ -1,109 +1,48 @@
 """Property-based fuzzing of the whole compile-and-simulate pipeline.
 
-Hypothesis generates random affine/indirect kernels; every one must
-compile (or be rejected for a principled reason), execute on the engine,
-and produce outputs identical to the golden interpreter's — the same
-validation discipline the paper applies to its benchmarks.
+Hypothesis draws only a seed; kernel construction lives in
+:mod:`repro.testing.genkernel`, the single source of generation truth
+shared with ``python -m repro.testing.fuzz``. Every elementwise case
+must compile (or be rejected for a principled reason), execute on the
+engine, and produce outputs identical to the golden interpreter's — the
+same validation discipline the paper applies to its benchmarks.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.accel.microcode import disassemble
 from repro.compiler import CompileMode, compile_kernel
-from repro.ir import (
-    FLOAT32,
-    INT32,
-    Interpreter,
-    Kernel,
-    Loop,
-    LoopVar,
-    MemObject,
-)
 from repro.params import experiment_machine
 from repro.sim import simulate_workload
-from repro.workloads.base import KernelCall, WorkloadInstance
-
-I = LoopVar("i")
-
-OPS = ("+", "-", "*", "min", "max")
+from repro.testing import generate_case
 
 
 @st.composite
-def random_kernel(draw):
-    """A random 1-D kernel: out[i] = f(in0[i+o0], in1[i+o1], ...)."""
-    n = draw(st.integers(min_value=8, max_value=48))
-    num_inputs = draw(st.integers(min_value=1, max_value=3))
-    margin = 4
-    objects = {
-        f"in{k}": MemObject(f"in{k}", n + 2 * margin, FLOAT32)
-        for k in range(num_inputs)
-    }
-    out = MemObject("out", n + 2 * margin, FLOAT32)
-    objects["out"] = out
-    expr = None
-    for k in range(num_inputs):
-        offset = draw(st.integers(min_value=-margin, max_value=margin))
-        load = objects[f"in{k}"][I + (margin + offset)]
-        if expr is None:
-            expr = load
-        else:
-            op = draw(st.sampled_from(OPS))
-            from repro.ir import BinOp
-
-            expr = BinOp(op, expr, load)
-        if draw(st.booleans()):
-            expr = expr * draw(
-                st.floats(min_value=-2, max_value=2,
-                          allow_nan=False, allow_infinity=False)
-            )
-    loop = Loop("i", 0, n, [out.store(I + margin, expr)])
-    return Kernel("fuzz", objects, [loop], outputs=["out"])
-
-
-def make_instance(kernel):
-    rng = np.random.default_rng(0)
-    arrays = {
-        name: rng.random(obj.num_elements).astype(np.float32)
-        for name, obj in kernel.objects.items()
-    }
-    initial = {k: v.copy() for k, v in arrays.items()}
-
-    def reference(inputs):
-        res = Interpreter().run(
-            kernel, {k: v.copy() for k, v in initial.items()}
-        )
-        return {"out": res.arrays["out"]}
-
-    return WorkloadInstance(
-        name="fuzz", short="fz",
-        objects=dict(kernel.objects), arrays=arrays, outputs=["out"],
-        schedule=lambda inst: iter([KernelCall(kernel)]),
-        reference=reference, atol=1e-3,
-    )
+def elementwise_case(draw):
+    """A seed-keyed 1-D affine case: out[i] = f(in0[i+o0], in1[i+o1], ...)."""
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return generate_case(seed, shape="elementwise")
 
 
 class TestFuzzCompile:
-    @given(kernel=random_kernel())
+    @given(case=elementwise_case())
     @settings(max_examples=30, deadline=None)
-    def test_every_affine_kernel_compiles(self, kernel):
-        ck = compile_kernel(kernel, CompileMode.DIST)
+    def test_every_affine_kernel_compiles(self, case):
+        ck = compile_kernel(case.kernel("fz_elem"), CompileMode.DIST)
         assert ck.offloads, "affine kernels are always offloadable"
         off = ck.offloads[0]
         off.dfg.validate()
         assert off.partitioning.max_objects_per_partition <= 1
         # microcode decodes for every partition
-        from repro.accel.microcode import disassemble
-
         for part in off.config.partitions:
             disassemble(part.microcode)
 
-    @given(kernel=random_kernel(),
+    @given(case=elementwise_case(),
            mode=st.sampled_from(list(CompileMode)))
     @settings(max_examples=20, deadline=None)
-    def test_all_modes_produce_consistent_channels(self, kernel, mode):
-        ck = compile_kernel(kernel, mode)
+    def test_all_modes_produce_consistent_channels(self, case, mode):
+        ck = compile_kernel(case.kernel("fz_elem"), mode)
         off = ck.offloads[0]
         for ch in off.config.channels:
             assert ch.producer_partition != ch.consumer_partition
@@ -114,13 +53,13 @@ class TestFuzzCompile:
 
 
 class TestFuzzSimulate:
-    @given(kernel=random_kernel(),
+    @given(case=elementwise_case(),
            config=st.sampled_from(["dist_da_f", "mono_da_io", "mono_ca"]))
     @settings(max_examples=10, deadline=None)
-    def test_simulated_execution_validates(self, kernel, config):
+    def test_simulated_execution_validates(self, case, config):
         """End to end: compile, simulate, compare with the reference."""
         run = simulate_workload(
-            make_instance(kernel), config, machine=experiment_machine()
+            case.instance(), config, machine=experiment_machine()
         )
         assert run.validated
         assert run.time_ps > 0

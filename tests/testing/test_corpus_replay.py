@@ -1,0 +1,53 @@
+"""Every committed corpus entry replays deterministically and passes.
+
+``tests/corpus/`` holds serialized conformance cases: shrunk repros of
+fixed bugs plus one seed entry per generator shape. Each must
+deserialize to the exact same kernels and data every time and pass the
+full differential oracle — a regression here means an old bug (or a new
+one) changed what some execution path computes or costs.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.testing import check_case, dumps_case, load_case
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "corpus")
+ENTRIES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def _entry_id(path):
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=_entry_id)
+def test_entry_is_canonical(path):
+    """The committed bytes are exactly the serializer's canonical form."""
+    with open(path) as f:
+        text = f.read()
+    assert dumps_case(load_case(path)) == text
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=_entry_id)
+def test_entry_replays_deterministically(path):
+    a, b = load_case(path), load_case(path)
+    assert [k.fingerprint() for k in a.kernels] == [
+        k.fingerprint() for k in b.kernels
+    ]
+    golden_a, counts_a = a.golden_run()
+    golden_b, counts_b = b.golden_run()
+    assert counts_a.total_insts == counts_b.total_insts
+    for name in golden_a:
+        assert golden_a[name].tobytes() == golden_b[name].tobytes()
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=_entry_id)
+def test_entry_passes_all_oracles(path):
+    report = check_case(load_case(path))
+    assert report.ok, [f.format() for f in report.failures]

@@ -1,0 +1,101 @@
+"""The generator must be deterministic and well-formed by construction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.findings import errors_of
+from repro.analysis.verifier import verify_kernel
+from repro.errors import ConfigError
+from repro.ir import Interpreter
+from repro.testing import (
+    SHAPES,
+    case_stream,
+    generate_case,
+    shape_histogram,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_same_seed_same_case(self, shape):
+        a = generate_case(7, shape=shape)
+        b = generate_case(7, shape=shape)
+        assert [k.fingerprint() for k in a.kernels] == [
+            k.fingerprint() for k in b.kernels
+        ]
+        assert a.calls == b.calls
+        assert set(a.arrays) == set(b.arrays)
+        for name in a.arrays:
+            assert a.arrays[name].dtype == b.arrays[name].dtype
+            assert np.array_equal(a.arrays[name], b.arrays[name])
+
+    def test_different_seeds_differ(self):
+        fps = {
+            generate_case(s, shape="nested").kernels[0].fingerprint()
+            for s in range(10)
+        }
+        assert len(fps) > 1
+
+    def test_seed_picks_shape_when_unspecified(self):
+        shapes = {generate_case(s).shape for s in range(40)}
+        assert len(shapes) > 1
+        assert shapes <= set(SHAPES)
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            generate_case(0, shape="spaghetti")
+
+
+class TestWellFormed:
+    @pytest.mark.parametrize("shape", SHAPES)
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_verifier_clean(self, shape, seed):
+        case = generate_case(seed, shape=shape)
+        for kernel in case.kernels:
+            kernel.validate()
+            assert not errors_of(verify_kernel(kernel)), (shape, seed)
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_interprets_without_faults(self, shape):
+        case = generate_case(5, shape=shape)
+        outputs, counts = case.golden_run()
+        assert set(outputs) == set(case.outputs)
+        assert counts.total_insts > 0
+        assert counts.loads + counts.stores > 0
+
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_instance_single_use_and_repeatable(self, shape):
+        case = generate_case(9, shape=shape)
+        first = case.instance()
+        second = case.instance()
+        for name in case.arrays:
+            assert np.array_equal(first.arrays[name], second.arrays[name])
+        # the reference closure reproduces the golden interpreter
+        ref = first.reference_outputs()
+        arrays = {k: v.copy() for k, v in case.arrays.items()}
+        interp = Interpreter()
+        for kname, scalars in case.calls:
+            interp.run(case.kernel(kname), arrays, scalars)
+        for name in case.outputs:
+            assert np.array_equal(ref[name], arrays[name])
+
+
+class TestStream:
+    def test_round_robin_covers_every_shape(self):
+        cases = list(case_stream(0, len(SHAPES)))
+        assert [c.shape for c in cases] == list(SHAPES)
+
+    def test_histogram_counts(self):
+        cases = list(case_stream(0, 10))
+        hist = shape_histogram(cases)
+        assert sum(hist.values()) == 10
+        assert set(hist) == set(SHAPES)
+
+    def test_stream_is_deterministic(self):
+        a = [c.name for c in case_stream(3, 8)]
+        b = [c.name for c in case_stream(3, 8)]
+        assert a == b
+
+    def test_shape_subset_respected(self):
+        cases = list(case_stream(0, 6, shapes=("guarded", "scatter")))
+        assert {c.shape for c in cases} == {"guarded", "scatter"}

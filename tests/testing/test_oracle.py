@@ -1,0 +1,81 @@
+"""The differential oracle must pass clean cases and catch injected faults."""
+
+import pytest
+
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.testing import SHAPES, DifferentialOracle, check_case, generate_case
+
+
+class TestCleanCases:
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_all_paths_agree(self, shape):
+        report = check_case(generate_case(21, shape=shape))
+        assert report.ok, [f.format() for f in report.failures]
+
+    def test_report_shape_metadata(self):
+        case = generate_case(21, shape="guarded")
+        report = check_case(case, paths=("ooo",))
+        assert report.case == case.name
+        assert report.shape == "guarded"
+        assert report.paths == ("ooo",)
+
+
+class TestInjectedFaults:
+    def test_perturbed_batch_counter_is_caught(self, monkeypatch):
+        """A fast-path-only perturbation must trip the cross-path oracle.
+
+        ``host_access_batch`` only runs under ``REPRO_FAST=1``; inflating
+        its returned stall cycles makes the batched replay's timing
+        diverge from the scalar reference on the OoO baseline.
+        """
+        real = MemoryHierarchy.host_access_batch
+
+        def perturbed(self, addrs, is_write, stream_ids):
+            return real(self, addrs, is_write, stream_ids) + 1000
+
+        monkeypatch.setattr(MemoryHierarchy, "host_access_batch", perturbed)
+        report = check_case(
+            generate_case(21, shape="elementwise"), paths=("ooo",)
+        )
+        assert not report.ok
+        assert any(f.check == "fast-vs-scalar" for f in report.failures)
+        assert any("time_ps" in f.message for f in report.failures)
+
+    def test_fault_invisible_without_fast_mode(self, monkeypatch):
+        """The scalar-only oracle cannot see a fast-path fault — the
+        divergence really is cross-path, not a broken case."""
+        real = MemoryHierarchy.host_access_batch
+
+        def perturbed(self, addrs, is_write, stream_ids):
+            return real(self, addrs, is_write, stream_ids) + 1000
+
+        monkeypatch.setattr(MemoryHierarchy, "host_access_batch", perturbed)
+        oracle = DifferentialOracle(paths=("ooo",), modes=(False,))
+        report = oracle.check_case(generate_case(21, shape="elementwise"))
+        assert report.ok, [f.format() for f in report.failures]
+
+    def test_broken_functional_result_is_caught(self, monkeypatch):
+        """Corrupting replayed output arrays fails output validation.
+
+        The first (config, mode) cell records the functional trace; every
+        later cell replays it through ``TraceCache.get``, so corrupting
+        the entry there breaks exactly the replayed cells' outputs.
+        """
+        from repro.sim.tracecache import TraceCache
+
+        real_get = TraceCache.get
+
+        def corrupting_get(self, workload, scale):
+            entry = real_get(self, workload, scale)
+            if entry is not None:
+                for arr in entry.final_arrays.values():
+                    if arr.size:
+                        arr.flat[0] += 1.0
+            return entry
+
+        monkeypatch.setattr(TraceCache, "get", corrupting_get)
+        report = check_case(
+            generate_case(21, shape="elementwise"), paths=("ooo",)
+        )
+        assert not report.ok
+        assert any(f.check == "outputs-validate" for f in report.failures)

@@ -1,0 +1,75 @@
+"""The corpus wire format must round-trip kernels and data exactly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.testing import (
+    SHAPES,
+    case_from_json,
+    case_to_json,
+    check_case,
+    dumps_case,
+    generate_case,
+    load_case,
+    loads_case,
+    save_case,
+)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+class TestRoundTrip:
+    def test_kernels_rebuild_identically(self, shape):
+        case = generate_case(13, shape=shape)
+        back = case_from_json(case_to_json(case))
+        assert [k.fingerprint() for k in back.kernels] == [
+            k.fingerprint() for k in case.kernels
+        ]
+        assert back.calls == case.calls
+        assert back.outputs == case.outputs
+        assert back.name == case.name and back.shape == case.shape
+
+    def test_arrays_bit_identical(self, shape):
+        case = generate_case(13, shape=shape)
+        back = loads_case(dumps_case(case))
+        assert set(back.arrays) == set(case.arrays)
+        for name, arr in case.arrays.items():
+            assert back.arrays[name].dtype == arr.dtype
+            assert back.arrays[name].tobytes() == arr.tobytes()
+
+    def test_text_form_is_canonical(self, shape):
+        case = generate_case(13, shape=shape)
+        text = dumps_case(case)
+        assert dumps_case(loads_case(text)) == text
+
+    def test_rebuilt_case_equivalent_under_oracle(self, shape):
+        case = generate_case(13, shape=shape)
+        back = loads_case(dumps_case(case))
+        golden, counts = case.golden_run()
+        golden2, counts2 = back.golden_run()
+        assert counts.total_insts == counts2.total_insts
+        for name in golden:
+            assert np.array_equal(golden[name], golden2[name])
+
+
+class TestFiles:
+    def test_save_and_load(self, tmp_path):
+        case = generate_case(2, shape="guarded")
+        path = tmp_path / "case.json"
+        save_case(case, str(path))
+        back = load_case(str(path))
+        assert back.kernels[0].fingerprint() == \
+            case.kernels[0].fingerprint()
+
+    def test_version_mismatch_rejected(self):
+        data = case_to_json(generate_case(2, shape="gather"))
+        data["version"] = 99
+        with pytest.raises(ConfigError):
+            case_from_json(data)
+
+    def test_loaded_case_passes_oracle(self, tmp_path):
+        case = generate_case(4, shape="multi")
+        path = tmp_path / "m.json"
+        save_case(case, str(path))
+        report = check_case(load_case(str(path)), paths=("ooo", "dist_da_f"))
+        assert report.ok, [f.format() for f in report.failures]
