@@ -38,9 +38,9 @@ reject statically).
 
 from __future__ import annotations
 
-import os
 from typing import Dict, List, Optional, Tuple
 
+from .. import envcfg
 from ..errors import AnalysisError
 from ..ir.expr import (
     BinOp,
@@ -66,12 +66,13 @@ from .ranges import (
 
 #: cache attribute set on kernels that passed the guard once
 _VERIFIED_ATTR = "_analysis_verified"
-#: environment variable disabling the default-on guard
-OPT_OUT_ENV = "REPRO_NO_VERIFY"
+#: environment variable disabling the default-on guard (declared in
+#: :mod:`repro.envcfg`, the authoritative ``REPRO_*`` registry)
+OPT_OUT_ENV = envcfg.REPRO_NO_VERIFY.name
 
 
 def verification_enabled() -> bool:
-    return os.environ.get(OPT_OUT_ENV, "") in ("", "0")
+    return envcfg.verification_enabled()
 
 
 def verify_kernel(kernel: Kernel) -> List[Finding]:

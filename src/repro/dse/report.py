@@ -1,0 +1,181 @@
+"""Sweep reporting: per-axis sensitivity tables and Pareto frontiers.
+
+All reporting reads the stored row dicts only (never live
+:class:`~repro.sim.results.RunResult` objects), so a report can be
+recomputed from a result store without re-simulating anything
+(``python -m repro.dse --spec F --resume --report`` on a finished store
+is pure post-processing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .scheduler import SweepResult
+
+#: headline metrics the sensitivity tables aggregate (lower is better)
+HEADLINE_METRICS = ("time_ps", "energy_pj", "movement_bytes")
+
+
+def _geomean(values: Sequence[float]) -> float:
+    from ..experiments.runner import geomean
+
+    return geomean(values)
+
+
+def _axis_value(row: Dict[str, object], axis: str, group: str):
+    return row["point"][group].get(axis)
+
+
+def sensitivity_tables(result: SweepResult) -> List[Tuple[str, str]]:
+    """One ``(axis, rendered table)`` per swept axis with >1 value.
+
+    For each axis value the table shows the geometric mean of every
+    headline metric over all ``ok`` rows at that value, normalized to
+    the axis's first value — so a cell reads as "time at
+    ``accel_freq_ghz=3`` is 0.71x the time at 1 GHz, holding everything
+    else swept". The final row is the axis's sensitivity: max/min ratio
+    of the per-value geomeans, the single number that says how much this
+    parameter matters.
+    """
+    from ..experiments.runner import format_table
+
+    spec = result.spec
+    tables: List[Tuple[str, str]] = []
+    axes = (
+        [("machine_overrides", k, v)
+         for k, v in sorted(spec.machine_axes.items())]
+        + [("workload_kwargs", k, v)
+           for k, v in sorted(spec.workload_axes.items())]
+    )
+    ok = result.ok_rows()
+    for group, axis, values in axes:
+        if len(values) < 2:
+            continue
+        per_value: Dict[object, Dict[str, float]] = {}
+        counts: Dict[object, int] = {}
+        for value in values:
+            rows = [r for r in ok
+                    if _axis_value(r, axis, group) == value]
+            if not rows:
+                continue
+            counts[value] = len(rows)
+            per_value[value] = {
+                m: _geomean([max(float(r["metrics"][m]), 1e-12)
+                             for r in rows])
+                for m in HEADLINE_METRICS
+            }
+        if len(per_value) < 2:
+            continue
+        first = next(iter(per_value.values()))
+        header = [axis, "rows"] + [f"{m} (norm)" for m in HEADLINE_METRICS]
+        body = []
+        for value in values:
+            if value not in per_value:
+                continue
+            body.append(
+                [str(value), str(counts[value])]
+                + [f"{per_value[value][m] / first[m]:.3f}"
+                   for m in HEADLINE_METRICS]
+            )
+        sens = [
+            max(pv[m] for pv in per_value.values())
+            / min(pv[m] for pv in per_value.values())
+            for m in HEADLINE_METRICS
+        ]
+        body.append(["sensitivity", ""] + [f"{s:.3f}" for s in sens])
+        tables.append((axis, format_table(header, body)))
+    return tables
+
+
+def pareto_frontier(result: SweepResult) -> List[Dict[str, object]]:
+    """Energy/time frontier over *design points*.
+
+    A design point is one (config, machine overrides) pair; its
+    coordinates are the geometric means of energy and time across every
+    workload/dataset it ran (so a design must be good on the whole suite
+    to stay on the frontier). Returns every design point, sorted by
+    time, each flagged ``on_frontier`` iff no other point is at least as
+    good on both axes and better on one (minimizing both).
+    """
+    groups: Dict[Tuple, List[Dict[str, object]]] = {}
+    for row in result.ok_rows():
+        p = row["point"]
+        key = (p["config"], tuple(sorted(p["machine_overrides"].items())))
+        groups.setdefault(key, []).append(row)
+    points = []
+    for (config, overrides), rows in sorted(groups.items()):
+        points.append({
+            "config": config,
+            "machine_overrides": dict(overrides),
+            "rows": len(rows),
+            "gm_energy_pj": _geomean(
+                [max(float(r["metrics"]["energy_pj"]), 1e-12)
+                 for r in rows]),
+            "gm_time_ps": _geomean(
+                [max(float(r["metrics"]["time_ps"]), 1e-12)
+                 for r in rows]),
+        })
+    for pt in points:
+        pt["on_frontier"] = not any(
+            other is not pt
+            and other["gm_energy_pj"] <= pt["gm_energy_pj"]
+            and other["gm_time_ps"] <= pt["gm_time_ps"]
+            and (other["gm_energy_pj"] < pt["gm_energy_pj"]
+                 or other["gm_time_ps"] < pt["gm_time_ps"])
+            for other in points
+        )
+    return sorted(points, key=lambda p: p["gm_time_ps"])
+
+
+def format_report(result: SweepResult) -> str:
+    """Full human-readable sweep report."""
+    from ..experiments.runner import format_table
+
+    spec = result.spec
+    ok, failed = result.ok_rows(), result.failed_rows()
+    lines = [
+        f"== DSE sweep report: {spec.name} "
+        f"(scale={spec.scale}, base={spec.base}) ==",
+        f"points: {len(result.rows)} "
+        f"({len(ok)} ok, {len(failed)} failed, "
+        f"{result.skipped} resumed from store)",
+        "",
+    ]
+    for axis, table in sensitivity_tables(result):
+        lines.append(f"Sensitivity to {axis} "
+                     "(geomeans normalized to first value)")
+        lines.append(table)
+        lines.append("")
+    frontier = pareto_frontier(result)
+    if frontier:
+        header = ["design point", "rows", "gm time_ps", "gm energy_pj",
+                  "pareto"]
+        body = []
+        for pt in frontier:
+            overrides = ", ".join(
+                f"{k}={v}" for k, v in sorted(
+                    pt["machine_overrides"].items())
+            ) or "(base)"
+            body.append([
+                f"{pt['config']} @ {overrides}",
+                str(pt["rows"]),
+                f"{pt['gm_time_ps']:.3e}",
+                f"{pt['gm_energy_pj']:.3e}",
+                "*" if pt["on_frontier"] else "",
+            ])
+        lines.append("Energy/time Pareto frontier (geomeans across "
+                     "workloads; * = non-dominated)")
+        lines.append(format_table(header, body))
+        lines.append("")
+    if failed:
+        lines.append("Failed points:")
+        for row in failed:
+            p = row["point"]
+            lines.append(
+                f"  {p['workload']} x {p['config']} "
+                f"{p['machine_overrides']} {p['workload_kwargs']}: "
+                f"{row['error']} (after {row['attempts']} attempts)"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

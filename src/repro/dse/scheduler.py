@@ -1,0 +1,253 @@
+"""Sweep execution: sharding, trace reuse, retries, resume.
+
+Expansion groups points by *dataset* (the functional cache key — same
+workload, scale and dataset kwargs), because the golden interpretation
+is machine-independent: one group is interpreted once, then every
+machine point and configuration in it replays the recorded trace. A
+group is also the unit of work a worker process receives, so the trace
+never crosses a process boundary.
+
+Per-point failures never kill a sweep: each point is retried once, and
+a point that fails twice is recorded as a ``failed`` row (with the
+exception text) in the result store. With ``resume=True``, points whose
+hash already has an ``ok`` row in the store are skipped; ``failed`` rows
+are retried.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..obs import OBS, CellStat, SweepProgress
+from ..params import MachineParams
+from ..sim.results import RunResult
+from ..sim.system import simulate_workload
+from ..sim.tracecache import TraceCache
+from ..workloads import ALL_WORKLOADS
+from .spec import STORE_VERSION, SweepPoint, SweepSpec
+from .store import ResultStore
+
+#: a progress sink receives one human-readable line per completed unit
+ProgressFn = Callable[[str], None]
+
+#: how many times a point runs before it is recorded as failed
+MAX_ATTEMPTS = 2
+
+
+def point_metrics(run: RunResult) -> Dict[str, object]:
+    """The stored per-point metric record (exact, no wall-clock)."""
+    from ..testing.golden import cell_record
+
+    record = cell_record(run)
+    record.update({
+        "intra_bytes": run.access_dist.intra,
+        "d_a_bytes": run.access_dist.d_a,
+        "a_a_bytes": run.access_dist.a_a,
+    })
+    return record
+
+
+def _run_point(hash_: str, point: SweepPoint, base: MachineParams,
+               cache: TraceCache) -> Dict[str, object]:
+    """Simulate one point; retry once; always return a row."""
+    machine = point.machine(base)
+    error: Optional[str] = None
+    attempts = 0
+    while attempts < MAX_ATTEMPTS:
+        attempts += 1
+        try:
+            instance = ALL_WORKLOADS[point.workload].build(
+                point.scale, **dict(point.workload_kwargs)
+            )
+            run = simulate_workload(
+                instance, point.config, machine=machine,
+                trace_cache=cache, trace_key=point.trace_key(),
+            )
+        except Exception as exc:  # noqa: BLE001 — recorded, not fatal
+            error = f"{type(exc).__name__}: {exc}"
+            continue
+        return {
+            "hash": hash_,
+            "version": STORE_VERSION,
+            "status": "ok",
+            "point": point.as_dict(),
+            "metrics": point_metrics(run),
+            "error": None,
+            "attempts": attempts,
+        }
+    return {
+        "hash": hash_,
+        "version": STORE_VERSION,
+        "status": "failed",
+        "point": point.as_dict(),
+        "metrics": None,
+        "error": error,
+        "attempts": attempts,
+    }
+
+
+def _run_group(group: List[Tuple[str, SweepPoint]], base: MachineParams,
+               cache: TraceCache) -> List[Tuple[Dict[str, object], float]]:
+    """Run one dataset group; returns (row, wall_seconds) pairs."""
+    rows = []
+    for hash_, point in group:
+        start = perf_counter()
+        row = _run_point(hash_, point, base, cache)
+        wall = perf_counter() - start
+        OBS.add_cell(CellStat(
+            point.workload, point.config, wall,
+            trace_elems=cache.peak_trace_elems(*point.trace_key()),
+        ))
+        rows.append((row, wall))
+    return rows
+
+
+def _sweep_worker(args):
+    """Pool worker: one dataset group, private single-entry trace cache."""
+    group, base = args
+    OBS.reset()
+    cache = TraceCache(max_entries=1)
+    rows = _run_group(group, base, cache)
+    return rows, OBS.snapshot()
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep run produced (including resumed rows)."""
+
+    spec: SweepSpec
+    rows: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    store_path: Optional[str] = None
+    skipped: int = 0
+
+    def ok_rows(self) -> List[Dict[str, object]]:
+        return [r for r in self.rows.values() if r["status"] == "ok"]
+
+    def failed_rows(self) -> List[Dict[str, object]]:
+        return [r for r in self.rows.values() if r["status"] == "failed"]
+
+    def index(self) -> Dict[Tuple, Dict[str, object]]:
+        """(workload, config, machine_overrides, workload_kwargs) ->
+        metrics, for ``ok`` rows."""
+        out = {}
+        for row in self.ok_rows():
+            p = row["point"]
+            key = (
+                p["workload"], p["config"],
+                tuple(sorted(p["machine_overrides"].items())),
+                tuple(sorted(p["workload_kwargs"].items())),
+            )
+            out[key] = row["metrics"]
+        return out
+
+    def metrics(self, workload: str, config: str,
+                machine_overrides: Optional[Dict[str, object]] = None,
+                workload_kwargs: Optional[Dict[str, object]] = None
+                ) -> Dict[str, object]:
+        key = (
+            workload, config,
+            tuple(sorted((machine_overrides or {}).items())),
+            tuple(sorted((workload_kwargs or {}).items())),
+        )
+        return self.index()[key]
+
+
+def _group_points(spec: SweepSpec, base: MachineParams,
+                  stored: Dict[str, Dict[str, object]],
+                  progress_track: SweepProgress
+                  ) -> Tuple[List[List[Tuple[str, SweepPoint]]],
+                             Dict[str, Dict[str, object]]]:
+    """Hash every point, split resumed rows from pending groups."""
+    resumed: Dict[str, Dict[str, object]] = {}
+    groups: Dict[Tuple[str, str], List[Tuple[str, SweepPoint]]] = {}
+    order: List[Tuple[str, str]] = []
+    for point in spec.points():
+        hash_ = point.content_hash(base)
+        prior = stored.get(hash_)
+        if prior is not None and prior.get("status") == "ok":
+            resumed[hash_] = prior
+            progress_track.skip()
+            continue
+        key = point.trace_key()
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((hash_, point))
+    return [groups[k] for k in order], resumed
+
+
+def run_sweep(spec: SweepSpec,
+              jobs: Optional[int] = None,
+              store_path: Optional[str] = None,
+              resume: bool = False,
+              progress: Optional[ProgressFn] = None,
+              base: Optional[MachineParams] = None) -> SweepResult:
+    """Execute a sweep spec and return every row (stored + computed).
+
+    ``jobs`` (default ``$REPRO_JOBS`` or 1) shards dataset groups over a
+    process pool; results are row-identical to a serial run. With
+    ``store_path``, every completed row is durably appended as it
+    arrives; with ``resume=True`` as well, points already stored ``ok``
+    are skipped and failed rows are retried. ``base`` overrides the
+    spec's named base machine with an explicit
+    :class:`~repro.params.MachineParams` (the experiment modules pass
+    their fixture machine through this).
+    """
+    from ..experiments.runner import resolve_jobs
+
+    base = base if base is not None else spec.base_machine()
+    jobs = resolve_jobs(jobs)
+    store = ResultStore(store_path) if store_path else None
+    stored = store.load() if (store is not None and resume) else {}
+
+    points = spec.points()
+    track = SweepProgress(total=len(points))
+    groups, resumed = _group_points(spec, base, stored, track)
+    result = SweepResult(spec=spec, rows=dict(resumed),
+                         store_path=store_path, skipped=len(resumed))
+    if progress is not None and resumed:
+        progress(track.line(f"{spec.name}: resumed from {store_path}"))
+
+    def record(row: Dict[str, object]) -> None:
+        result.rows[row["hash"]] = row
+        if store is not None:
+            store.append(row)
+        track.complete(failed=row["status"] == "failed")
+
+    try:
+        if jobs > 1 and len(groups) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(groups))
+            ) as pool:
+                futures = {
+                    pool.submit(_sweep_worker, (group, base)): group
+                    for group in groups
+                }
+                for future in as_completed(futures):
+                    rows, snapshot = future.result()
+                    OBS.merge(snapshot)
+                    for row, _wall in rows:
+                        record(row)
+                    if progress is not None and rows:
+                        p = rows[-1][0]["point"]
+                        progress(track.line(
+                            f"{spec.name}: {p['workload']} group done"
+                        ))
+        else:
+            cache = TraceCache(max_entries=2)
+            for group in groups:
+                for row, _wall in _run_group(group, base, cache):
+                    record(row)
+                    if progress is not None:
+                        p = row["point"]
+                        progress(track.line(
+                            f"{spec.name}: {p['workload']} x "
+                            f"{p['config']}"
+                        ))
+    finally:
+        if store is not None:
+            store.close()
+    return result

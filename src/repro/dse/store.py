@@ -1,0 +1,102 @@
+"""Crash-safe JSON-lines result store for design-space sweeps.
+
+One row per completed sweep point, keyed by the point's content hash
+(:meth:`~repro.dse.spec.SweepPoint.content_hash`). Rows are appended,
+flushed and fsync'd one line at a time, so a killed sweep loses at most
+the row being written; the loader tolerates a truncated final line and
+keeps the *last* row per hash (a retried/resumed point simply appends a
+fresh row that shadows the old one). Rows carry no wall-clock fields —
+a serial sweep, a ``--jobs N`` sweep and a resumed sweep of the same
+spec produce byte-identical rows, differing only in file order.
+
+Row schema (``version`` = :data:`~repro.dse.spec.STORE_VERSION`)::
+
+    {"hash": ..., "version": 1, "status": "ok" | "failed",
+     "point": {workload, config, scale, machine_overrides,
+               workload_kwargs},
+     "metrics": {...} | null, "error": null | "ExcType: message",
+     "attempts": 1 | 2}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, Optional
+
+from ..errors import ConfigError
+
+
+def row_text(row: Dict[str, object]) -> str:
+    """Canonical single-line serialization of one row."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """Append-only JSONL store with hash-keyed resume."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle = None
+
+    # -- reading -------------------------------------------------------
+    def load(self) -> Dict[str, Dict[str, object]]:
+        """Hash -> last stored row. Missing file -> empty store."""
+        rows: Dict[str, Dict[str, object]] = {}
+        if not os.path.exists(self.path):
+            return rows
+        with open(self.path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    # torn final line from a killed writer: ignore; the
+                    # point reruns on resume
+                    continue
+                if not isinstance(row, dict) or "hash" not in row:
+                    raise ConfigError(
+                        f"result store {self.path}: row without a hash"
+                    )
+                rows[row["hash"]] = row
+        return rows
+
+    def iter_rows(self) -> Iterator[Dict[str, object]]:
+        for row in self.load().values():
+            yield row
+
+    # -- writing -------------------------------------------------------
+    def append(self, row: Dict[str, object]) -> None:
+        """Durably append one row (open lazily, flush + fsync)."""
+        if self._handle is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._handle = open(self.path, "a")
+            # a killed writer may have left a torn final line with no
+            # newline; gluing a fresh row onto it would corrupt both
+            if self._handle.tell() > 0:
+                with open(self.path, "rb") as f:
+                    f.seek(-1, os.SEEK_END)
+                    if f.read(1) != b"\n":
+                        self._handle.write("\n")
+        self._handle.write(row_text(row) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_store(path: Optional[str]) -> Optional[ResultStore]:
+    return ResultStore(path) if path else None

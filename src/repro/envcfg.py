@@ -1,0 +1,112 @@
+"""Central registry of ``REPRO_*`` environment variables.
+
+Every behavior knob the simulator reads from the environment is declared
+here once, with its type, default and the tests that pin its semantics.
+Call sites (:mod:`repro.fastpath`, the experiment runner, the analysis
+guard, the DSE scheduler) go through the typed accessors below instead
+of ``os.environ.get`` so the README's environment-variable table can be
+checked against code (``tools/check_docs.py`` / the docs-consistency
+test) rather than drifting from it.
+
+Accessors read the environment at call time, never at import time, so
+tests can flip behavior in-process with ``monkeypatch.setenv``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: string values (lower-cased) that disable a boolean knob
+_FALSY = ("0", "false", "off", "no")
+
+
+@dataclass(frozen=True)
+class EnvVar:
+    """Declaration of one ``REPRO_*`` environment variable."""
+
+    name: str
+    #: "bool" | "int" | "path"
+    kind: str
+    #: human-readable default, as documented in README
+    default: str
+    #: one-line behavior summary (the README table's text)
+    description: str
+    #: test file(s) that pin the documented behavior
+    pinned_by: str
+
+    def raw(self) -> Optional[str]:
+        return os.environ.get(self.name)
+
+
+REPRO_FAST = EnvVar(
+    "REPRO_FAST", "bool", "1",
+    "batched columnar replay of recorded traces; `0` selects the scalar "
+    "per-access reference path (bit-identical results, ~3x slower)",
+    "tests/sim/test_fastpath_equiv.py",
+)
+REPRO_JOBS = EnvVar(
+    "REPRO_JOBS", "int", "1",
+    "default worker-process count for the experiment matrix and "
+    "`repro.dse` sweeps when `--jobs` is not given",
+    "tests/test_runner_parallel.py, tests/dse/test_sweep_determinism.py",
+)
+REPRO_NO_VERIFY = EnvVar(
+    "REPRO_NO_VERIFY", "bool", "0",
+    "`1` disables the default-on static IR verifier guard in "
+    "`compile_kernel` and the golden interpreter",
+    "tests/analysis/test_verifier.py",
+)
+REPRO_TRACE_SPILL = EnvVar(
+    "REPRO_TRACE_SPILL", "path", "(unset)",
+    "directory for spilling evicted functional-trace cache entries to "
+    "disk instead of recomputing them",
+    "tests/sim/test_tracecache_spill.py",
+)
+
+#: every declared variable, in documentation order
+ENV_VARS: Tuple[EnvVar, ...] = (
+    REPRO_FAST, REPRO_JOBS, REPRO_NO_VERIFY, REPRO_TRACE_SPILL,
+)
+
+
+def registry() -> Dict[str, EnvVar]:
+    return {v.name: v for v in ENV_VARS}
+
+
+# -- typed accessors -------------------------------------------------------
+def get_bool(var: EnvVar, default: bool) -> bool:
+    """Boolean knob: unset -> ``default``; set -> false only for 0-ish."""
+    raw = var.raw()
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSY
+
+
+def get_int(var: EnvVar, default: int) -> int:
+    raw = (var.raw() or "").strip()
+    return int(raw) if raw else default
+
+
+def get_path(var: EnvVar) -> Optional[str]:
+    return var.raw() or None
+
+
+def fast_path_enabled() -> bool:
+    """True unless ``REPRO_FAST`` is explicitly disabled (0/false/off)."""
+    return get_bool(REPRO_FAST, True)
+
+
+def verification_enabled() -> bool:
+    """True unless ``REPRO_NO_VERIFY`` is set to something non-zero."""
+    return (REPRO_NO_VERIFY.raw() or "") in ("", "0")
+
+
+def default_jobs() -> int:
+    """``$REPRO_JOBS`` or 1 (serial)."""
+    return get_int(REPRO_JOBS, 1)
+
+
+def trace_spill_dir() -> Optional[str]:
+    return get_path(REPRO_TRACE_SPILL)

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from ..energy import default_area_model
 from ..params import MachineParams, experiment_machine
-from ..sim.system import simulate_workload
-from ..workloads import ALL_WORKLOADS
 from .runner import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dse import SweepSpec
 
 
 def compute_area() -> Dict:
@@ -38,36 +39,54 @@ def format_area(data: Dict) -> str:
 WSS_SIZES = (48, 88, 128, 176)
 
 
+def wss_spec(sizes: Sequence[int] = WSS_SIZES,
+             timesteps: int = 2) -> "SweepSpec":
+    """The working-set study as a DSE sweep spec (shipped as
+    ``repro/dse/specs/wss.json`` for the default sizes)."""
+    from ..dse import SweepSpec
+
+    return SweepSpec(
+        name="wss", workloads=("fdt",),
+        configs=("mono_da_f", "dist_da_f"), scale="small",
+        base="experiment",
+        workload_axes={"n": tuple(sizes), "timesteps": (timesteps,)},
+    )
+
+
 def compute_wss(machine: Optional[MachineParams] = None,
-                sizes: Sequence[int] = WSS_SIZES) -> Dict:
+                sizes: Sequence[int] = WSS_SIZES,
+                jobs: Optional[int] = None) -> Dict:
     """Working-set sweep: fdtd-2d vs the Mono-DA baseline.
 
     The paper grows fdtd-2d from 5.8 MB to 1.11 GB against a 2 MB LLC and
     finds Dist-DA still cuts *on-chip* movement 2.5x for a 9.5 % energy
     win over Mono-DA once DRAM dominates.
+
+    Implemented on the design-space sweep engine (:mod:`repro.dse`): the
+    grid sizes are a workload axis, so each dataset is interpreted once
+    and replayed for both configurations, and ``jobs`` shards the sizes
+    over worker processes.
     """
     machine = machine or experiment_machine()
+    from ..dse import run_sweep
+
+    result = run_sweep(wss_spec(sizes), jobs=jobs, base=machine)
     rows = {}
     for n in sizes:
+        kwargs = {"n": int(n), "timesteps": 2}
+        mono = result.metrics("fdt", "mono_da_f", workload_kwargs=kwargs)
+        dist = result.metrics("fdt", "dist_da_f", workload_kwargs=kwargs)
         ws_bytes = 3 * n * n * 4
-        mono = simulate_workload(
-            ALL_WORKLOADS["fdt"].build("small", n=n, timesteps=2),
-            "mono_da_f", machine=machine,
-        )
-        dist = simulate_workload(
-            ALL_WORKLOADS["fdt"].build("small", n=n, timesteps=2),
-            "dist_da_f", machine=machine,
-        )
         rows[n] = {
             "ws_over_llc": ws_bytes / machine.l3.size_bytes,
             # the paper's §VI-E metric is *on-chip* movement: once DRAM
             # dominates the totals, the Dist-vs-Mono difference lives in
             # the inter-accelerator operand traffic
             "movement_reduction": (
-                mono.access_dist.a_a / max(dist.access_dist.a_a, 1)
+                mono["a_a_bytes"] / max(dist["a_a_bytes"], 1)
             ),
-            "energy_gain": mono.energy_nj / dist.energy_nj,
-            "speedup": mono.time_ps / dist.time_ps,
+            "energy_gain": mono["energy_pj"] / dist["energy_pj"],
+            "speedup": mono["time_ps"] / dist["time_ps"],
         }
     return {"rows": rows}
 

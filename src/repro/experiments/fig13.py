@@ -5,42 +5,68 @@ benchmarks while IPC *drops* for the access-dominated ones (more cycles
 spent waiting per instruction); seidel's arithmetic density keeps its
 IPC loss small — supporting the paper's argument that distributed ALP
 beats clock scaling.
+
+Implemented on the design-space sweep engine (:mod:`repro.dse`): the
+clock is a machine axis (the ``accel_freq_ghz`` override alias), so each
+workload is interpreted once and replayed at every frequency, and
+``jobs`` shards workloads over worker processes. The shipped
+``repro/dse/specs/clocking.json`` spec is this study for the benchmark
+suite's representative subset.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from ..params import MachineParams, experiment_machine
-from ..sim.system import simulate_workload
-from ..workloads import ALL_WORKLOADS, PAPER_ORDER
+from ..workloads import PAPER_ORDER
 from .runner import format_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dse import SweepSpec
 
 FREQS_GHZ = (1.0, 2.0, 3.0)
 
 
+def clocking_spec(workloads: Sequence[str] = PAPER_ORDER,
+                  scale: str = "small") -> "SweepSpec":
+    """The clocking study as a DSE sweep spec."""
+    from ..dse import SweepSpec
+
+    return SweepSpec(
+        name="clocking", workloads=tuple(workloads),
+        configs=("dist_da_io",), scale=scale, base="experiment",
+        machine_axes={"accel_freq_ghz": FREQS_GHZ},
+    )
+
+
 def compute(workloads: Sequence[str] = PAPER_ORDER,
             machine: Optional[MachineParams] = None,
-            scale: str = "small") -> Dict:
+            scale: str = "small",
+            jobs: Optional[int] = None) -> Dict:
     machine = machine or experiment_machine()
+    from ..dse import run_sweep
+
+    result = run_sweep(clocking_spec(workloads, scale), jobs=jobs,
+                       base=machine)
     speedup: Dict[str, Dict[float, float]] = {}
     ipc: Dict[str, Dict[float, float]] = {}
     for workload in workloads:
-        runs = {}
-        for freq in FREQS_GHZ:
-            m = machine.with_accel_freq(freq)
-            runs[freq] = simulate_workload(
-                ALL_WORKLOADS[workload].build(scale), "dist_da_io",
-                machine=m,
+        runs = {
+            f: result.metrics(
+                workload, "dist_da_io",
+                machine_overrides={"accel_freq_ghz": f},
             )
+            for f in FREQS_GHZ
+        }
         base = runs[FREQS_GHZ[0]]
         speedup[workload] = {
-            f: runs[f].speedup_vs(base) for f in FREQS_GHZ
+            f: base["time_ps"] / runs[f]["time_ps"] for f in FREQS_GHZ
         }
         # IPC at the accelerator clock: insts per accelerator cycle
         ipc[workload] = {
-            f: (runs[f].insts / (runs[f].time_ps * f / 1000.0))
-            / (base.insts / (base.time_ps * FREQS_GHZ[0] / 1000.0))
+            f: (runs[f]["insts"] / (runs[f]["time_ps"] * f / 1000.0))
+            / (base["insts"] / (base["time_ps"] * FREQS_GHZ[0] / 1000.0))
             for f in FREQS_GHZ
         }
     return {"speedup": speedup, "ipc": ipc}

@@ -19,7 +19,6 @@ observability snapshots back to the parent, which merges them.
 from __future__ import annotations
 
 import math
-import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -33,13 +32,14 @@ from typing import (
     Tuple,
 )
 
+from .. import envcfg
 from ..errors import ConfigError
 from ..interface.intrinsics import CoverageRecorder
 from ..obs import OBS, CellStat
 from ..params import MachineParams, experiment_machine
 from ..sim.results import RunResult
 from ..sim.system import simulate_workload
-from ..sim.tracecache import TraceCache
+from ..sim.tracecache import TraceCache, functional_key
 from ..workloads import ALL_WORKLOADS, PAPER_ORDER
 
 #: the accelerator configurations of §VI-A, in presentation order
@@ -66,16 +66,12 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     in ordering (results are identical either way, cell for cell).
     """
     if jobs is None:
-        env = os.environ.get("REPRO_JOBS", "").strip()
-        jobs = int(env) if env else 1
+        jobs = envcfg.default_jobs()
     return max(1, int(jobs))
 
 
 def _default_trace_cache() -> TraceCache:
-    return TraceCache(
-        max_entries=2,
-        spill_dir=os.environ.get("REPRO_TRACE_SPILL") or None,
-    )
+    return TraceCache(max_entries=2, spill_dir=envcfg.trace_spill_dir())
 
 
 @dataclass
@@ -109,7 +105,7 @@ class ResultMatrix:
             self.results[key] = simulate_workload(
                 instance, config, machine=self.machine, coverage=cov,
                 trace_cache=self.trace_cache,
-                trace_key=(workload, self.scale),
+                trace_key=functional_key(workload, self.scale),
             )
             OBS.add_cell(CellStat(
                 workload, config, perf_counter() - start,
@@ -219,7 +215,7 @@ def _matrix_worker(args: Tuple[str, Tuple[str, ...], str, MachineParams]):
         instance = ALL_WORKLOADS[workload].build(scale)
         result = simulate_workload(
             instance, config, machine=machine, coverage=cov,
-            trace_cache=cache, trace_key=(workload, scale),
+            trace_cache=cache, trace_key=functional_key(workload, scale),
         )
         OBS.add_cell(CellStat(
             workload, config, perf_counter() - start,

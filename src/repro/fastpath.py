@@ -10,18 +10,15 @@ the batch paths only hoist lookups and aggregate commutative accounting
 
 The environment variable is consulted at every simulation entry (once
 per kernel call / offload run, never per access), so a test can flip it
-in-process with ``monkeypatch.setenv``.
+in-process with ``monkeypatch.setenv``. The variable itself is declared
+in :mod:`repro.envcfg`, the authoritative ``REPRO_*`` registry.
 """
 
 from __future__ import annotations
 
-import os
+from . import envcfg
+from .envcfg import fast_path_enabled
 
-ENV_VAR = "REPRO_FAST"
+ENV_VAR = envcfg.REPRO_FAST.name
 
-
-def fast_path_enabled() -> bool:
-    """True unless ``REPRO_FAST`` is explicitly disabled (0/false/off)."""
-    return os.environ.get(ENV_VAR, "1").strip().lower() not in (
-        "0", "false", "off", "no",
-    )
+__all__ = ["ENV_VAR", "fast_path_enabled"]

@@ -13,6 +13,6 @@ simulation results; parallel experiment workers return ``OBS.snapshot()``
 to the parent, which calls ``OBS.merge(snap)``.
 """
 
-from .stats import OBS, CellStat, StatsRegistry
+from .stats import OBS, CellStat, StatsRegistry, SweepProgress
 
-__all__ = ["OBS", "CellStat", "StatsRegistry"]
+__all__ = ["OBS", "CellStat", "StatsRegistry", "SweepProgress"]

@@ -136,5 +136,64 @@ class StatsRegistry:
         return "\n".join(lines)
 
 
+class SweepProgress:
+    """Progress/throughput tracker for one design-space sweep.
+
+    Counts completed, failed and skipped (resume-hit) points against the
+    planned total and renders one-line status strings with points/s and
+    an ETA. Purely observational: reports into the ``dse.*`` counters of
+    ``registry`` (default :data:`OBS`) and never touches results.
+    """
+
+    def __init__(self, total: int,
+                 registry: "StatsRegistry" = None) -> None:
+        self.total = int(total)
+        self.done = 0
+        self.failed = 0
+        self.skipped = 0
+        self._registry = registry if registry is not None else OBS
+        self._start = time.perf_counter()
+
+    def skip(self, n: int = 1) -> None:
+        self.skipped += n
+        self._registry.inc("dse.points_skipped", n)
+
+    def complete(self, failed: bool = False) -> None:
+        self.done += 1
+        self._registry.inc("dse.points_done")
+        if failed:
+            self.failed += 1
+            self._registry.inc("dse.points_failed")
+
+    @property
+    def remaining(self) -> int:
+        return max(self.total - self.skipped - self.done, 0)
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self._start
+
+    @property
+    def points_per_s(self) -> float:
+        elapsed = self.elapsed_s
+        return self.done / elapsed if elapsed > 0 else 0.0
+
+    def line(self, detail: str = "") -> str:
+        """One status line: ``[done+skipped/total] detail (rate, eta)``."""
+        rate = self.points_per_s
+        eta = self.remaining / rate if rate > 0 else float("inf")
+        eta_txt = f"eta {eta:.0f}s" if eta != float("inf") else "eta ?"
+        parts = [f"[{self.done + self.skipped}/{self.total}]"]
+        if detail:
+            parts.append(detail)
+        suffix = [f"{rate:.2f} pts/s", eta_txt]
+        if self.failed:
+            suffix.append(f"{self.failed} failed")
+        if self.skipped:
+            suffix.append(f"{self.skipped} resumed")
+        parts.append("(" + ", ".join(suffix) + ")")
+        return " ".join(parts)
+
+
 #: the process-wide default registry every simulator layer reports into
 OBS = StatsRegistry()

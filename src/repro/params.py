@@ -18,7 +18,12 @@ Paper reference (Table III):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
+from typing import Callable, Dict, Mapping, Tuple
+
+from .errors import ConfigError
 
 CACHE_LINE_BYTES = 64
 PAGE_BYTES = 4096
@@ -191,6 +196,121 @@ def mono_da_cgra_machine(base: MachineParams = None) -> MachineParams:
         base.cgra, rows=8, cols=8, int_alus=40, float_alus=12, complex_alus=12
     )
     return replace(base, cgra=big_fabric)
+
+
+#: named base machines a sweep spec / CLI can start from
+BASE_MACHINES: Dict[str, Callable[[], "MachineParams"]] = {
+    "table3": default_machine,
+    "experiment": lambda: experiment_machine(),
+    "mono_da_cgra": lambda: mono_da_cgra_machine(),
+}
+
+
+def base_machine(name: str) -> MachineParams:
+    """Look up one of the :data:`BASE_MACHINES` factories by name."""
+    try:
+        return BASE_MACHINES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown base machine {name!r}; known: {sorted(BASE_MACHINES)}"
+        ) from None
+
+
+#: derived-override aliases: one spec key fans out to several fields
+OVERRIDE_ALIASES: Dict[str, Callable[["MachineParams", object],
+                                     "MachineParams"]] = {
+    # both accelerator substrates are re-clocked together, as in the
+    # paper's §VI-E clocking study
+    "accel_freq_ghz": lambda m, v: m.with_accel_freq(float(v)),
+}
+
+
+def _override_one(obj, path: Tuple[str, ...], dotted: str, value):
+    """Recursively rebuild a frozen dataclass with one field replaced."""
+    head, rest = path[0], path[1:]
+    known = {f.name: f for f in fields(obj)}
+    if head not in known:
+        raise ConfigError(
+            f"machine override {dotted!r}: {type(obj).__name__} has no "
+            f"field {head!r}; known: {sorted(known)}"
+        )
+    current = getattr(obj, head)
+    if rest:
+        if not is_dataclass(current):
+            raise ConfigError(
+                f"machine override {dotted!r}: {head!r} is a leaf value, "
+                f"cannot descend into {'.'.join(rest)!r}"
+            )
+        return replace(obj, **{head: _override_one(current, rest, dotted,
+                                                   value)})
+    if is_dataclass(current):
+        raise ConfigError(
+            f"machine override {dotted!r} targets the parameter group "
+            f"{type(current).__name__}; override one of its fields "
+            f"({', '.join(sorted(f.name for f in fields(current)))})"
+        )
+    if isinstance(current, bool):
+        if not isinstance(value, bool):
+            raise ConfigError(
+                f"machine override {dotted!r} expects a bool, got "
+                f"{value!r}"
+            )
+    elif isinstance(current, int):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigError(
+                f"machine override {dotted!r} expects an int, got "
+                f"{value!r}"
+            )
+    elif isinstance(current, float):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigError(
+                f"machine override {dotted!r} expects a number, got "
+                f"{value!r}"
+            )
+        value = float(value)
+    return replace(obj, **{head: value})
+
+
+def derive_machine(base: MachineParams,
+                   overrides: Mapping[str, object]) -> MachineParams:
+    """Return ``base`` with dotted-path field overrides applied.
+
+    ``overrides`` maps parameter paths to values, e.g.::
+
+        derive_machine(m, {
+            "l3_clusters": 4,              # top-level field
+            "l3.size_bytes": 1 << 20,      # nested dataclass field
+            "noc.mesh_cols": 2,
+            "accel_freq_ghz": 3.0,         # alias (see OVERRIDE_ALIASES)
+        })
+
+    Unknown paths, paths into leaf values, group-level targets and
+    type-mismatched values raise :class:`~repro.errors.ConfigError`;
+    structural validation of the resulting machine (cache geometry
+    divisibility, ``__post_init__``) still applies. Keys are applied in
+    sorted order so derivation is deterministic regardless of dict
+    ordering.
+    """
+    machine = base
+    for key in sorted(overrides):
+        value = overrides[key]
+        alias = OVERRIDE_ALIASES.get(key)
+        if alias is not None:
+            machine = alias(machine, value)
+            continue
+        machine = _override_one(machine, tuple(key.split(".")), key, value)
+    return machine
+
+
+def machine_digest(machine: MachineParams) -> str:
+    """Short content hash of every machine parameter (hex digest).
+
+    Two machines with identical parameters share a digest regardless of
+    how they were constructed; used by the DSE result store to key
+    points against the exact machine they ran on.
+    """
+    blob = json.dumps(asdict(machine), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
 #: capacity scale factor of the experiment machine relative to Table III

@@ -28,7 +28,7 @@ import os
 import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -41,6 +41,28 @@ from ..obs import OBS
 #: (legacy pickles / hand-built tests) — both speak the same sequence
 #: protocol
 TraceLike = Union[ColumnarTrace, List[MemAccess]]
+
+
+def functional_key(workload: str, scale: str,
+                   build_kwargs: Optional[Mapping[str, object]] = None
+                   ) -> Tuple[str, str]:
+    """Cache key covering everything that changes *functional* behavior.
+
+    The golden interpretation of a workload depends on the workload, its
+    scale and any dataset-shaping build kwargs (e.g. fdtd-2d's ``n`` /
+    ``timesteps``) — and on nothing about the simulated machine. Sweeps
+    over machine parameters (`repro.dse`) therefore share one entry per
+    dataset across every machine point, while dataset axes get distinct
+    keys. The kwargs are folded into the scale component canonically
+    (sorted, ``scale@k=v,...``) so the key stays a picklable, printable
+    ``(workload, variant)`` string pair.
+    """
+    if not build_kwargs:
+        return (workload, scale)
+    variant = ",".join(
+        f"{k}={build_kwargs[k]!r}" for k in sorted(build_kwargs)
+    )
+    return (workload, f"{scale}@{variant}")
 
 
 @dataclass

@@ -1,0 +1,100 @@
+"""Sensitivity tables and Pareto frontier over synthetic sweep rows."""
+
+from repro.dse import SweepSpec, format_report, pareto_frontier, \
+    sensitivity_tables
+from repro.dse.scheduler import SweepResult
+
+
+def make_result():
+    """Hand-built sweep: 1 workload, 2 configs x 2 freqs.
+
+    dist_da_f dominates ooo at both clocks; 2 GHz halves time at equal
+    energy, so the frontier is exactly the two dist_da_f points at the
+    design-point level and {dist_da_f@2GHz} once time breaks the tie...
+    (dist@1GHz has worse time than dist@2GHz at equal energy, so only
+    dist@2GHz is non-dominated).
+    """
+    spec = SweepSpec(
+        name="synth", workloads=("fdt",), configs=("ooo", "dist_da_f"),
+        scale="tiny", base="experiment",
+        machine_axes={"accel_freq_ghz": (1.0, 2.0)},
+    )
+    metrics = {
+        ("ooo", 1.0): {"time_ps": 800.0, "energy_pj": 400.0,
+                       "movement_bytes": 1000},
+        ("ooo", 2.0): {"time_ps": 400.0, "energy_pj": 400.0,
+                       "movement_bytes": 1000},
+        ("dist_da_f", 1.0): {"time_ps": 200.0, "energy_pj": 100.0,
+                             "movement_bytes": 500},
+        ("dist_da_f", 2.0): {"time_ps": 100.0, "energy_pj": 100.0,
+                             "movement_bytes": 500},
+    }
+    rows = {}
+    for i, ((config, freq), m) in enumerate(metrics.items()):
+        rows[f"h{i}"] = {
+            "hash": f"h{i}", "version": 1, "status": "ok",
+            "point": {"workload": "fdt", "config": config,
+                      "scale": "tiny",
+                      "machine_overrides": {"accel_freq_ghz": freq},
+                      "workload_kwargs": {}},
+            "metrics": m, "error": None, "attempts": 1,
+        }
+    rows["hf"] = {
+        "hash": "hf", "version": 1, "status": "failed",
+        "point": {"workload": "fdt", "config": "ooo", "scale": "tiny",
+                  "machine_overrides": {"accel_freq_ghz": 3.0},
+                  "workload_kwargs": {}},
+        "metrics": None, "error": "RuntimeError: boom", "attempts": 2,
+    }
+    return SweepResult(spec=spec, rows=rows)
+
+
+class TestSensitivity:
+    def test_axis_table_normalized_to_first_value(self):
+        tables = sensitivity_tables(make_result())
+        assert [axis for axis, _ in tables] == ["accel_freq_ghz"]
+        table = tables[0][1]
+        lines = [l for l in table.splitlines() if l.strip()]
+        row1 = next(l for l in lines if l.strip().startswith("1.0"))
+        row2 = next(l for l in lines if l.strip().startswith("2.0"))
+        # first value normalizes to 1.000 everywhere
+        assert row1.split()[2:] == ["1.000", "1.000", "1.000"]
+        # doubling the clock halves geomean time, energy/movement flat
+        assert row2.split()[2:] == ["0.500", "1.000", "1.000"]
+        sens = next(l for l in lines if "sensitivity" in l)
+        assert sens.split()[1:] == ["2.000", "1.000", "1.000"]
+
+    def test_single_value_axis_skipped(self):
+        result = make_result()
+        result.spec.machine_axes = {"accel_freq_ghz": (1.0,)}
+        assert sensitivity_tables(result) == []
+
+
+class TestPareto:
+    def test_frontier_flags(self):
+        pts = pareto_frontier(make_result())
+        assert len(pts) == 4
+        flags = {
+            (p["config"], p["machine_overrides"]["accel_freq_ghz"]):
+            p["on_frontier"] for p in pts
+        }
+        assert flags == {
+            ("ooo", 1.0): False,          # dominated by everything
+            ("ooo", 2.0): False,          # dominated by dist points
+            ("dist_da_f", 1.0): False,    # same energy, worse time
+            ("dist_da_f", 2.0): True,
+        }
+
+    def test_sorted_by_time(self):
+        times = [p["gm_time_ps"] for p in pareto_frontier(make_result())]
+        assert times == sorted(times)
+
+
+class TestFormatReport:
+    def test_sections_present(self):
+        text = format_report(make_result())
+        assert "DSE sweep report: synth" in text
+        assert "4 ok, 1 failed" in text
+        assert "Sensitivity to accel_freq_ghz" in text
+        assert "Pareto frontier" in text
+        assert "RuntimeError: boom" in text

@@ -1,0 +1,75 @@
+"""Crash-safe JSONL result store: durability and resume semantics."""
+
+import json
+
+import pytest
+
+from repro.dse.store import ResultStore, row_text
+from repro.errors import ConfigError
+
+
+def row(h, status="ok", **extra):
+    return {"hash": h, "version": 1, "status": status,
+            "point": {}, "metrics": {}, "error": None, "attempts": 1,
+            **extra}
+
+
+class TestRoundtrip:
+    def test_append_load(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        with ResultStore(path) as store:
+            store.append(row("a"))
+            store.append(row("b"))
+        loaded = ResultStore(path).load()
+        assert set(loaded) == {"a", "b"}
+        assert loaded["a"] == row("a")
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert ResultStore(str(tmp_path / "none.jsonl")).load() == {}
+
+    def test_last_row_per_hash_wins(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        with ResultStore(path) as store:
+            store.append(row("a", status="failed"))
+            store.append(row("a", status="ok"))
+        assert ResultStore(path).load()["a"]["status"] == "ok"
+
+    def test_row_text_canonical(self):
+        a = row_text({"b": 1, "a": 2})
+        b = row_text({"a": 2, "b": 1})
+        assert a == b and "\n" not in a
+
+
+class TestCrashTolerance:
+    def test_torn_final_line_ignored(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        with ResultStore(path) as store:
+            store.append(row("a"))
+            store.append(row("b"))
+        with open(path, "a") as f:
+            f.write(row_text(row("c"))[:17])  # killed mid-write
+        assert set(ResultStore(path).load()) == {"a", "b"}
+
+    def test_append_after_torn_line_starts_fresh(self, tmp_path):
+        """A resume writer must not glue its row onto a torn fragment."""
+        path = str(tmp_path / "s.jsonl")
+        with ResultStore(path) as store:
+            store.append(row("a"))
+        with open(path, "a") as f:
+            f.write(row_text(row("b"))[:9])  # torn, no newline
+        with ResultStore(path) as store:
+            store.append(row("c"))
+        assert set(ResultStore(path).load()) == {"a", "c"}
+
+    def test_hashless_row_rejected(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        with open(path, "w") as f:
+            f.write(json.dumps({"status": "ok"}) + "\n")
+        with pytest.raises(ConfigError, match="without a hash"):
+            ResultStore(path).load()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "s.jsonl")
+        with open(path, "w") as f:
+            f.write("\n" + row_text(row("a")) + "\n\n")
+        assert set(ResultStore(path).load()) == {"a"}

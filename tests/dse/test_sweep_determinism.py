@@ -1,0 +1,104 @@
+"""Sweep determinism: serial == parallel, resume-after-kill == uninterrupted.
+
+Rows carry no wall-clock fields, so the same spec must produce
+byte-identical rows (modulo order) however it is executed: serially,
+sharded over worker processes (``jobs``/``$REPRO_JOBS``), or resumed
+from a store truncated by a mid-sweep kill.
+"""
+
+import pytest
+
+from repro.dse import SweepSpec, run_sweep
+from repro.dse.store import ResultStore, row_text
+
+
+def sweep_spec():
+    # 2 datasets (n=8, 10) x 2 clocks x 1 config = 4 points, 2 trace
+    # groups — enough for the process-pool path to engage
+    return SweepSpec(
+        name="det", workloads=("fdt",), configs=("dist_da_f",),
+        scale="tiny", base="experiment",
+        machine_axes={"accel_freq_ghz": (1.0, 2.0)},
+        workload_axes={"n": (8, 10), "timesteps": (1,)},
+    )
+
+
+def canonical(result):
+    """hash -> canonical row text, the byte-identity comparison key."""
+    return {h: row_text(r) for h, r in result.rows.items()}
+
+
+@pytest.fixture(scope="module")
+def serial_store(tmp_path_factory):
+    """One uninterrupted serial run, with its store file."""
+    path = str(tmp_path_factory.mktemp("dse") / "serial.jsonl")
+    result = run_sweep(sweep_spec(), jobs=1, store_path=path)
+    assert len(result.ok_rows()) == 4 and not result.failed_rows()
+    return result, path
+
+
+class TestParallelDeterminism:
+    def test_jobs_rows_identical_to_serial(self, serial_store):
+        serial, _ = serial_store
+        parallel = run_sweep(sweep_spec(), jobs=4)
+        assert canonical(parallel) == canonical(serial)
+
+    def test_env_jobs_pinned(self, serial_store, monkeypatch):
+        """$REPRO_JOBS is the default when jobs is not given."""
+        serial, _ = serial_store
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        parallel = run_sweep(sweep_spec())
+        assert canonical(parallel) == canonical(serial)
+
+
+class TestResume:
+    def test_resume_after_kill_matches_uninterrupted(self, serial_store,
+                                                     tmp_path):
+        serial, serial_path = serial_store
+        with open(serial_path) as f:
+            lines = f.readlines()
+        assert len(lines) == 4
+        # simulate a kill after 2 durable rows + one torn half-row
+        truncated = str(tmp_path / "killed.jsonl")
+        with open(truncated, "w") as f:
+            f.writelines(lines[:2])
+            f.write(lines[2][: len(lines[2]) // 2])
+        resumed = run_sweep(sweep_spec(), jobs=1, store_path=truncated,
+                            resume=True)
+        assert resumed.skipped == 2
+        assert canonical(resumed) == canonical(serial)
+        # the store converges to the same row set too
+        a = {h: row_text(r)
+             for h, r in ResultStore(truncated).load().items()}
+        b = {h: row_text(r)
+             for h, r in ResultStore(serial_path).load().items()}
+        assert a == b
+
+    def test_resume_of_complete_store_runs_nothing(self, serial_store):
+        serial, serial_path = serial_store
+        resumed = run_sweep(sweep_spec(), jobs=1, store_path=serial_path,
+                            resume=True)
+        assert resumed.skipped == 4
+        assert canonical(resumed) == canonical(serial)
+
+
+class TestFailurePolicy:
+    def test_failed_point_recorded_not_fatal(self, tmp_path):
+        # fdt's build() has no 'bogus' kwarg: the point fails on both
+        # attempts and must land as a failed row, not an exception
+        spec = SweepSpec(
+            name="boom", workloads=("fdt",), configs=("dist_da_f",),
+            scale="tiny", base="experiment",
+            workload_axes={"bogus": (1,)},
+        )
+        path = str(tmp_path / "boom.jsonl")
+        result = run_sweep(spec, jobs=1, store_path=path)
+        [row] = result.failed_rows()
+        assert row["attempts"] == 2
+        assert "TypeError" in row["error"]
+        assert not result.ok_rows()
+        # failed rows are durably stored and retried on resume
+        stored = ResultStore(path).load()
+        assert [r["status"] for r in stored.values()] == ["failed"]
+        again = run_sweep(spec, jobs=1, store_path=path, resume=True)
+        assert again.skipped == 0 and len(again.failed_rows()) == 1

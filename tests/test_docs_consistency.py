@@ -1,0 +1,23 @@
+"""The docs-consistency gate, as a pytest (CI also runs the script)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKER = REPO / "tools" / "check_docs.py"
+
+
+def test_docs_in_sync_with_tree():
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER)], capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, (
+        f"tools/check_docs.py failed:\n{proc.stderr}"
+    )
+
+
+def test_architecture_doc_exists_and_is_linked():
+    arch = REPO / "docs" / "ARCHITECTURE.md"
+    assert arch.exists()
+    assert "docs/ARCHITECTURE.md" in (REPO / "README.md").read_text()

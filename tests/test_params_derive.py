@@ -1,0 +1,88 @@
+"""Machine-derivation API used by the DSE engine (repro.params)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.params import (
+    base_machine,
+    default_machine,
+    derive_machine,
+    experiment_machine,
+    machine_digest,
+)
+
+
+class TestBaseMachines:
+    def test_named_bases(self):
+        assert base_machine("table3") == default_machine()
+        assert base_machine("experiment") == experiment_machine()
+
+    def test_unknown_base(self):
+        with pytest.raises(ConfigError, match="unknown base machine"):
+            base_machine("laptop")
+
+
+class TestDeriveMachine:
+    def test_top_level_field(self):
+        m = derive_machine(default_machine(), {"l3_clusters": 4})
+        assert m.l3_clusters == 4
+        assert default_machine().l3_clusters == 8  # base untouched
+
+    def test_nested_field(self):
+        m = derive_machine(default_machine(), {"l3.size_bytes": 1 << 20})
+        assert m.l3.size_bytes == 1 << 20
+        # sibling fields of the rebuilt group survive
+        assert m.l3.ways == default_machine().l3.ways
+
+    def test_alias_fans_out(self):
+        m = derive_machine(default_machine(), {"accel_freq_ghz": 3.0})
+        assert m.inorder.freq_ghz == 3.0 and m.cgra.freq_ghz == 3.0
+
+    def test_multiple_overrides_deterministic(self):
+        over = {"l3.size_bytes": 1 << 20, "accel_freq_ghz": 2.0,
+                "noc.mesh_cols": 2}
+        a = derive_machine(default_machine(), over)
+        b = derive_machine(default_machine(),
+                           dict(reversed(list(over.items()))))
+        assert a == b
+
+    def test_empty_overrides_is_identity(self):
+        assert derive_machine(default_machine(), {}) == default_machine()
+
+    def test_unknown_field(self):
+        with pytest.raises(ConfigError, match="no field 'warp_drive'"):
+            derive_machine(default_machine(), {"warp_drive": 1})
+
+    def test_descend_into_leaf(self):
+        with pytest.raises(ConfigError, match="leaf value"):
+            derive_machine(default_machine(), {"l3_clusters.size": 1})
+
+    def test_group_target_rejected(self):
+        with pytest.raises(ConfigError, match="parameter group"):
+            derive_machine(default_machine(), {"l3": 42})
+
+    def test_type_mismatch(self):
+        with pytest.raises(ConfigError, match="expects an int"):
+            derive_machine(default_machine(), {"l3.size_bytes": "big"})
+        with pytest.raises(ConfigError, match="expects an int"):
+            derive_machine(default_machine(), {"l3.size_bytes": True})
+
+    def test_structural_validation_still_applies(self):
+        # cache geometry divisibility is enforced by the dataclass
+        with pytest.raises(ValueError):
+            derive_machine(default_machine(), {"l3.size_bytes": 1000})
+
+
+class TestMachineDigest:
+    def test_construction_independent(self):
+        a = machine_digest(derive_machine(default_machine(),
+                                          {"accel_freq_ghz": 3.0}))
+        b = machine_digest(default_machine().with_accel_freq(3.0))
+        assert a == b
+
+    def test_any_parameter_moves_the_digest(self):
+        base = machine_digest(default_machine())
+        for over in ({"l3.size_bytes": 1 << 20}, {"noc.mesh_cols": 2},
+                     {"accel_freq_ghz": 2.0}):
+            assert machine_digest(
+                derive_machine(default_machine(), over)) != base

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Docs-consistency checker (CI gate; also run as a pytest).
+
+Two invariants keep the documentation layer honest:
+
+1. Every module under ``src/repro/`` is named in ``docs/ARCHITECTURE.md``
+   — a module file as its relative path (``sim/system.py``), a package's
+   ``__init__.py`` as its directory prefix (``sim/``).
+2. Every ``REPRO_*`` environment variable referenced anywhere under
+   ``src/repro/`` is declared in :mod:`repro.envcfg` and documented in
+   the README's environment-variable table (name, default and pinning
+   tests all present).
+
+Exit status 0 when both hold; 1 with a per-violation listing otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+ARCH = REPO / "docs" / "ARCHITECTURE.md"
+README = REPO / "README.md"
+
+ENV_RE = re.compile(r"\bREPRO_[A-Z0-9_]+\b")
+
+
+def module_tokens() -> list[str]:
+    """Documentation tokens for every module file under src/repro/."""
+    tokens = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if path.name == "__init__.py":
+            pkg = rel[: -len("__init__.py")]
+            if pkg:  # the top-level package is the document's subject
+                tokens.append(pkg)
+        else:
+            tokens.append(rel)
+    return tokens
+
+
+def check_architecture() -> list[str]:
+    if not ARCH.exists():
+        return [f"missing {ARCH.relative_to(REPO)}"]
+    text = ARCH.read_text(encoding="utf-8")
+    return [
+        f"docs/ARCHITECTURE.md does not mention `{tok}`"
+        for tok in module_tokens()
+        if tok not in text
+    ]
+
+
+def env_vars_in_source() -> set[str]:
+    found = set()
+    for path in SRC.rglob("*.py"):
+        found |= set(ENV_RE.findall(path.read_text(encoding="utf-8")))
+    return found
+
+
+def check_env_vars() -> list[str]:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro import envcfg
+
+    problems = []
+    declared = {v.name for v in envcfg.ENV_VARS}
+    for name in sorted(env_vars_in_source() - declared):
+        problems.append(f"{name} is read in src/ but not declared in "
+                        f"repro/envcfg.py")
+
+    readme = README.read_text(encoding="utf-8")
+    for var in envcfg.ENV_VARS:
+        if f"`{var.name}`" not in readme:
+            problems.append(f"{var.name} missing from the README "
+                            f"environment-variable table")
+            continue
+        for pin in (p.strip() for p in var.pinned_by.split(",")):
+            if pin and pin not in readme:
+                problems.append(f"{var.name}: pinning test {pin} missing "
+                                f"from the README table")
+            if pin and not (REPO / pin).exists():
+                problems.append(f"{var.name}: pinning test {pin} does "
+                                f"not exist")
+    return problems
+
+
+def main() -> int:
+    problems = check_architecture() + check_env_vars()
+    for p in problems:
+        print(f"check_docs: {p}", file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("check_docs: OK "
+          f"({len(module_tokens())} modules, README env table in sync)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
