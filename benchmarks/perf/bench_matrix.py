@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """Wall-clock benchmark of the experiment matrix.
 
-Times the (workload x configuration) matrix twice — batched columnar
-replay (``REPRO_FAST=1``, the default) and the scalar per-access
-reference path (``REPRO_FAST=0``) — asserts the two produce identical
-results cell for cell, and writes a machine-readable report to
-``BENCH_matrix.json``:
+Times the (workload x configuration) matrix three ways — the vectorized
+pipeline (``REPRO_FAST=1 REPRO_VEC=1``, the default: whole-loop affine
+interpretation plus set-level cache walks), batched replay with the
+vector paths off (``REPRO_FAST=1 REPRO_VEC=0``) and the scalar
+per-access reference (``REPRO_FAST=0``) — asserts all modes produce
+identical results cell for cell, and writes a machine-readable report
+to ``BENCH_matrix.json``:
 
 * wall seconds, cells and cells/second per mode;
 * the interpret-vs-replay split (the first configuration of each
@@ -63,9 +65,19 @@ def _cell_sig(result: RunResult) -> Tuple:
     )
 
 
-def _time_mode(fast: bool, scale: str, workloads: Sequence[str],
-               configs: Sequence[str], jobs: Optional[int]) -> Dict:
+#: benchmark modes: (name, REPRO_FAST, REPRO_VEC)
+MODES = (
+    ("vec", True, True),
+    ("fast", True, False),
+    ("scalar", False, False),
+)
+
+
+def _time_mode(name: str, fast: bool, vec: bool, scale: str,
+               workloads: Sequence[str], configs: Sequence[str],
+               jobs: Optional[int]) -> Dict:
     os.environ["REPRO_FAST"] = "1" if fast else "0"
+    os.environ["REPRO_VEC"] = "1" if vec else "0"
     OBS.reset()
     start = time.perf_counter()
     matrix = ResultMatrix(
@@ -95,8 +107,9 @@ def _time_mode(fast: bool, scale: str, workloads: Sequence[str],
         })
     n_cells = len(matrix.results)
     return {
-        "mode": "fast" if fast else "scalar",
+        "mode": name,
         "repro_fast": int(fast),
+        "repro_vec": int(vec),
         "wall_s": round(wall_s, 3),
         "cells": n_cells,
         "cells_per_s": round(n_cells / wall_s, 3) if wall_s else None,
@@ -125,35 +138,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--out", default="benchmarks/perf/BENCH_matrix.json",
                         help="output JSON path")
     parser.add_argument("--skip-scalar", action="store_true",
-                        help="time only the fast path (no reference pass, "
-                             "no identity check)")
+                        help="skip the scalar reference pass (and its "
+                             "identity check)")
+    parser.add_argument("--skip-fast", action="store_true",
+                        help="skip the vec-off batched pass")
     args = parser.parse_args(argv)
 
     workloads = [w for w in args.workloads.split(",") if w]
     configs = [c for c in args.configs.split(",") if c]
-    prior_fast = os.environ.get("REPRO_FAST")
+    prior_env = {v: os.environ.get(v) for v in ("REPRO_FAST", "REPRO_VEC")}
 
+    skip = {"scalar"} if args.skip_scalar else set()
+    if args.skip_fast:
+        skip.add("fast")
     try:
-        fast = _time_mode(True, args.scale, workloads, configs, args.jobs)
-        modes = [fast]
-        mismatches: List[str] = []
-        if not args.skip_scalar:
-            scalar = _time_mode(False, args.scale, workloads, configs,
-                                args.jobs)
-            modes.append(scalar)
-            mismatches = [
-                key for key, sig in fast["_sigs"].items()
-                if scalar["_sigs"].get(key) != sig
-            ]
+        modes = [
+            _time_mode(name, fast, vec, args.scale, workloads, configs,
+                       args.jobs)
+            for name, fast, vec in MODES if name not in skip
+        ]
     finally:
-        if prior_fast is None:
-            os.environ.pop("REPRO_FAST", None)
-        else:
-            os.environ["REPRO_FAST"] = prior_fast
+        for var, prior in prior_env.items():
+            if prior is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = prior
 
+    # every later mode must reproduce the first (vec) mode bit for bit
+    mismatches: List[str] = []
+    for other in modes[1:]:
+        mismatches.extend(
+            f"{other['mode']}:{key}"
+            for key, sig in modes[0]["_sigs"].items()
+            if other["_sigs"].get(key) != sig
+        )
+
+    wall = {m["mode"]: m["wall_s"] for m in modes}
     speedup = None
-    if len(modes) == 2 and modes[0]["wall_s"]:
-        speedup = round(modes[1]["wall_s"] / modes[0]["wall_s"], 3)
+    if "scalar" in wall and wall[modes[0]["mode"]]:
+        speedup = round(wall["scalar"] / wall[modes[0]["mode"]], 3)
+    speedup_vec_over_fast = None
+    if "vec" in wall and "fast" in wall and wall["vec"]:
+        speedup_vec_over_fast = round(wall["fast"] / wall["vec"], 3)
     # headline number: the full small matrix took 100.3 s before the
     # columnar/batched pipeline (the scalar mode timed above also gained
     # from the hoisting/inlining that landed alongside it)
@@ -170,10 +196,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "speedup_fast_over_scalar": speedup,
+        "speedup_vec_over_fast": speedup_vec_over_fast,
         "pre_change_small_matrix_s": PRE_CHANGE_SMALL_MATRIX_S,
         "speedup_vs_pre_change": vs_history,
-        "identical_results": (None if args.skip_scalar
-                              else not mismatches),
+        "identical_results": (None if len(modes) < 2 else not mismatches),
         "mismatched_cells": mismatches,
         "modes": [
             {k: v for k, v in mode.items() if k != "_sigs"}
@@ -190,7 +216,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"({mode['cells_per_s']} cells/s, "
               f"interp {mode['interp_s']}s / replay {mode['replay_s']}s)")
     if speedup is not None:
-        print(f"speedup (fast over scalar): {speedup}x")
+        print(f"speedup ({modes[0]['mode']} over scalar): {speedup}x")
+    if speedup_vec_over_fast is not None:
+        print(f"speedup (vec over fast): {speedup_vec_over_fast}x")
     if vs_history is not None:
         print(f"speedup (fast vs {PRE_CHANGE_SMALL_MATRIX_S}s pre-change "
               f"small matrix): {vs_history}x")

@@ -52,6 +52,13 @@ REPRO_JOBS = EnvVar(
     "`repro.dse` sweeps when `--jobs` is not given",
     "tests/test_runner_parallel.py, tests/dse/test_sweep_determinism.py",
 )
+REPRO_VEC = EnvVar(
+    "REPRO_VEC", "bool", "1",
+    "whole-loop vectorized interpretation of affine kernels and the "
+    "set-level vectorized cache walk; `0` keeps the per-iteration / "
+    "per-access scalar reference paths (bit-identical results)",
+    "tests/ir/test_vecinterp.py",
+)
 REPRO_NO_VERIFY = EnvVar(
     "REPRO_NO_VERIFY", "bool", "0",
     "`1` disables the default-on static IR verifier guard in "
@@ -67,7 +74,7 @@ REPRO_TRACE_SPILL = EnvVar(
 
 #: every declared variable, in documentation order
 ENV_VARS: Tuple[EnvVar, ...] = (
-    REPRO_FAST, REPRO_JOBS, REPRO_NO_VERIFY, REPRO_TRACE_SPILL,
+    REPRO_FAST, REPRO_JOBS, REPRO_VEC, REPRO_NO_VERIFY, REPRO_TRACE_SPILL,
 )
 
 
@@ -96,6 +103,11 @@ def get_path(var: EnvVar) -> Optional[str]:
 def fast_path_enabled() -> bool:
     """True unless ``REPRO_FAST`` is explicitly disabled (0/false/off)."""
     return get_bool(REPRO_FAST, True)
+
+
+def vec_path_enabled() -> bool:
+    """True unless ``REPRO_VEC`` is explicitly disabled (0/false/off)."""
+    return get_bool(REPRO_VEC, True)
 
 
 def verification_enabled() -> bool:

@@ -283,21 +283,58 @@ class Simulator:
         :class:`DeadlockError` if processes remain blocked with no
         pending events.
         """
-        while self._heap:
-            time_ps, _seq, proc, value = heapq.heappop(self._heap)
-            if until_ps is not None and time_ps > until_ps:
-                self._now = until_ps
-                return self._now
-            self._now = time_ps
-            self.events_executed += 1
-            if max_events is not None and self.events_executed > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at t={self._now}ps"
-                )
-            if proc is None:
-                value()  # plain callback
-            else:
-                self._step(proc, value)
+        if until_ps is None and max_events is None:
+            # specialized dispatch loop for the unbounded case (every
+            # replay run): no limit checks, counter kept in a local, the
+            # generator resumed without the _step call indirection
+            heap = self._heap
+            pop = heapq.heappop
+            executed = 0
+            try:
+                while heap:
+                    time_ps, _seq, proc, value = pop(heap)
+                    self._now = time_ps
+                    executed += 1
+                    if proc is None:
+                        value()  # plain callback
+                    else:
+                        try:
+                            cmd = proc._gen.send(value)
+                        except StopIteration as stop:
+                            proc.done = True
+                            proc.result = stop.value
+                            for waiter in proc._waiters:
+                                self._schedule(time_ps, waiter, stop.value)
+                            proc._waiters.clear()
+                            continue
+                        if cmd.__class__ is Delay:
+                            self._schedule(time_ps + cmd.ps, proc, None)
+                        elif isinstance(cmd, Command):
+                            cmd.arm(self, proc)
+                        else:
+                            raise SimulationError(
+                                f"process {proc.name!r} yielded {cmd!r}, "
+                                f"expected a Command"
+                            )
+            finally:
+                self.events_executed += executed
+        else:
+            while self._heap:
+                time_ps, _seq, proc, value = heapq.heappop(self._heap)
+                if until_ps is not None and time_ps > until_ps:
+                    self._now = until_ps
+                    return self._now
+                self._now = time_ps
+                self.events_executed += 1
+                if (max_events is not None
+                        and self.events_executed > max_events):
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at t={self._now}ps"
+                    )
+                if proc is None:
+                    value()  # plain callback
+                else:
+                    self._step(proc, value)
         blocked = [
             p for p in self._processes
             if not p.done and p.blocked_on and not p.daemon

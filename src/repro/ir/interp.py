@@ -91,8 +91,11 @@ class InterpResult:
     accesses_per_object: Dict[str, int] = field(default_factory=dict)
     #: innermost-loop body executions (total inner iterations)
     inner_iterations: int = 0
-    #: per-innermost-loop totals, keyed by id(loop): body iterations and
-    #: invocation counts (how many times the loop was entered)
+    #: per-innermost-loop totals, keyed by the loop's stable structural
+    #: id (:meth:`~repro.ir.program.Kernel.innermost_loop_ids`): body
+    #: iterations and invocation counts (times the loop was entered).
+    #: Keying by ``id(loop)`` — as this used to — silently merges counts
+    #: across kernels once the allocator reuses a GC'd loop's address.
     inner_iters_by_loop: Dict[int, int] = field(default_factory=dict)
     inner_invocations_by_loop: Dict[int, int] = field(default_factory=dict)
 
@@ -121,6 +124,7 @@ class Interpreter:
         if scalars:
             env_scalars.update(scalars)
         self._site_ids = kernel.site_ids()
+        self._loop_ids = kernel.innermost_loop_ids()
         state = _State(
             arrays=arrays,
             scalars=env_scalars,
@@ -163,10 +167,18 @@ class Interpreter:
                   outer_env: Dict[str, float], innermost: set) -> None:
         lower = int(self._eval(loop.lower, outer_env, state))
         upper = int(self._eval(loop.upper, outer_env, state))
+        if loop.step == 0:
+            # normally rejected at construction (IRError) and by AN-V14;
+            # reachable via REPRO_NO_VERIFY=1 + post-hoc mutation, and
+            # range() would leak a bare ValueError
+            raise InterpreterError(
+                f"loop over {loop.var!r} has zero step"
+            )
         is_inner = id(loop) in innermost
         if is_inner:
-            state.inner_invocations_by_loop[id(loop)] = (
-                state.inner_invocations_by_loop.get(id(loop), 0) + 1
+            loop_key = self._loop_ids[id(loop)]
+            state.inner_invocations_by_loop[loop_key] = (
+                state.inner_invocations_by_loop.get(loop_key, 0) + 1
             )
         env = dict(outer_env)
         iters = 0
@@ -183,8 +195,8 @@ class Interpreter:
             if is_inner:
                 state.inner_iterations += 1
         if is_inner:
-            state.inner_iters_by_loop[id(loop)] = (
-                state.inner_iters_by_loop.get(id(loop), 0) + iters
+            state.inner_iters_by_loop[loop_key] = (
+                state.inner_iters_by_loop.get(loop_key, 0) + iters
             )
         state.iterations[loop.var] = state.iterations.get(loop.var, 0) + iters
 
@@ -312,7 +324,9 @@ def _apply_binop(op: str, lhs, rhs):
         if isinstance(lhs, int) and isinstance(rhs, int):
             if rhs == 0:
                 raise InterpreterError("integer division by zero")
-            return int(lhs / rhs) if (lhs < 0) != (rhs < 0) else lhs // rhs
+            # trunc-toward-zero without the float64 round trip that
+            # corrupts quotients once |operands| reach 2^53
+            return -(-lhs // rhs) if (lhs < 0) != (rhs < 0) else lhs // rhs
         return lhs / rhs
     if op == "%":
         if rhs == 0:

@@ -176,6 +176,18 @@ class Kernel:
             visit_stmt(loop)
         return site_ids
 
+    def innermost_loop_ids(self) -> Dict[int, int]:
+        """Stable small integers per innermost loop, in visit order.
+
+        The loop-granular companion of :meth:`site_ids`: keyed by
+        ``id()`` of the Loop object, valued by its structural position,
+        so per-loop accounting can be keyed stably. Unlike a raw
+        ``id()`` key, the position survives kernel reconstruction — two
+        structurally identical kernels number their loops identically —
+        and cannot alias when the allocator reuses a GC'd loop's address.
+        """
+        return {id(l): i for i, l in enumerate(self.innermost_loops())}
+
     def fingerprint(self) -> str:
         """Stable structural identity of this kernel.
 

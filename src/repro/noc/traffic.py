@@ -49,19 +49,57 @@ class MessageKind(enum.Enum):
     ACC_OPERAND = TrafficClass.ACC_DATA
 
 
+#: energy-count keys charged by :meth:`TrafficLedger.record`; updated
+#: directly on the ledger's count dict (the per-call ``charge()`` method
+#: overhead is measurable at a million records per matrix cell)
+_EK_BYTE_HOP = ("noc", "noc_byte_hop")
+_EK_ROUTER_FLIT = ("noc", "noc_router_flit")
+
+_CLASSES = tuple(TrafficClass)
+_CLASS_INDEX = {tc: i for i, tc in enumerate(_CLASSES)}
+
+
 class TrafficLedger:
-    """Counts bytes, messages and byte-hops per traffic class."""
+    """Counts bytes, messages and byte-hops per traffic class.
+
+    Per-class tallies live in plain int-indexed lists; the public
+    ``*_by_class`` mappings are materialized on read. Hashing enum
+    members per record costs more than the accounting itself at the
+    record rates the batched replay path reaches.
+    """
 
     def __init__(self, mesh: Mesh, energy: Optional[EnergyLedger] = None):
         self.mesh = mesh
         self.energy = energy
-        self.bytes_by_class: Dict[TrafficClass, float] = defaultdict(float)
-        self.byte_hops_by_class: Dict[TrafficClass, float] = defaultdict(float)
-        self.messages_by_class: Dict[TrafficClass, int] = defaultdict(int)
+        if energy is not None:
+            # validate the event names once (charge() does this per call)
+            getattr(energy.table, _EK_BYTE_HOP[1])
+            getattr(energy.table, _EK_ROUTER_FLIT[1])
+        self._bytes = [0.0] * len(_CLASSES)
+        self._byte_hops = [0.0] * len(_CLASSES)
+        self._messages = [0] * len(_CLASSES)
         self.bytes_by_pair: Dict[Tuple[int, int], float] = defaultdict(float)
         #: (src, dst, payload) -> one-way latency ps; messages repeat the
         #: same few shapes millions of times, the mesh is static
         self._lat_memo: Dict[Tuple[int, int, int], int] = {}
+        #: (kind id, src, dst, payload) -> everything record() derives
+        #: from the static mesh: (class index, bytes/message, hops,
+        #: flits, latency, (src, dst))
+        self._shape_memo: Dict[Tuple[int, int, int, int], tuple] = {}
+
+    # live views keep the pre-existing mapping API (tests index these
+    # with TrafficClass members); every class is always present
+    @property
+    def bytes_by_class(self) -> Dict[TrafficClass, float]:
+        return dict(zip(_CLASSES, self._bytes))
+
+    @property
+    def byte_hops_by_class(self) -> Dict[TrafficClass, float]:
+        return dict(zip(_CLASSES, self._byte_hops))
+
+    @property
+    def messages_by_class(self) -> Dict[TrafficClass, int]:
+        return dict(zip(_CLASSES, self._messages))
 
     def latency_of(self, src: int, dst: int, payload_bytes: int) -> int:
         """Memoized one-way message latency (what :meth:`record` returns)."""
@@ -80,33 +118,41 @@ class TrafficLedger:
         Local messages (src == dst) cost no link energy but are still
         counted as bytes so access-distribution statistics see them.
         """
-        tclass = kind.value
-        total_bytes = (payload_bytes + HEADER_BYTES) * count
-        hops = self.mesh.hops(src, dst)
-        self.bytes_by_class[tclass] += total_bytes
-        self.byte_hops_by_class[tclass] += total_bytes * hops
-        self.messages_by_class[tclass] += count
-        self.bytes_by_pair[(src, dst)] += total_bytes
-        if self.energy is not None and hops > 0:
-            flits = self.mesh.num_flits(payload_bytes + HEADER_BYTES)
-            self.energy.charge("noc", "noc_byte_hop", total_bytes * hops)
-            self.energy.charge(
-                "noc", "noc_router_flit",
-                flits * (hops + 1) * count,
+        # enum members are singletons, so id() is a stable, cheap key
+        key = (id(kind), src, dst, payload_bytes)
+        shape = self._shape_memo.get(key)
+        if shape is None:
+            hops = self.mesh.hops(src, dst)
+            shape = self._shape_memo[key] = (
+                _CLASS_INDEX[kind.value],
+                payload_bytes + HEADER_BYTES,
+                hops,
+                self.mesh.num_flits(payload_bytes + HEADER_BYTES),
+                self.latency_of(src, dst, payload_bytes),
+                (src, dst),
             )
-        return self.latency_of(src, dst, payload_bytes)
+        ci, unit_bytes, hops, flits, lat, pair = shape
+        total_bytes = unit_bytes * count
+        self._bytes[ci] += total_bytes
+        self._byte_hops[ci] += total_bytes * hops
+        self._messages[ci] += count
+        self.bytes_by_pair[pair] += total_bytes
+        if self.energy is not None and hops > 0:
+            counts = self.energy._counts
+            counts[_EK_BYTE_HOP] += total_bytes * hops
+            counts[_EK_ROUTER_FLIT] += flits * (hops + 1) * count
+        return lat
 
     # -- summaries ---------------------------------------------------------
     def total_bytes(self) -> float:
-        return sum(self.bytes_by_class.values())
+        return sum(self._bytes)
 
     def total_byte_hops(self) -> float:
-        return sum(self.byte_hops_by_class.values())
+        return sum(self._byte_hops)
 
     def breakdown(self) -> Dict[str, float]:
         """Figure-10 style breakdown: bytes per class name."""
-        return {tc.value: self.bytes_by_class.get(tc, 0.0)
-                for tc in TrafficClass}
+        return {tc.value: self._bytes[i] for i, tc in enumerate(_CLASSES)}
 
     def class_bytes(self, tclass: TrafficClass) -> float:
-        return self.bytes_by_class.get(tclass, 0.0)
+        return self._bytes[_CLASS_INDEX[tclass]]

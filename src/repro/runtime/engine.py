@@ -322,6 +322,10 @@ class _RunContext:
     #: combining: one FSM serves every access sharing a buffer)
     read_bufs: Dict[int, List[int]] = field(default_factory=dict)
     write_bufs: Dict[int, List[int]] = field(default_factory=dict)
+    #: (tag, id(acc), chunk) -> element/line address arrays; fill, drain
+    #: and partition procs all re-derive the same chunk slices, and the
+    #: per-chunk np.unique is measurable across ~100k chunk visits
+    _chunk_memo: Dict[tuple, np.ndarray] = field(default_factory=dict)
 
     def build(self) -> None:
         config = self.offload.config
@@ -479,13 +483,19 @@ class _RunContext:
 
     def _elems_for_chunk(self, acc: AccessConfig, c: int) -> np.ndarray:
         """Slice of the access's element stream belonging to chunk c."""
-        stream = self.site_streams.for_sites(acc.site_ids)
-        if stream.size == 0:
-            return stream
-        n = len(self.chunk_sizes)
-        lo = (stream.size * c) // n
-        hi = (stream.size * (c + 1)) // n
-        return stream[lo:hi]
+        key = ("e", id(acc), c)
+        out = self._chunk_memo.get(key)
+        if out is None:
+            stream = self.site_streams.for_sites(acc.site_ids)
+            if stream.size == 0:
+                out = stream
+            else:
+                n = len(self.chunk_sizes)
+                lo = (stream.size * c) // n
+                hi = (stream.size * (c + 1)) // n
+                out = stream[lo:hi]
+            self._chunk_memo[key] = out
+        return out
 
     def _addr(self, acc: AccessConfig, elem: int) -> int:
         alloc = self.engine.slab.by_name(acc.obj)
@@ -493,12 +503,35 @@ class _RunContext:
 
     def _lines_for_chunk(self, acc: AccessConfig, c: int) -> np.ndarray:
         """Unique line addresses a chunk's elements touch (64 B lines)."""
-        elems = self._elems_for_chunk(acc, c)
-        if elems.size == 0:
-            return elems
-        base = self.engine.slab.by_name(acc.obj).base
-        addrs = base + elems * acc.elem_bytes
-        return np.unique(addrs >> 6) << 6
+        key = ("l", id(acc), c)
+        out = self._chunk_memo.get(key)
+        if out is None:
+            elems = self._elems_for_chunk(acc, c)
+            if elems.size == 0:
+                out = elems
+            elif elems.size <= 16:
+                # typical chunks touch a handful of lines; a Python set
+                # beats np.unique's sort at this size by an order of
+                # magnitude (~200k chunks per small matrix cell)
+                base = self.engine.slab.by_name(acc.obj).base
+                eb = acc.elem_bytes
+                lines = sorted({(base + e * eb) >> 6
+                                for e in elems.tolist()})
+                out = np.array(lines, dtype=np.int64) << 6
+            else:
+                base = self.engine.slab.by_name(acc.obj).base
+                lines = (base + elems * acc.elem_bytes) >> 6
+                if (lines[1:] >= lines[:-1]).all():
+                    # streams are monotone: dedup with one linear pass
+                    # instead of np.unique's sort
+                    keep = np.empty(lines.size, dtype=bool)
+                    keep[0] = True
+                    keep[1:] = lines[1:] != lines[:-1]
+                    out = lines[keep] << 6
+                else:
+                    out = np.unique(lines) << 6
+            self._chunk_memo[key] = out
+        return out
 
     def _is_invariant(self, acc: AccessConfig) -> bool:
         return acc.stride_elems == 0 and acc.kind is AccessKind.STREAM_READ

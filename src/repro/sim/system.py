@@ -15,7 +15,7 @@ from ..energy import EnergyLedger
 from ..errors import ConfigError
 from ..events import cycles_to_ps
 from ..interface.intrinsics import CoverageRecorder
-from ..ir.interp import Interpreter
+from ..ir.vecinterp import make_interpreter
 from ..ir.program import Kernel
 from ..mem.cache import Cache
 from ..mem.coherence import CoherenceManager, Domain
@@ -202,7 +202,9 @@ class SystemSimulator:
                 for name, arr in entry.final_arrays.items():
                     instance.arrays[name][...] = arr
                 return
-        interp = Interpreter(record_trace=True)
+        # vectorized whole-loop interpretation when REPRO_VEC allows it;
+        # scalar tree-walking otherwise — bit-identical either way
+        interp = make_interpreter(record_trace=True)
         recording = cache is not None and key is not None
         records = []
         for call in instance.calls():
@@ -295,6 +297,10 @@ class SystemSimulator:
                 compiled[ck_key] = ck
             streams = SiteStreams(res.trace)
             offloaded_insts = 0
+            # iteration maps are keyed by structural loop position, so a
+            # cached CompiledKernel built from a *different* (structurally
+            # identical) kernel object still finds its trip counts
+            loop_ids = ck.kernel.innermost_loop_ids()
             for off in ck.offloads:
                 clusters = self._place(off, allocations, hierarchy)
                 for part_idx in range(off.partitioning.num_partitions):
@@ -304,9 +310,10 @@ class SystemSimulator:
                             allocations[obj], Domain.ACCEL,
                             cluster=clusters[part_idx],
                         )
-                trips = res.inner_iters_by_loop.get(id(off.loop), 0)
+                loop_key = loop_ids[id(off.loop)]
+                trips = res.inner_iters_by_loop.get(loop_key, 0)
                 invocations = res.inner_invocations_by_loop.get(
-                    id(off.loop), 1
+                    loop_key, 1
                 )
                 stats = engine.run(off, clusters, trips, invocations,
                                    streams)

@@ -16,10 +16,11 @@ output validation still observes the executed program on replay. Evicted
 entries can optionally spill to on-disk pickles and are transparently
 reloaded on the next miss.
 
-Loop-iteration maps are stored keyed by the loop's *position* among the
-kernel's innermost loops (not ``id()``), so records survive pickling;
-:meth:`FunctionalCallRecord.view` rebuilds the id-keyed maps the system
-simulator consumes, against the record's own kernel object.
+Loop-iteration maps are keyed by the loop's *position* among the
+kernel's innermost loops (``Kernel.innermost_loop_ids``) end to end —
+the interpreter records them that way and the system simulator consumes
+them that way — so records survive pickling and never alias across
+kernels the way ``id()`` keys can.
 """
 
 from __future__ import annotations
@@ -56,13 +57,25 @@ def functional_key(workload: str, scale: str,
     keys. The kwargs are folded into the scale component canonically
     (sorted, ``scale@k=v,...``) so the key stays a picklable, printable
     ``(workload, variant)`` string pair.
+
+    The active interpreter mode (``REPRO_VEC``) is folded in as well:
+    the vectorized and scalar interpreters are bit-identical by
+    contract, but keying them apart means a mode flip — which is exactly
+    what the differential oracle does — re-interprets under the new mode
+    instead of replaying a record produced by the other one, so
+    cross-mode comparisons keep their evidentiary value.
     """
-    if not build_kwargs:
-        return (workload, scale)
-    variant = ",".join(
-        f"{k}={build_kwargs[k]!r}" for k in sorted(build_kwargs)
-    )
-    return (workload, f"{scale}@{variant}")
+    from ..vecpath import vec_path_enabled
+
+    variant = scale
+    if build_kwargs:
+        kw = ",".join(
+            f"{k}={build_kwargs[k]!r}" for k in sorted(build_kwargs)
+        )
+        variant = f"{scale}@{kw}"
+    if not vec_path_enabled():
+        variant += "+scalar"
+    return (workload, variant)
 
 
 @dataclass
@@ -70,8 +83,8 @@ class FunctionalView:
     """What the system simulator consumes per kernel call.
 
     Mirrors the subset of :class:`InterpResult` the timing models read,
-    with iteration maps keyed by ``id(loop)`` of the *carried* kernel's
-    innermost loops.
+    with iteration maps keyed by stable innermost-loop position
+    (:meth:`~repro.ir.program.Kernel.innermost_loop_ids`).
     """
 
     counts: OpCounts
@@ -97,9 +110,8 @@ class FunctionalCallRecord:
     @classmethod
     def from_interp(cls, kernel: Kernel, scalars: Dict[str, float],
                     res: InterpResult) -> "FunctionalCallRecord":
-        index_of = {
-            id(loop): i for i, loop in enumerate(kernel.innermost_loops())
-        }
+        # the interpreter already keys its iteration maps by structural
+        # loop position, so the record stores them verbatim
         return cls(
             kernel=kernel,
             scalars=dict(scalars),
@@ -108,32 +120,17 @@ class FunctionalCallRecord:
             # (no per-access tuple copy; spills pickle the column buffers)
             trace=res.trace if res.trace is not None else [],
             inner_iterations=res.inner_iterations,
-            inner_iters_by_index={
-                index_of[k]: v
-                for k, v in res.inner_iters_by_loop.items()
-                if k in index_of
-            },
-            inner_invocations_by_index={
-                index_of[k]: v
-                for k, v in res.inner_invocations_by_loop.items()
-                if k in index_of
-            },
+            inner_iters_by_index=dict(res.inner_iters_by_loop),
+            inner_invocations_by_index=dict(res.inner_invocations_by_loop),
         )
 
     def view(self) -> FunctionalView:
-        loops = self.kernel.innermost_loops()
         return FunctionalView(
             counts=self.counts,
             trace=self.trace,
             inner_iterations=self.inner_iterations,
-            inner_iters_by_loop={
-                id(loops[i]): v
-                for i, v in self.inner_iters_by_index.items()
-            },
-            inner_invocations_by_loop={
-                id(loops[i]): v
-                for i, v in self.inner_invocations_by_index.items()
-            },
+            inner_iters_by_loop=self.inner_iters_by_index,
+            inner_invocations_by_loop=self.inner_invocations_by_index,
         )
 
 

@@ -127,7 +127,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f.write("\n")
     hist_line = "  ".join(f"{k}={v}" for k, v in hist.items())
     print(f"[fuzz] {len(reports)} cases in {elapsed:.1f}s "
-          f"across {len(paths)} paths x 2 replay modes")
+          f"across {len(paths)} paths x {len(oracle.modes)} replay x "
+          f"{len(oracle.vec_modes)} interpreter modes")
     print(f"[fuzz] shapes: {hist_line}")
     if failures:
         print(f"[fuzz] {len(failures)} oracle failure(s) in "

@@ -7,8 +7,11 @@ fuzzing surface in the tree — the hypothesis strategies in
 and it emits the kernel shapes that historically drove real bugs, far
 beyond 1-D elementwise: nested loops with affine multi-dimensional
 indexing, ``When``-guarded stores over data-dependent predicates,
-indirect gather/scatter accesses, loop-carried reductions, and
-multi-kernel workloads chained through a shared intermediate object.
+indirect gather/scatter accesses, loop-carried reductions,
+multi-kernel workloads chained through a shared intermediate object,
+large-magnitude INT64 division (operands beyond float64's exact-integer
+range), and degenerate loop bounds (zero-trip and statically-dead
+nests).
 
 Every emitted case is *well-formed by construction*: it passes the
 static verifier with no ERROR findings and interprets without dynamic
@@ -30,6 +33,7 @@ from ..errors import ConfigError
 from ..ir import (
     FLOAT32,
     INT32,
+    INT64,
     Interpreter,
     Kernel,
     Loop,
@@ -53,6 +57,8 @@ SHAPES = (
     "gather",
     "scatter",
     "multi",
+    "intdiv",
+    "degenerate",
 )
 
 #: value-combining ops safe on arbitrary float data (no div-by-zero,
@@ -439,6 +445,99 @@ def _multi(rng: random.Random, seed: int) -> GeneratedCase:
     )
 
 
+def _intdiv(rng: random.Random, seed: int) -> GeneratedCase:
+    """Large-magnitude INT64 division/modulo near and beyond 2^53.
+
+    The shape that would have caught the truncating-division bug: the
+    interpreter used to compute integer ``/`` as ``int(lhs / rhs)``,
+    which round-trips through float64 and silently corrupts quotients
+    once operands leave float64's exact-integer range. Numerators
+    straddle 2^53 (and optionally reach 2^61) with mixed signs, so any
+    path that evaluates division in floating point disagrees with the
+    exact truncating reference.
+    """
+    n = rng.randint(8, 32)
+    objects = {
+        "num": MemObject("num", n, INT64),
+        "den": MemObject("den", n, INT64),
+        "quot": MemObject("quot", n, INT64),
+    }
+    num, den, quot = objects["num"], objects["den"], objects["quot"]
+    outputs = ["quot"]
+    body: List = [quot.store(I, num[I] / den[I])]
+    if rng.random() < 0.6:
+        rem = MemObject("rem", n, INT64)
+        objects["rem"] = rem
+        body.append(rem.store(I, num[I] % den[I]))
+        outputs.append("rem")
+    loop = Loop("i", 0, n, body)
+    kernel = Kernel("fz_intdiv", objects, [loop], outputs=outputs)
+    gen = np.random.default_rng(rng.getrandbits(31))
+    base = 1 << rng.choice((53, 53, 57, 61))  # bias to the 2^53 boundary
+    nums = (base + gen.integers(-(1 << 14), 1 << 14, size=n)
+            ) * gen.choice((-1, 1), size=n)
+    dens = gen.integers(1, 10, size=n) * gen.choice((-1, 1), size=n)
+    arrays = {
+        "num": nums.astype(np.int64),
+        "den": dens.astype(np.int64),  # never zero by construction
+        "quot": np.zeros(n, dtype=np.int64),
+    }
+    if "rem" in objects:
+        arrays["rem"] = np.zeros(n, dtype=np.int64)
+    return GeneratedCase(
+        name=f"intdiv-{seed}", shape="intdiv", seed=seed,
+        kernels=[kernel], calls=[("fz_intdiv", {})], arrays=arrays,
+        outputs=outputs,
+    )
+
+
+def _degenerate(rng: random.Random, seed: int) -> GeneratedCase:
+    """Zero-trip and degenerate-bound loops.
+
+    A triangular inner bound (``for j in i .. m`` with ``m < n``) makes
+    some inner-loop invocations empty, and an optional statically-dead
+    nest (``lower == upper``) exercises loops that are *entered* by the
+    accounting machinery but never run a body — the corner where
+    per-loop iteration maps, offload cost models and the vectorized
+    interpreter's closed-form trip counts historically disagree.
+    """
+    n = rng.randint(6, 12)
+    m = rng.randint(1, n - 1)  # inner upper bound < n => empty tails
+    objects = {
+        "a": MemObject("a", n * n, FLOAT32),
+        "out": MemObject("out", n * n, FLOAT32),
+    }
+    a, out = objects["a"], objects["out"]
+    tri = Kernel(
+        "fz_tri", objects,
+        [Loop("i", 0, n, [Loop("j", I, m, [
+            out.store(I * n + J,
+                      _combine(rng, [a[I * n + J], a[J]]))
+        ])])],
+        outputs=["out"],
+    )
+    kernels = [tri]
+    calls: List[Tuple[str, Dict[str, float]]] = [("fz_tri", {})]
+    if rng.random() < 0.5:
+        lo = rng.randint(0, n - 1)
+        dead = Kernel(
+            "fz_dead", dict(objects),
+            [Loop("i", lo, lo, [out.store(I, a[I] * 2.0)])],
+            outputs=["out"],
+        )
+        kernels.append(dead)
+        calls.append(("fz_dead", {}))
+    arrays = {
+        name: _input_data(rng, obj.num_elements)
+        for name, obj in objects.items()
+    }
+    return GeneratedCase(
+        name=f"degenerate-{seed}", shape="degenerate", seed=seed,
+        kernels=kernels, calls=calls, arrays=arrays,
+        outputs=["out"],
+    )
+
+
 _EMITTERS = {
     "elementwise": _elementwise,
     "nested": _nested,
@@ -447,6 +546,8 @@ _EMITTERS = {
     "gather": _gather,
     "scatter": _scatter,
     "multi": _multi,
+    "intdiv": _intdiv,
+    "degenerate": _degenerate,
 }
 
 

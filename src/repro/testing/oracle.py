@@ -3,7 +3,9 @@
 One :class:`GeneratedCase` is pushed through the golden interpreter and
 through :func:`~repro.sim.system.simulate_workload` for each requested
 configuration under both replay pipelines (``REPRO_FAST=1`` batched and
-``REPRO_FAST=0`` scalar reference), and the paths must agree on
+``REPRO_FAST=0`` scalar reference) and both interpreter modes
+(``REPRO_VEC=1`` vectorized whole-loop evaluation and ``REPRO_VEC=0``
+tree-walking), and the paths must agree on
 
 * **analysis consistency** — the static verifier accepts exactly the
   kernels the interpreter executes without a fault, and the affine
@@ -44,6 +46,7 @@ from ..analysis.findings import errors_of
 from ..errors import ReproError
 from ..fastpath import ENV_VAR as FAST_ENV
 from ..params import MachineParams, experiment_machine
+from ..vecpath import ENV_VAR as VEC_ENV
 from ..sim.results import RunResult
 from ..sim.system import simulate_workload
 from ..sim.tracecache import TraceCache
@@ -84,16 +87,24 @@ class OracleReport:
 
 
 @contextmanager
-def _fast_mode(fast: bool):
-    prior = os.environ.get(FAST_ENV)
-    os.environ[FAST_ENV] = "1" if fast else "0"
+def _env_mode(var: str, on: bool):
+    prior = os.environ.get(var)
+    os.environ[var] = "1" if on else "0"
     try:
         yield
     finally:
         if prior is None:
-            os.environ.pop(FAST_ENV, None)
+            os.environ.pop(var, None)
         else:
-            os.environ[FAST_ENV] = prior
+            os.environ[var] = prior
+
+
+def _fast_mode(fast: bool):
+    return _env_mode(FAST_ENV, fast)
+
+
+def _vec_mode(vec: bool):
+    return _env_mode(VEC_ENV, vec)
 
 
 def _metric_signature(r: RunResult) -> Dict[str, object]:
@@ -117,10 +128,15 @@ class DifferentialOracle:
 
     def __init__(self, paths: Sequence[str] = DEFAULT_PATHS,
                  machine: Optional[MachineParams] = None,
-                 modes: Tuple[bool, ...] = (True, False)):
+                 modes: Tuple[bool, ...] = (True, False),
+                 vec_modes: Tuple[bool, ...] = (True, False)):
         self.paths = tuple(paths)
         self.machine = machine or experiment_machine()
+        #: REPRO_FAST replay modes to cross (batched vs scalar replay)
         self.modes = modes
+        #: REPRO_VEC interpreter modes to cross (vectorized vs scalar
+        #: tree-walking interpretation)
+        self.vec_modes = vec_modes
 
     # ------------------------------------------------------------------
     def check_case(self, case: GeneratedCase) -> OracleReport:
@@ -172,74 +188,105 @@ class DifferentialOracle:
     # ------------------------------------------------------------------
     def _simulate_all(self, case: GeneratedCase,
                       failures: List[OracleFailure]
-                      ) -> Dict[Tuple[str, bool], RunResult]:
-        """Simulate every (config, fast-mode) cell of the case.
+                      ) -> Dict[Tuple[str, bool, bool], RunResult]:
+        """Simulate every (config, fast-mode, vec-mode) cell of the case.
 
         One shared trace cache per case: the functional interpretation is
         path-independent, so each cell after the first replays it — the
-        exact sharing discipline the experiment matrix uses.
+        exact sharing discipline the experiment matrix uses. The trace
+        key carries the interpreter mode (mirroring
+        ``tracecache.functional_key``) so each ``REPRO_VEC`` mode
+        records its own interpretation instead of replaying the other
+        mode's — the cross-mode comparison stays evidentiary.
         """
-        runs: Dict[Tuple[str, bool], RunResult] = {}
+        runs: Dict[Tuple[str, bool, bool], RunResult] = {}
         cache = TraceCache(max_entries=1)
-        for fast in self.modes:
-            with _fast_mode(fast):
-                for config in self.paths:
-                    try:
-                        runs[(config, fast)] = simulate_workload(
-                            case.instance(), config, machine=self.machine,
-                            trace_cache=cache,
-                            trace_key=(case.name, "fuzz"),
-                        )
-                    except Exception as exc:  # crashes are findings too
-                        failures.append(OracleFailure(
-                            case.name, "simulates", config,
-                            f"fast={int(fast)}: {type(exc).__name__}: {exc}",
-                        ))
+        for vec in self.vec_modes:
+            variant = "fuzz" if vec else "fuzz+scalar"
+            with _vec_mode(vec):
+                for fast in self.modes:
+                    with _fast_mode(fast):
+                        for config in self.paths:
+                            try:
+                                runs[(config, fast, vec)] = simulate_workload(
+                                    case.instance(), config,
+                                    machine=self.machine,
+                                    trace_cache=cache,
+                                    trace_key=(case.name, variant),
+                                )
+                            except Exception as exc:  # crashes are findings
+                                failures.append(OracleFailure(
+                                    case.name, "simulates", config,
+                                    f"fast={int(fast)},vec={int(vec)}: "
+                                    f"{type(exc).__name__}: {exc}",
+                                ))
         return runs
 
     # ------------------------------------------------------------------
     def _check_outputs(self, case: GeneratedCase,
                        golden: Dict[str, np.ndarray],
-                       runs: Dict[Tuple[str, bool], RunResult],
+                       runs: Dict[Tuple[str, bool, bool], RunResult],
                        failures: List[OracleFailure]) -> None:
-        for (config, fast), run in runs.items():
+        for (config, fast, vec), run in runs.items():
             if not run.validated:
                 failures.append(OracleFailure(
                     case.name, "outputs-validate", config,
-                    f"fast={int(fast)}: run failed output validation",
+                    f"fast={int(fast)},vec={int(vec)}: run failed "
+                    f"output validation",
                 ))
 
     def _check_cross_path(self, case: GeneratedCase,
-                          runs: Dict[Tuple[str, bool], RunResult],
+                          runs: Dict[Tuple[str, bool, bool], RunResult],
                           failures: List[OracleFailure]) -> None:
-        if set(self.modes) != {True, False}:
-            return
-        for config in self.paths:
-            fast = runs.get((config, True))
-            scalar = runs.get((config, False))
-            if fast is None or scalar is None:
-                continue
-            sig_f = _metric_signature(fast)
-            sig_s = _metric_signature(scalar)
-            for field in sig_f:
-                if sig_f[field] != sig_s[field]:
+        """Counter-for-counter agreement across replay and interpreter
+        modes.
+
+        Pairwise along each axis: batched vs scalar replay within every
+        interpreter mode (``fast-vs-scalar``) and vectorized vs
+        tree-walking interpretation within every replay mode
+        (``vec-vs-scalar``). Together the comparisons connect every
+        simulated cell of a config, so any single-cell divergence is
+        caught and attributed to the axis it appeared on.
+        """
+        def compare(check: str, config: str, a: RunResult, b: RunResult,
+                    a_tag: str, b_tag: str) -> None:
+            sig_a = _metric_signature(a)
+            sig_b = _metric_signature(b)
+            for field in sig_a:
+                if sig_a[field] != sig_b[field]:
                     failures.append(OracleFailure(
-                        case.name, "fast-vs-scalar", config,
-                        f"{field} diverged: fast={sig_f[field]!r} "
-                        f"scalar={sig_s[field]!r}",
+                        case.name, check, config,
+                        f"{field} diverged: {a_tag}={sig_a[field]!r} "
+                        f"{b_tag}={sig_b[field]!r}",
                     ))
+
+        for config in self.paths:
+            if set(self.modes) == {True, False}:
+                for vec in self.vec_modes:
+                    fast = runs.get((config, True, vec))
+                    scalar = runs.get((config, False, vec))
+                    if fast is not None and scalar is not None:
+                        compare("fast-vs-scalar", config, fast, scalar,
+                                "fast", "scalar")
+            if set(self.vec_modes) == {True, False}:
+                for fast in self.modes:
+                    vec = runs.get((config, fast, True))
+                    scalar = runs.get((config, fast, False))
+                    if vec is not None and scalar is not None:
+                        compare("vec-vs-scalar", config, vec, scalar,
+                                "vec", "scalar")
 
     # ------------------------------------------------------------------
     def _check_conservation(self, case: GeneratedCase, counts,
-                            runs: Dict[Tuple[str, bool], RunResult],
+                            runs: Dict[Tuple[str, bool, bool], RunResult],
                             failures: List[OracleFailure]) -> None:
         golden_mem_ops = counts.loads + counts.stores
         ncalls = len(case.calls)
         expected_ooo_insts = (
             counts.total_insts + ncalls * HOST_INSTS_PER_CALL
         )
-        for (config, fast), run in runs.items():
-            tag = f"fast={int(fast)}"
+        for (config, fast, vec), run in runs.items():
+            tag = f"fast={int(fast)},vec={int(vec)}"
             # functional load/store volume is configuration-independent
             if run.mem_ops != golden_mem_ops:
                 failures.append(OracleFailure(

@@ -1,0 +1,35 @@
+"""Feature gate for the whole-loop vectorized execution path.
+
+``REPRO_VEC=1`` (the default) enables two numpy-vectorized replacements
+for per-element Python loops:
+
+* the vectorized golden interpreter
+  (:class:`~repro.ir.vecinterp.VecInterpreter`), which evaluates affine
+  loop nests as array expressions over the full iteration grid and falls
+  back per-nest to the tree-walking reference interpreter for
+  non-vectorizable constructs; and
+* the set-level vectorized cache walk
+  (:meth:`~repro.mem.cache.Cache.access_batch`), which groups a batch of
+  line accesses by cache set and advances each set's LRU state with
+  numpy integer ops, preserving program order within a set.
+
+``REPRO_VEC=0`` keeps the per-iteration / per-access scalar reference
+paths. Both settings produce bit-identical results — outputs, traces,
+op counts and every timing/energy counter — which is enforced by
+``tests/ir/test_vecinterp.py`` and the differential oracle
+(:mod:`repro.testing.oracle`).
+
+The variable is consulted at every simulation entry (once per kernel
+call / batch, never per access), so tests can flip it in-process with
+``monkeypatch.setenv``. The variable itself is declared in
+:mod:`repro.envcfg`, the authoritative ``REPRO_*`` registry.
+"""
+
+from __future__ import annotations
+
+from . import envcfg
+from .envcfg import vec_path_enabled
+
+ENV_VAR = envcfg.REPRO_VEC.name
+
+__all__ = ["ENV_VAR", "vec_path_enabled"]

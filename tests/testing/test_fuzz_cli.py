@@ -11,7 +11,7 @@ from repro.testing.fuzz import main
 
 class TestCleanRuns:
     def test_small_run_passes(self, capsys):
-        assert main(["--seed", "0", "--cases", "7"]) == 0
+        assert main(["--seed", "0", "--cases", str(len(SHAPES))]) == 0
         out = capsys.readouterr().out
         assert "all oracles passed" in out
         for shape in SHAPES:
