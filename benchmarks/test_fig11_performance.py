@@ -1,6 +1,6 @@
 """Regenerates Figure 11 (memory-op rate, IPC, speedup)."""
 
-from repro.experiments import fig11, geomean
+from repro.experiments import fig11
 from repro.sim import simulate_workload
 from repro.workloads import ALL_WORKLOADS
 

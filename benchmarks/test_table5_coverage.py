@@ -1,7 +1,6 @@
 """Regenerates Table V (interface-mechanism coverage)."""
 
 from repro.experiments import table5
-from repro.interface import Intrinsic
 from repro.workloads import PAPER_ORDER
 
 

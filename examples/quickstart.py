@@ -17,7 +17,6 @@ import numpy as np
 
 from repro.accel.microcode import disassemble
 from repro.compiler import CompileMode, compile_kernel
-from repro.interface import mmio_bytes
 from repro.ir import FLOAT32, Kernel, Loop, LoopVar, MemObject
 from repro.params import experiment_machine
 from repro.sim import simulate_workload

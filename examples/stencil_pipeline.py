@@ -11,7 +11,6 @@ Run:  python examples/stencil_pipeline.py
 
 from repro.params import experiment_machine
 from repro.sim import simulate_workload
-from repro.sim.system import CONFIGS
 from repro.workloads import ALL_WORKLOADS
 
 ORDER = ("ooo", "mono_ca", "mono_da_io", "mono_da_f",

@@ -8,7 +8,7 @@ backend models compute issue only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Protocol
 
 from ..energy import EnergyLedger

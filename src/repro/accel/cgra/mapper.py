@@ -17,7 +17,7 @@ lifetime, as in the paper's "statically-mapped CGRA architecture".
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ...dfg.graph import Dfg

@@ -1,9 +1,27 @@
 """Lint CLI: ``python -m repro.analysis [--strict] [--json] [...]``.
 
 Runs the verifier, dependence, and race passes over every kernel each
-registered workload issues and prints the findings. ``--strict`` exits
-non-zero when any ERROR finding exists (the CI gate); ``--json`` emits
-the machine-readable reports instead of text.
+registered workload issues and prints the findings. With ``--costs``,
+the AN-C static cost model also runs per workload, adding interval
+summaries (AN-C01/AN-C02) and any provable offload decisions
+(AN-C03/AN-C04); unless ``--workloads`` narrows the set, the
+statically-decidable ``cost-demo`` fixture is linted too, so the
+decided case is always visible.
+
+Exit status contract (stable; CI keys off it):
+
+* ``0`` — analysis ran; no gating findings (``--strict`` absent, or
+  present with zero ERROR findings).
+* ``1`` — analysis ran and ``--strict`` gated on at least one ERROR
+  finding (e.g. verifier rejection, AN-C05 soundness violation).
+* ``2`` — configuration/usage error: bad flags (argparse), unknown
+  workload, or a :class:`~repro.errors.ConfigError` while building.
+* ``3`` — unexpected crash inside an analysis pass; the traceback goes
+  to stderr. Crashes are never conflated with findings.
+
+``--json`` emits a machine-readable document carrying
+``schema_version`` (bumped on any breaking change to the report
+shape).
 """
 
 from __future__ import annotations
@@ -11,47 +29,57 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import traceback
 from typing import List, Optional
 
+from ..errors import ConfigError
 from .findings import Severity
-from .lint import lint_all
+from .lint import LintReport, lint_all
+
+#: version of the --json document shape; bump on breaking changes
+SCHEMA_VERSION = 1
+
+#: exit codes (see module docstring)
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_CRASH = 3
 
 _SEVERITIES = {s.value: s for s in Severity}
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis",
-        description="statically lint all registered workload kernels",
-    )
-    parser.add_argument(
-        "--workloads", nargs="*", metavar="SHORT",
-        help="lint only these workload short names (default: all)",
-    )
-    parser.add_argument(
-        "--scale", default="tiny", choices=("tiny", "small", "large"),
-        help="workload build scale (default: tiny)",
-    )
-    parser.add_argument(
-        "--strict", action="store_true",
-        help="exit non-zero when any error-severity finding exists",
-    )
-    parser.add_argument(
-        "--json", action="store_true", dest="as_json",
-        help="emit machine-readable JSON reports",
-    )
-    parser.add_argument(
-        "--min-severity", default="info", choices=sorted(_SEVERITIES),
-        help="hide findings below this severity in text output",
-    )
-    args = parser.parse_args(argv)
+def _cost_lint(reports: List[LintReport], scale: str,
+               shorts: Optional[List[str]]) -> None:
+    """Append AN-C findings to each report; add the demo fixture."""
+    from ..workloads import workload_registry
+    from .costlint import cost_findings, demo_decision_instance
 
+    registry = workload_registry()
+    by_name = {r.workload: r for r in reports}
+    for short, report in by_name.items():
+        if short not in registry:
+            continue
+        instance = registry[short].build(scale)
+        _, findings = cost_findings(instance)
+        report.findings.extend(findings)
+    if not shorts:
+        # the canonical decided case rides along by default
+        _, findings = cost_findings(demo_decision_instance())
+        demo = LintReport(workload="cost-demo", kernels=["cost_demo"])
+        demo.findings.extend(findings)
+        reports.append(demo)
+
+
+def _run(args: argparse.Namespace) -> int:
     reports = lint_all(scale=args.scale, shorts=args.workloads)
+    if args.costs:
+        _cost_lint(reports, args.scale, args.workloads)
     total_errors = sum(len(r.errors) for r in reports)
 
     if args.as_json:
         print(json.dumps(
-            {"reports": [r.to_dict() for r in reports],
+            {"schema_version": SCHEMA_VERSION,
+             "reports": [r.to_dict() for r in reports],
              "errors": total_errors},
             indent=2,
         ))
@@ -69,8 +97,52 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{total_errors} error(s)")
 
     if args.strict and total_errors:
-        return 1
-    return 0
+        return EXIT_FINDINGS
+    return EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="statically lint all registered workload kernels",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", metavar="SHORT",
+        help="lint only these workload short names (default: all)",
+    )
+    parser.add_argument(
+        "--scale", default="tiny", choices=("tiny", "small", "large"),
+        help="workload build scale (default: tiny)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any error-severity finding exists",
+    )
+    parser.add_argument(
+        "--costs", action="store_true",
+        help="also run the AN-C static cost model per workload "
+             "(interval summaries and provable offload decisions)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON reports (schema_version "
+             f"{SCHEMA_VERSION})",
+    )
+    parser.add_argument(
+        "--min-severity", default="info", choices=sorted(_SEVERITIES),
+        help="hide findings below this severity in text output",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        return _run(args)
+    except (ConfigError, KeyError) as exc:
+        # unknown workload shorts surface as KeyError from the registry
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except Exception:  # noqa: BLE001 — crash != finding, by contract
+        traceback.print_exc()
+        return EXIT_CRASH
 
 
 if __name__ == "__main__":

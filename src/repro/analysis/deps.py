@@ -33,14 +33,14 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..dfg.classify import Classification, classify_kernel_loop
 from ..dfg.node import AccessPattern
 from ..dfg.scev import analyze_index, classify_pattern
 from ..ir.expr import Expr
 from ..ir.program import Kernel
-from ..ir.stmt import Loop, Store, When
+from ..ir.stmt import Loop, Stmt, Store, When
 from .findings import Finding, Severity
 from .ranges import Env, affine_form, affine_range, expr_interval, \
     loop_var_range
@@ -123,7 +123,7 @@ def _collect_regions(loop: Loop, var: str, env: Env,
             reads.append(_region(load.obj, load.index, False, var, env,
                                  in_when))
 
-    def visit_body(body, in_when: bool) -> None:
+    def visit_body(body: Sequence[Stmt], in_when: bool) -> None:
         for stmt in body:
             if isinstance(stmt, Loop):  # defensive: innermost has none
                 for e in stmt.expressions():
@@ -240,14 +240,15 @@ def analyze_innermost_loop(loop: Loop, kernel: Kernel,
     )
 
 
-def innermost_walk(kernel: Kernel):
+def innermost_walk(kernel: Kernel) -> Iterator[Tuple[Loop, Env, str]]:
     """Yield ``(loop, enclosing_env, path)`` for every innermost loop.
 
     Paths are unique: a sibling loop reusing an enclosing-level variable
     name gets an ordinal suffix (``loop[i#2]``).
     """
 
-    def walk(loops, env: Env, prefix: str):
+    def walk(loops: Sequence[Loop], env: Env, prefix: str
+             ) -> Iterator[Tuple[Loop, Env, str]]:
         seen: Dict[str, int] = {}
         for loop in loops:
             n = seen.get(loop.var, 0)

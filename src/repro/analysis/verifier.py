@@ -112,7 +112,7 @@ _TempInfo = Tuple[Optional[str], _TriState]
 
 
 class _Verifier:
-    def __init__(self, kernel: Kernel):
+    def __init__(self, kernel: Kernel) -> None:
         self.kernel = kernel
         self.findings: List[Finding] = []
         self.loc = Location(kernel.name)

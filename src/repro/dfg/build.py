@@ -32,7 +32,7 @@ from ..ir.expr import (
 from ..ir.program import Kernel
 from ..ir.stmt import Assign, Loop, Store, When
 from .graph import Dfg
-from .node import AccessNode, AccessPattern, ComputeNode, NodeKind
+from .node import AccessNode, ComputeNode, NodeKind
 from .scev import analyze_index, classify_pattern
 
 

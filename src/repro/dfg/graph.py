@@ -6,7 +6,7 @@ from collections import defaultdict, deque
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..errors import DFGError
-from .node import AccessNode, ComputeNode, Edge, Node, NodeKind
+from .node import AccessNode, ComputeNode, Edge, Node
 
 
 class Dfg:

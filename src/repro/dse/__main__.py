@@ -14,7 +14,8 @@ Every completed point is appended to a crash-safe JSON-lines store
 skips points already stored ``ok`` and retries ``failed`` ones, so a
 killed sweep continues where it stopped and a finished sweep becomes a
 no-op whose ``--report`` is pure post-processing. Exit status is 1 when
-any point ends ``failed``, 2 for bad specs/arguments.
+any point ends ``failed`` or any measured metric escapes its AN-C
+static bound, 2 for bad specs/arguments.
 """
 
 from __future__ import annotations
@@ -25,7 +26,7 @@ import time
 
 from ..errors import ConfigError
 from ..obs import OBS
-from .report import format_report
+from .report import bound_escapes, format_report
 from .scheduler import run_sweep
 from .spec import load_spec, shipped_specs
 
@@ -101,6 +102,7 @@ def main(argv=None) -> int:
     print(f"sweep {spec.name!r}: {len(result.rows)} points in "
           f"{time.time() - start:.1f}s "
           f"({len(result.ok_rows())} ok, {len(failed)} failed, "
+          f"{len(result.pruned_rows())} pruned, "
           f"{result.skipped} resumed) -> {store_path}")
     if args.report:
         report = format_report(result)
@@ -111,7 +113,13 @@ def main(argv=None) -> int:
             print(f"report written to {args.out}")
     if args.stats:
         print(OBS.report())
-    return 1 if failed else 0
+    escapes = bound_escapes(result)
+    for e in escapes:
+        print(f"error: AN-C bound escape: {e['point']['workload']} x "
+              f"{e['point']['config']} {e['metric']} measured "
+              f"{e['measured']:g} outside [{e['lo']:g}, {e['hi']:g}]",
+              file=sys.stderr)
+    return 1 if (failed or escapes) else 0
 
 
 if __name__ == "__main__":

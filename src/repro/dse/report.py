@@ -9,6 +9,7 @@ is pure post-processing).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Sequence, Tuple
 
 from .scheduler import SweepResult
@@ -128,17 +129,79 @@ def pareto_frontier(result: SweepResult) -> List[Dict[str, object]]:
     return sorted(points, key=lambda p: p["gm_time_ps"])
 
 
+def bound_tightness(result: SweepResult) -> List[Tuple[str, float, int]]:
+    """Per-metric AN-C bound tightness over ``ok`` rows with bounds.
+
+    Returns ``(metric, worst width/measured, finite cells)`` for every
+    metric that appears in at least one row's attached bounds. Rows only
+    carry bounds when the sweep ran with pruning enabled.
+    """
+    agg: Dict[str, List[float]] = {}
+    for row in result.ok_rows():
+        bounds = row.get("bounds")
+        if not bounds:
+            continue
+        for metric, (lo, hi) in bounds.items():
+            if metric not in row["metrics"]:
+                continue  # the store keeps a subset of the AN-C metrics
+            measured = float(row["metrics"][metric])
+            if not math.isfinite(hi):
+                width = math.inf
+            elif measured == 0:
+                width = 0.0 if hi == lo else math.inf
+            else:
+                width = (hi - lo) / abs(measured)
+            agg.setdefault(metric, []).append(width)
+    out = []
+    for metric in sorted(agg):
+        finite = [w for w in agg[metric] if math.isfinite(w)]
+        worst = max(finite) if finite else math.inf
+        out.append((metric, worst, len(finite)))
+    return out
+
+
+def bound_escapes(result: SweepResult) -> List[Dict[str, object]]:
+    """Measured values that fell *outside* their static interval.
+
+    Any entry here is a hard failure: the AN-C cost model claimed a
+    sound bound and the simulator contradicted it, so either the model
+    or the simulator is wrong. The report surfaces these and the DSE
+    CLI exits nonzero on them.
+    """
+    from ..analysis.cost import Interval
+
+    escapes = []
+    for row in result.ok_rows():
+        bounds = row.get("bounds")
+        if not bounds:
+            continue
+        for metric, (lo, hi) in bounds.items():
+            if metric not in row["metrics"]:
+                continue  # the store keeps a subset of the AN-C metrics
+            measured = float(row["metrics"][metric])
+            if not Interval(float(lo), float(hi)).contains(measured):
+                escapes.append({
+                    "point": row["point"],
+                    "metric": metric,
+                    "measured": measured,
+                    "lo": lo,
+                    "hi": hi,
+                })
+    return escapes
+
+
 def format_report(result: SweepResult) -> str:
     """Full human-readable sweep report."""
     from ..experiments.runner import format_table
 
     spec = result.spec
     ok, failed = result.ok_rows(), result.failed_rows()
+    pruned = result.pruned_rows()
     lines = [
         f"== DSE sweep report: {spec.name} "
         f"(scale={spec.scale}, base={spec.base}) ==",
         f"points: {len(result.rows)} "
-        f"({len(ok)} ok, {len(failed)} failed, "
+        f"({len(ok)} ok, {len(failed)} failed, {len(pruned)} pruned, "
         f"{result.skipped} resumed from store)",
         "",
     ]
@@ -167,6 +230,51 @@ def format_report(result: SweepResult) -> str:
         lines.append("Energy/time Pareto frontier (geomeans across "
                      "workloads; * = non-dominated)")
         lines.append(format_table(header, body))
+        lines.append("")
+    if pruned:
+        designs: Dict[str, Dict[str, object]] = {}
+        for row in pruned:
+            p = row["point"]
+            overrides = ", ".join(
+                f"{k}={v}" for k, v in sorted(
+                    p["machine_overrides"].items())
+            ) or "(base)"
+            key = f"{p['config']} @ {overrides}"
+            d = designs.setdefault(
+                key, {"rows": 0, "by": row.get("pruned_by", "?")})
+            d["rows"] = int(d["rows"]) + 1
+        lines.append(f"Statically pruned points ({len(pruned)} rows "
+                     "skipped; AN-C lower bounds dominated by a "
+                     "measured design):")
+        for key in sorted(designs):
+            d = designs[key]
+            lines.append(f"  {key}: {d['rows']} row(s), "
+                         f"dominated by {d['by']}")
+        lines.append("")
+    tightness = bound_tightness(result)
+    if tightness:
+        header = ["metric", "worst width/measured", "finite cells"]
+        body = [
+            [metric,
+             "inf" if not math.isfinite(worst) else f"{worst:.3g}",
+             str(cells)]
+            for metric, worst, cells in tightness
+        ]
+        lines.append("AN-C bound tightness (ok rows with static bounds)")
+        lines.append(format_table(header, body))
+        lines.append("")
+    escapes = bound_escapes(result)
+    if escapes:
+        lines.append("BOUND ESCAPES — hard failures (measured value "
+                     "outside its static interval; the AN-C model is "
+                     "unsound for these points):")
+        for e in escapes:
+            p = e["point"]
+            lines.append(
+                f"  {p['workload']} x {p['config']} "
+                f"{p['machine_overrides']}: {e['metric']} measured "
+                f"{e['measured']:g} outside [{e['lo']:g}, {e['hi']:g}]"
+            )
         lines.append("")
     if failed:
         lines.append("Failed points:")

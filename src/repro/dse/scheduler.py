@@ -129,6 +129,9 @@ class SweepResult:
     def failed_rows(self) -> List[Dict[str, object]]:
         return [r for r in self.rows.values() if r["status"] == "failed"]
 
+    def pruned_rows(self) -> List[Dict[str, object]]:
+        return [r for r in self.rows.values() if r["status"] == "pruned"]
+
     def index(self) -> Dict[Tuple, Dict[str, object]]:
         """(workload, config, machine_overrides, workload_kwargs) ->
         metrics, for ``ok`` rows."""
@@ -184,7 +187,8 @@ def run_sweep(spec: SweepSpec,
               store_path: Optional[str] = None,
               resume: bool = False,
               progress: Optional[ProgressFn] = None,
-              base: Optional[MachineParams] = None) -> SweepResult:
+              base: Optional[MachineParams] = None,
+              bounds_fn=None) -> SweepResult:
     """Execute a sweep spec and return every row (stored + computed).
 
     ``jobs`` (default ``$REPRO_JOBS`` or 1) shards dataset groups over a
@@ -194,7 +198,11 @@ def run_sweep(spec: SweepSpec,
     are skipped and failed rows are retried. ``base`` overrides the
     spec's named base machine with an explicit
     :class:`~repro.params.MachineParams` (the experiment modules pass
-    their fixture machine through this).
+    their fixture machine through this). With ``spec.prune`` set, an
+    AN-C pre-pass skips design points whose static lower bounds are
+    dominated by already-stored measurements, recording each skipped
+    point as an explicit ``pruned`` row; ``bounds_fn`` overrides the
+    static cost model (tests inject synthetic bounds here).
     """
     from ..experiments.runner import resolve_jobs
 
@@ -211,11 +219,61 @@ def run_sweep(spec: SweepSpec,
     if progress is not None and resumed:
         progress(track.line(f"{spec.name}: resumed from {store_path}"))
 
+    prune_plan = None
+    if spec.prune:
+        from .prune import plan_pruning, static_bounds_fn
+
+        pending = [pt for group in groups for pt in group]
+        prune_plan = plan_pruning(
+            spec, pending, list(resumed.values()),
+            bounds_fn or static_bounds_fn(spec, base),
+        )
+
     def record(row: Dict[str, object]) -> None:
+        if (prune_plan is not None and row["status"] == "ok"
+                and row["hash"] in prune_plan.bounds):
+            row["bounds"] = {
+                m: list(pair)
+                for m, pair in prune_plan.bounds[row["hash"]].items()
+            }
         result.rows[row["hash"]] = row
         if store is not None:
             store.append(row)
         track.complete(failed=row["status"] == "failed")
+
+    if prune_plan is not None and prune_plan.pruned:
+        # emit an explicit row per skipped point, then drop it from the
+        # work list; empty groups disappear entirely
+        for design, dominator in sorted(prune_plan.pruned_designs.items()):
+            if progress is not None:
+                progress(track.line(
+                    f"{spec.name}: pruned {design} "
+                    f"(dominated by {dominator})"
+                ))
+        kept_groups = []
+        for group in groups:
+            kept = []
+            for hash_, point in group:
+                if hash_ in prune_plan.pruned:
+                    record({
+                        "hash": hash_,
+                        "version": STORE_VERSION,
+                        "status": "pruned",
+                        "point": point.as_dict(),
+                        "metrics": None,
+                        "bounds": {
+                            m: list(pair) for m, pair in
+                            prune_plan.bounds[hash_].items()
+                        },
+                        "pruned_by": prune_plan.pruned[hash_],
+                        "error": None,
+                        "attempts": 0,
+                    })
+                else:
+                    kept.append((hash_, point))
+            if kept:
+                kept_groups.append(kept)
+        groups = kept_groups
 
     try:
         if jobs > 1 and len(groups) > 1:

@@ -52,7 +52,7 @@ SHIPPED_SPEC_DIR = os.path.join(os.path.dirname(__file__), "specs")
 
 _SPEC_KEYS = {
     "name", "scale", "base", "workloads", "configs",
-    "machine_axes", "workload_axes",
+    "machine_axes", "workload_axes", "prune",
 }
 
 _SCALES = ("tiny", "small", "large")
@@ -124,6 +124,11 @@ class SweepSpec:
     base: str = "experiment"
     machine_axes: Dict[str, Tuple] = field(default_factory=dict)
     workload_axes: Dict[str, Tuple] = field(default_factory=dict)
+    #: when true, the scheduler may statically skip design points whose
+    #: AN-C cost bounds are dominated by already-stored results (see
+    #: repro.dse.prune). Skipped points become explicit "pruned" rows —
+    #: nothing is dropped silently. Off by default.
+    prune: bool = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -145,6 +150,7 @@ class SweepSpec:
             base=str(raw.get("base", "experiment")),
             machine_axes=dict(_axis_items(raw.get("machine_axes", {}))),
             workload_axes=dict(_axis_items(raw.get("workload_axes", {}))),
+            prune=bool(raw.get("prune", False)),
         )
         spec.validate()
         return spec
@@ -231,6 +237,7 @@ class SweepSpec:
                              for k, v in sorted(self.machine_axes.items())},
             "workload_axes": {k: list(v)
                               for k, v in sorted(self.workload_axes.items())},
+            "prune": self.prune,
         }
 
 

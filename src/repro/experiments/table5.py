@@ -8,12 +8,11 @@ annotation sets.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from ..interface.intrinsics import CoverageRecorder, Intrinsic
 from ..ir.interp import Interpreter
 from ..compiler import CompileMode, compile_kernel
-from ..params import MachineParams
 from ..workloads import ALL_WORKLOADS, PAPER_ORDER
 from .fig12 import user_annotation_coverage
 from .runner import format_table

@@ -8,7 +8,7 @@ bytes.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from ..compiler import CompileMode, compile_kernel
 from ..interface.intrinsics import MMIO_WORD_BYTES

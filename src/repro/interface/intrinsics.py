@@ -16,7 +16,7 @@ the paper's %init overhead) can be computed mechanically, and
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Sequence, Set, Tuple
 
 #: bytes per MMIO transfer beat (one 64-bit register write/read)

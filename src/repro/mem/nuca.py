@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..params import CACHE_LINE_BYTES, PAGE_BYTES, CacheParams, MachineParams
+from ..params import CACHE_LINE_BYTES, CacheParams, MachineParams
 from .cache import AccessOutcome, Cache
 
 

@@ -11,7 +11,7 @@ then lowest inter-partition communication cost — is returned.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..dfg.graph import Dfg

@@ -13,14 +13,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..accel.base import PartitionProfile
 from ..compiler.pipeline import CompiledOffload
 from ..energy import EnergyLedger
-from ..errors import SimulationError
 from ..events import Channel, Delay, Get, Put, Simulator, cycles_to_ps
 from ..fastpath import fast_path_enabled
 from ..interface.config import AccessConfig, AccessKind, PartitionConfig

@@ -8,7 +8,7 @@ interpreter's trace supplies the real indices for both uniformly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ boundness on the same access stream is what matters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable
 
 from ..energy import EnergyLedger
 from ..events import cycles_to_ps

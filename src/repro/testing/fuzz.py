@@ -18,7 +18,8 @@ runs each through every requested execution path under both
 for deterministic replay; the exit status is nonzero whenever any
 oracle failed. A shape histogram is always reported so a run can prove
 it exercised nested-loop / ``When`` / indirect / reduction kernels and
-not just the easy elementwise ones.
+not just the easy elementwise ones, alongside the AN-C static-bound
+tally (cases checked / violations) for the interval-soundness oracle.
 """
 
 from __future__ import annotations
@@ -105,6 +106,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     failures = [f for r in reports for f in r.failures]
     hist = shape_histogram(cases)
     elapsed = time.monotonic() - start
+    by_check: dict = {}
+    for f in failures:
+        by_check[f.check] = by_check.get(f.check, 0) + 1
+    static_bound_fails = by_check.get("static-cost-bounds", 0)
     summary = {
         "seed": args.seed,
         "cases_requested": args.cases,
@@ -113,6 +118,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "paths": list(paths),
         "elapsed_s": round(elapsed, 2),
         "shape_histogram": hist,
+        "failures_by_check": dict(sorted(by_check.items())),
+        "static_bounds": {
+            "cases_checked": len(reports),
+            "violations": static_bound_fails,
+        },
         "failures": [
             {"case": f.case, "check": f.check, "config": f.config,
              "message": f.message}
@@ -130,6 +140,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"across {len(paths)} paths x {len(oracle.modes)} replay x "
           f"{len(oracle.vec_modes)} interpreter modes")
     print(f"[fuzz] shapes: {hist_line}")
+    print(f"[fuzz] static cost bounds (AN-C): {len(reports)} cases "
+          f"checked, {static_bound_fails} violation(s)")
     if failures:
         print(f"[fuzz] {len(failures)} oracle failure(s) in "
               f"{len({f.case for f in failures})} case(s)")

@@ -24,7 +24,12 @@ tree-walking), and the paths must agree on
   equals the golden dynamic instruction count plus the per-call host
   work, the OoO L1 access count equals the access-trace length, and
   every ledger's float totals agree with their per-component and
-  per-event breakdowns.
+  per-event breakdowns;
+* **static cost bounds** — every measured traffic/time/energy metric
+  of every cell falls inside the closed-form interval the AN-C cost
+  model (:mod:`repro.analysis.cost`) derives for that configuration;
+  an escape means the model's soundness claim is false for a kernel
+  shape the generator found.
 
 Any disagreement is reported as an :class:`OracleFailure`; the fuzz CLI
 hands failing cases to the shrinker.
@@ -149,6 +154,7 @@ class DifferentialOracle:
         self._check_outputs(case, golden, runs, failures)
         self._check_cross_path(case, runs, failures)
         self._check_conservation(case, counts, runs, failures)
+        self._check_static_bounds(case, runs, failures)
         return OracleReport(case.name, case.shape, failures, self.paths)
 
     # ------------------------------------------------------------------
@@ -310,6 +316,45 @@ class DifferentialOracle:
                         f"{golden_mem_ops} element accesses",
                     ))
             self._check_ledger(case, config, tag, run, failures)
+
+    def _check_static_bounds(self, case: GeneratedCase,
+                             runs: Dict[Tuple[str, bool, bool], RunResult],
+                             failures: List[OracleFailure]) -> None:
+        """Measured metrics must fall inside their AN-C intervals.
+
+        The cost model claims soundness for the six validated
+        configurations; the fuzzer's job is to find a kernel shape
+        where a measured run escapes its interval (``AN-C05``
+        territory). A model *crash* on a verifier-accepted case is a
+        finding too — the model must be total over the kernel space the
+        generator covers.
+        """
+        from ..analysis.cost import (
+            VALIDATED_CONFIGS, check_bounds, cost_model_for_instance,
+        )
+
+        try:
+            model = cost_model_for_instance(case.instance(), self.machine)
+            predictions = {
+                config: model.predict(config)
+                for config in self.paths if config in VALIDATED_CONFIGS
+            }
+        except Exception as exc:  # noqa: BLE001 — crashes are findings
+            failures.append(OracleFailure(
+                case.name, "static-cost-bounds", "",
+                f"cost model failed: {type(exc).__name__}: {exc}",
+            ))
+            return
+        for (config, fast, vec), run in runs.items():
+            predicted = predictions.get(config)
+            if predicted is None:
+                continue
+            for violation in check_bounds(predicted, run, config):
+                failures.append(OracleFailure(
+                    case.name, "static-cost-bounds", config,
+                    f"fast={int(fast)},vec={int(vec)}: "
+                    f"{violation.format()}",
+                ))
 
     def _check_ledger(self, case: GeneratedCase, config: str, tag: str,
                       run: RunResult,

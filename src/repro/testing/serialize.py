@@ -13,7 +13,7 @@ able to read the data that triggered the bug.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict
 
 import numpy as np
 

@@ -120,7 +120,9 @@ class Tracking(Workload):
         grad_k = build_grad_kernel(n)
         tensor_k = build_tensor_kernel(n)
         resp_k = build_response_kernel(n)
-        zeros = lambda: np.zeros(n * n, dtype=np.float32)
+        def zeros() -> np.ndarray:
+            return np.zeros(n * n, dtype=np.float32)
+
         arrays = {
             "img": img.copy(), "ix": zeros(), "iy": zeros(),
             "ixx": zeros(), "iyy": zeros(), "ixy": zeros(),

@@ -1,11 +1,10 @@
 """Tests for the in-order and CGRA compute backends."""
 
-import pytest
 
 from repro.accel import InOrderBackend, CgraBackend, PartitionProfile
 from repro.energy import EnergyLedger
 from repro.interface import AccessConfig, AccessKind, PartitionConfig
-from repro.params import CgraParams, InOrderParams, default_machine
+from repro.params import CgraParams, InOrderParams
 
 
 def profile(int_ops=4, float_ops=2, complex_ops=0, addr=1,

@@ -130,8 +130,6 @@ class TestMapper:
         assert m.routing_hops == sum(hops)
 
     def test_big_dfg_on_8x8_mono_fabric(self):
-        from repro.params import MachineParams
-        from dataclasses import replace
 
         dfg = wide_dfg(50, "int")
         big = fabric(rows=8, cols=8, int_alus=40, float_alus=12,

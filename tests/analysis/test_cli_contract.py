@@ -1,0 +1,121 @@
+"""The ``python -m repro.analysis`` exit-code and JSON contract.
+
+The CI gate and external tooling key off this contract: 0 = clean,
+1 = strict-gated findings, 2 = configuration/usage error, 3 =
+unexpected crash, and ``--json`` documents carry ``schema_version``.
+"""
+
+import json
+
+import numpy as np
+
+import repro.analysis.__main__ as cli
+import repro.analysis.lint as lint_mod
+from repro.analysis.__main__ import (
+    EXIT_CRASH,
+    EXIT_FINDINGS,
+    EXIT_OK,
+    EXIT_USAGE,
+    SCHEMA_VERSION,
+    main,
+)
+from repro.ir import FLOAT32, Kernel, Loop, LoopVar, MemObject
+from repro.workloads.base import KernelCall, Workload, WorkloadInstance
+
+I = LoopVar("i")
+
+
+def _broken_workload():
+    A = MemObject("A", 4, FLOAT32)
+    B = MemObject("B", 4, FLOAT32)
+    kernel = Kernel("oob", {"A": A, "B": B},
+                    [Loop("i", 0, 4, [B.store(I, A[I + 2])])])
+
+    class Broken(Workload):
+        name = "broken"
+        short = "bad"
+
+        def build(self, scale="tiny"):
+            arrays = {"A": np.zeros(4, np.float32),
+                      "B": np.zeros(4, np.float32)}
+
+            def schedule(instance):
+                yield KernelCall(kernel)
+
+            return WorkloadInstance(
+                "broken", "bad", dict(kernel.objects), arrays,
+                outputs=[], schedule=schedule,
+                reference=lambda inputs: {},
+            )
+
+    return Broken()
+
+
+class TestExitTaxonomy:
+    def test_clean_run_exits_zero(self):
+        assert main(["--workloads", "sei"]) == EXIT_OK
+
+    def test_strict_findings_exit_one(self, monkeypatch):
+        monkeypatch.setattr(lint_mod, "workload_registry",
+                            lambda: {"bad": _broken_workload()})
+        assert main(["--strict"]) == EXIT_FINDINGS
+
+    def test_unknown_workload_exits_two(self, capsys):
+        assert main(["--workloads", "no-such-workload"]) == EXIT_USAGE
+        assert "error:" in capsys.readouterr().err
+
+    def test_crash_exits_three(self, monkeypatch, capsys):
+        def boom(**kwargs):
+            raise RuntimeError("pass exploded")
+
+        monkeypatch.setattr(cli, "lint_all", boom)
+        assert main([]) == EXIT_CRASH
+        assert "pass exploded" in capsys.readouterr().err
+
+    def test_crash_is_not_a_finding(self, monkeypatch):
+        """--strict must not downgrade a crash to exit 1."""
+        def boom(**kwargs):
+            raise RuntimeError("pass exploded")
+
+        monkeypatch.setattr(cli, "lint_all", boom)
+        assert main(["--strict"]) == EXIT_CRASH
+
+
+class TestJsonContract:
+    def test_schema_version_present(self, capsys):
+        assert main(["--json", "--workloads", "sei"]) == EXIT_OK
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["reports"][0]["workload"] == "sei"
+        assert "errors" in data
+
+    def test_costs_findings_in_json(self, capsys):
+        assert main(["--json", "--costs", "--workloads", "sei"]) == EXIT_OK
+        data = json.loads(capsys.readouterr().out)
+        rules = {f["rule"] for r in data["reports"]
+                 for f in r["findings"]}
+        assert "AN-C01" in rules
+        assert "AN-C02" in rules
+
+
+class TestCostsFlag:
+    def test_demo_rides_along_by_default(self, monkeypatch, capsys):
+        # restrict the registry so the default --costs run stays fast;
+        # the demo fixture must still be appended and decided
+        import repro.workloads as workloads_mod
+
+        registry = workloads_mod.workload_registry()
+        monkeypatch.setattr(workloads_mod, "workload_registry",
+                            lambda: {"sei": registry["sei"]})
+        monkeypatch.setattr(lint_mod, "workload_registry",
+                            lambda: {"sei": registry["sei"]})
+        assert main(["--costs"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "cost-demo" in out
+        assert "AN-C04" in out
+
+    def test_explicit_workloads_suppress_demo(self, capsys):
+        assert main(["--costs", "--workloads", "sei"]) == EXIT_OK
+        out = capsys.readouterr().out
+        assert "cost-demo" not in out
+        assert "AN-C02" in out

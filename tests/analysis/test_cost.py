@@ -1,0 +1,91 @@
+"""AN-C static cost model: soundness and exactness against the simulator.
+
+The model's contract is interval soundness — every measured metric of
+every (workload, config) cell lies inside its closed-form bound. The
+full 13-workload x 6-config tiny matrix is checked here; the fuzzer
+extends the same check to generated kernels and the DSE report to
+sweep rows.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.cost import (
+    METRICS,
+    VALIDATED_CONFIGS,
+    Interval,
+    check_bounds,
+    cost_model_for_instance,
+    measured_metrics,
+)
+from repro.params import experiment_machine
+from repro.sim.system import simulate_workload
+from repro.sim.tracecache import TraceCache
+from repro.workloads import workload_registry
+
+MACHINE = experiment_machine()
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return workload_registry()
+
+
+class TestInterval:
+    def test_contains_with_slack(self):
+        iv = Interval(10.0, 20.0)
+        assert iv.contains(10.0)
+        assert iv.contains(20.0)
+        assert not iv.contains(9.0)
+        assert not iv.contains(21.0)
+
+    def test_infinite_upper(self):
+        iv = Interval(5.0, math.inf)
+        assert iv.contains(1e30)
+        assert not iv.contains(4.0)
+        assert not math.isfinite(iv.width_over(10.0))
+
+    def test_width_over_zero_measured(self):
+        assert Interval(0.0, 0.0).width_over(0.0) == 0.0
+
+
+class TestMatrixContainment:
+    """Measured in-bounds for every registered workload x config."""
+
+    @pytest.mark.parametrize("short", sorted(
+        workload_registry()), ids=str)
+    def test_workload_bounds_hold(self, registry, short):
+        workload = registry[short]
+        model = cost_model_for_instance(workload.build("tiny"), MACHINE)
+        cache = TraceCache(max_entries=1)
+        for config in VALIDATED_CONFIGS:
+            predicted = model.predict(config)
+            run = simulate_workload(
+                workload.build("tiny"), config, machine=MACHINE,
+                trace_cache=cache, trace_key=(short, "cost-test"),
+            )
+            violations = check_bounds(predicted, run, config)
+            assert not violations, [v.format() for v in violations]
+
+    def test_ooo_functional_counts_are_exact(self, registry):
+        """insts/mem_ops on the host path are equalities, not bounds."""
+        workload = registry["sei"]
+        model = cost_model_for_instance(workload.build("tiny"), MACHINE)
+        predicted = model.predict("ooo")
+        run = simulate_workload(workload.build("tiny"), "ooo",
+                                machine=MACHINE)
+        measured = measured_metrics(run)
+        for metric in ("insts", "mem_ops", "l1"):
+            iv = predicted[metric]
+            assert iv.lo == iv.hi == measured[metric]
+
+    def test_metric_universe_is_complete(self, registry):
+        model = cost_model_for_instance(
+            registry["pf"].build("tiny"), MACHINE)
+        for config in VALIDATED_CONFIGS:
+            predicted = model.predict(config)
+            assert set(predicted) == set(METRICS)
+            for iv in predicted.values():
+                assert iv.lo >= 0.0
+                assert iv.hi >= iv.lo

@@ -1,0 +1,118 @@
+"""AN-C offload lint: decisions, findings, and the decidable demo."""
+
+import pytest
+
+from repro.analysis.cost import (
+    BoundViolation,
+    CostReport,
+    Interval,
+    check_bounds,
+    cost_model_for_instance,
+)
+from repro.analysis.costlint import (
+    DECISIVE_METRICS,
+    RULE_LOSES,
+    RULE_SUMMARY,
+    RULE_UNSOUND,
+    RULE_WINS,
+    compare_configs,
+    cost_findings,
+    decision_findings,
+    demo_decision_instance,
+    soundness_finding,
+)
+from repro.analysis.findings import Severity
+from repro.params import experiment_machine
+from repro.sim.system import simulate_workload
+
+MACHINE = experiment_machine()
+
+
+def _report(base, tgt):
+    report = CostReport(workload="w", ncalls=1, footprint_bytes=0)
+    report.metrics["ooo"] = {m: Interval(*base) for m in DECISIVE_METRICS}
+    report.metrics["mono_ca"] = {m: Interval(*tgt)
+                                 for m in DECISIVE_METRICS}
+    return report
+
+
+class TestCompareConfigs:
+    def test_disjoint_below_wins(self):
+        r = _report(base=(100, 200), tgt=(10, 50))
+        assert compare_configs(r, "ooo", "mono_ca", "time_ps") is True
+
+    def test_disjoint_above_loses(self):
+        r = _report(base=(100, 200), tgt=(300, 400))
+        assert compare_configs(r, "ooo", "mono_ca", "time_ps") is False
+
+    def test_overlap_is_undecided(self):
+        r = _report(base=(100, 200), tgt=(150, 400))
+        assert compare_configs(r, "ooo", "mono_ca", "time_ps") is None
+
+    def test_missing_config_is_undecided(self):
+        r = _report(base=(100, 200), tgt=(10, 50))
+        assert compare_configs(r, "ooo", "dist_da_f", "time_ps") is None
+
+    def test_decision_findings_rules(self):
+        wins = decision_findings(_report((100, 200), (10, 50)))
+        assert {f.rule for f in wins} == {RULE_WINS}
+        loses = decision_findings(_report((100, 200), (300, 400)))
+        assert {f.rule for f in loses} == {RULE_LOSES}
+        assert all(f.severity is Severity.WARNING for f in loses)
+
+
+class TestSoundnessFinding:
+    def test_an_c05_is_error(self):
+        violation = BoundViolation(
+            config="ooo", metric="dram", measured=5.0,
+            lo=10.0, hi=20.0,
+        )
+        finding = soundness_finding("sei", violation)
+        assert finding.rule == RULE_UNSOUND
+        assert finding.severity is Severity.ERROR
+        assert "dram" in finding.message
+
+
+@pytest.fixture(scope="module")
+def demo_findings():
+    return cost_findings(demo_decision_instance())
+
+
+class TestDemoDecidability:
+    """The demo fixture is the canonical statically-decided offload."""
+
+    def test_summary_present(self, demo_findings):
+        _, findings = demo_findings
+        assert any(f.rule == RULE_SUMMARY for f in findings)
+
+    def test_mono_ca_provably_wins_both_metrics(self, demo_findings):
+        _, findings = demo_findings
+        wins = [f for f in findings
+                if f.rule == RULE_WINS and "mono_ca" in f.location]
+        messages = " ".join(f.message for f in wins)
+        assert "time_ps" in messages and "energy_pj" in messages
+
+    def test_io_backend_provably_loses_on_time(self, demo_findings):
+        _, findings = demo_findings
+        loses = [f for f in findings if f.rule == RULE_LOSES]
+        assert any("mono_da_io" in f.location for f in loses)
+
+    def test_demo_bounds_contain_measured(self):
+        """The proof is only as good as the intervals: simulate the demo
+        on the decided configs and check containment."""
+        model = cost_model_for_instance(demo_decision_instance(), MACHINE)
+        for config in ("ooo", "mono_ca"):
+            predicted = model.predict(config)
+            run = simulate_workload(demo_decision_instance(), config,
+                                    machine=MACHINE)
+            violations = check_bounds(predicted, run, config)
+            assert not violations, [v.format() for v in violations]
+
+    def test_demo_decision_matches_simulation(self):
+        """The statically-proven winner actually wins when measured."""
+        ooo = simulate_workload(demo_decision_instance(), "ooo",
+                                machine=MACHINE)
+        ca = simulate_workload(demo_decision_instance(), "mono_ca",
+                               machine=MACHINE)
+        assert ca.time_ps < ooo.time_ps
+        assert ca.energy.total_pj() < ooo.energy.total_pj()

@@ -1,0 +1,110 @@
+"""Edge cases of the static value-range machinery.
+
+The cost and verifier passes both stand on :mod:`repro.analysis.ranges`;
+these tests pin the awkward corners: negative strides, zero-trip
+nests, and bounds that flow through ``Select``.
+"""
+
+from repro.analysis.ranges import (
+    VarRange,
+    affine_form,
+    affine_range,
+    const_value,
+    expr_interval,
+    loop_var_range,
+)
+from repro.ir.expr import BinOp, Const, LoopVar, Scalar, Select, Temp
+from repro.ir.stmt import Assign, Loop
+
+I = LoopVar("i")
+J = LoopVar("j")
+
+#: loops reject empty bodies; range analysis ignores the body anyway
+BODY = [Assign("t", Const(0))]
+
+
+class TestNegativeStrides:
+    def test_countdown_loop_range(self):
+        # for i in range(7, -1, -1): i covers [0, 7]
+        loop = Loop("i", 7, -1, BODY, step=-1)
+        rng = loop_var_range(loop, {})
+        assert rng == VarRange(0, 7, exact=True)
+
+    def test_negative_step_skips_values(self):
+        # range(10, 0, -3) = 10, 7, 4, 1
+        loop = Loop("i", 10, 0, BODY, step=-3)
+        rng = loop_var_range(loop, {})
+        assert (rng.lo, rng.hi, rng.exact) == (1, 10, True)
+
+    def test_negative_step_nonconstant_bound_is_inexact(self):
+        # for i in range(j, 0, -1) under j in [0, 4]: sound union,
+        # not attained for every j, so demoted to inexact
+        loop = Loop("i", J, 0, BODY, step=-1)
+        rng = loop_var_range(loop, {"j": VarRange(0, 4)})
+        assert rng is not None
+        assert not rng.exact
+        assert rng.lo <= 1 and rng.hi >= 4
+
+    def test_negative_coefficient_affine_range(self):
+        form = affine_form(Const(3) - I * 2)
+        assert form == (3, {"i": -2})
+        lo, hi, exact = affine_range(*form, {"i": VarRange(0, 5)})
+        assert (lo, hi, exact) == (-7, 3, True)
+
+
+class TestZeroTripNests:
+    def test_empty_constant_loop(self):
+        loop = Loop("i", 5, 5, BODY, step=1)
+        rng = loop_var_range(loop, {})
+        assert rng is not None
+        assert rng.empty
+
+    def test_inverted_constant_loop(self):
+        loop = Loop("i", 5, 2, BODY, step=1)
+        rng = loop_var_range(loop, {})
+        assert rng is not None
+        assert rng.empty
+
+    def test_empty_var_poisons_dependent_ranges(self):
+        # an index over an empty induction variable has no value at all
+        env = {"i": VarRange(5, 4)}
+        assert expr_interval(I + 1, env) is None
+        assert affine_range(0, {"i": 1}, env) is None
+
+
+class TestSelectDependentBounds:
+    def test_select_interval_is_union(self):
+        expr = Select(BinOp("<", I, Const(2)), Const(10), I * 3)
+        iv = expr_interval(expr, {"i": VarRange(0, 4)})
+        assert iv == (0, 12)
+
+    def test_select_with_unbounded_arm_is_unbounded(self):
+        expr = Select(BinOp("<", I, Const(2)), Scalar("s"), Const(1))
+        assert expr_interval(expr, {"i": VarRange(0, 4)}) is None
+
+    def test_select_is_not_affine(self):
+        # Select never decomposes: a data-dependent choice cannot carry
+        # the "tight range" guarantee the affine path promises
+        assert affine_form(Select(BinOp("<", I, Const(2)), I, -I)) is None
+
+    def test_loop_bound_through_select(self):
+        # for i in range(0, Select(cond, 4, 8)): sound but inexact
+        loop = Loop("i", 0, Select(BinOp("<", J, Const(1)), Const(4), Const(8)), BODY)
+        rng = loop_var_range(loop, {"j": VarRange(0, 3)})
+        assert rng is not None
+        assert not rng.exact
+        assert rng.lo == 0 and rng.hi == 7
+
+
+class TestConservativeOperators:
+    def test_temps_are_unbounded(self):
+        assert expr_interval(Temp("t"), {}) is None
+
+    def test_division_by_range_containing_zero(self):
+        expr = I / J
+        env = {"i": VarRange(0, 8), "j": VarRange(-1, 1)}
+        assert expr_interval(expr, env) is None
+
+    def test_const_value_folds_arithmetic(self):
+        assert const_value(Const(3) * 4 + 2) == 14
+        assert const_value(I + 1) is None

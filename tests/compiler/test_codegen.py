@@ -1,6 +1,5 @@
 """Unit tests for microcode generation."""
 
-import pytest
 
 from repro.accel.microcode import Opcode, disassemble
 from repro.compiler import CompileMode, compile_kernel

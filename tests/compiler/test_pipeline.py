@@ -1,12 +1,11 @@
 """Tests for the full compilation pipeline."""
 
 import numpy as np
-import pytest
 
 from repro.accel.microcode import Opcode, disassemble
 from repro.compiler import CompileMode, compile_kernel, profile_kernel
 from repro.dfg.classify import Classification
-from repro.interface import AccessKind, Intrinsic
+from repro.interface import Intrinsic
 from repro.ir import (
     FLOAT32,
     INT32,

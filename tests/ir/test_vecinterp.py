@@ -22,7 +22,6 @@ from repro.ir import (
     Loop,
     LoopVar,
     MemObject,
-    Scalar,
     UnaryOp,
     When,
 )

@@ -76,9 +76,11 @@ class TestRouting:
     @settings(max_examples=60, deadline=None)
     def test_triangle_inequality(self, cols, rows, data):
         mesh = make_mesh(cols, rows)
-        pick = lambda: data.draw(
-            st.integers(min_value=0, max_value=mesh.num_nodes - 1)
-        )
+        def pick():
+            return data.draw(
+                st.integers(min_value=0, max_value=mesh.num_nodes - 1)
+            )
+
         a, b, c = pick(), pick(), pick()
         assert mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c)
 

@@ -1,7 +1,6 @@
 """Unit tests for the offload execution engine."""
 
 import numpy as np
-import pytest
 
 from repro.accel.cgra import CgraBackend
 from repro.accel.inorder import InOrderBackend

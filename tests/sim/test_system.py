@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.params import experiment_machine
 from repro.sim import simulate_workload
-from repro.sim.system import CONFIGS, SystemSimulator, config_spec
+from repro.sim.system import CONFIGS, config_spec
 from repro.workloads import ALL_WORKLOADS
 
 ALL_CONFIGS = ("ooo", "mono_ca", "mono_da_io", "mono_da_f",

@@ -2,7 +2,6 @@
 ColumnarTrace round-trips through disk, and eviction safety for a
 worker still holding a replayed entry."""
 
-import numpy as np
 import pytest
 
 from repro.ir.trace import ColumnarTrace

@@ -5,9 +5,6 @@ import pytest
 from repro.errors import ConfigError
 from repro.experiments import (
     ResultMatrix,
-    fig07,
-    fig08,
-    fig09,
     fig12,
     geomean,
     run_matrix,
@@ -66,7 +63,6 @@ class TestMatrix:
 class TestFigureModules:
     def test_fig07_structure(self, tiny_matrix):
         # restrict configs to those in the tiny matrix
-        import repro.experiments.fig07 as f7
 
         rows = {
             w: {

@@ -7,7 +7,6 @@ import pytest
 from repro.params import (
     CACHE_LINE_BYTES,
     CacheParams,
-    MachineParams,
     default_machine,
     mono_da_cgra_machine,
 )

@@ -1,6 +1,5 @@
 """Per-workload validation: IR semantics match the NumPy references."""
 
-import numpy as np
 import pytest
 
 from repro.compiler import CompileMode, compile_kernel
@@ -107,7 +106,6 @@ class TestCharacteristicPatterns:
         assert Intrinsic.CP_WRITE in used  # indirect frontier update
 
     def test_spmv_bounds_are_data_dependent(self):
-        from repro.ir import Load
 
         instance = ALL_WORKLOADS["spmv"].build("tiny")
         call = next(iter(instance.calls()))

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Style and type gate (CI-blocking; graceful no-op where tools are absent).
+
+Runs, from the repo root:
+
+1. ``ruff check .`` — rule selection and per-file ignores live in
+   ``pyproject.toml`` (``[tool.ruff]``).
+2. ``mypy -p repro.analysis`` — the typed tier; strictness tiers and the
+   annotated legacy baseline live in ``[tool.mypy]``.
+
+Exit status is the logical OR of the checks that actually ran. A tool
+that is not installed is skipped with a note when running locally, but
+is a hard failure when ``CI`` is set in the environment: the gate must
+never silently pass because the runner forgot to install it.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+CHECKS = (
+    ("ruff", ["ruff", "check", "."]),
+    ("mypy", ["mypy", "-p", "repro.analysis"]),
+)
+
+
+def run_check(name: str, cmd: list[str]) -> int:
+    if shutil.which(cmd[0]) is None:
+        if os.environ.get("CI"):
+            print(f"error: {name} is not installed but CI is set; "
+                  f"install it before running the gate", file=sys.stderr)
+            return 1
+        print(f"[lint] {name} not installed locally; skipping "
+              f"(CI runs it as a blocking step)")
+        return 0
+    print(f"[lint] $ {' '.join(cmd)}")
+    return subprocess.run(cmd, cwd=REPO).returncode
+
+
+def main() -> int:
+    status = 0
+    for name, cmd in CHECKS:
+        status |= 1 if run_check(name, cmd) else 0
+    if status:
+        print("[lint] FAILED", file=sys.stderr)
+    else:
+        print("[lint] ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

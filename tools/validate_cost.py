@@ -1,0 +1,107 @@
+"""Empirical validation harness for the AN-C static cost model.
+
+Runs every requested workload through the simulator on each config and
+checks the measured metrics against the static intervals, printing a
+per-metric tightness table and any violations. Used while tuning the
+``LATM_*`` margin constants in ``repro.analysis.cost``; the permanent
+enforcement lives in ``repro.testing.oracle`` and the tier-1 tests.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_cost.py [--scale N]
+        [--workloads a,b,c] [--configs x,y] [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+from repro.analysis.cost import (
+    METRICS, check_bounds, cost_model_for_instance, measured_metrics,
+)
+from repro.params import experiment_machine
+from repro.sim.system import simulate_workload
+from repro.sim.tracecache import TraceCache
+from repro.workloads import workload_registry
+
+DEFAULT_CONFIGS = (
+    "ooo", "mono_ca", "mono_da_io", "mono_da_f", "dist_da_io", "dist_da_f",
+)
+
+
+def fmt(v: float) -> str:
+    if not math.isfinite(v):
+        return "inf"
+    if v >= 1e6:
+        return f"{v:.3g}"
+    return f"{v:g}"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", default="tiny")
+    ap.add_argument("--workloads", default="")
+    ap.add_argument("--configs", default=",".join(DEFAULT_CONFIGS))
+    ap.add_argument("--json", default="")
+    args = ap.parse_args(argv)
+
+    registry = workload_registry()
+    shorts = ([s for s in args.workloads.split(",") if s]
+              or sorted(registry))
+    configs = [c for c in args.configs.split(",") if c]
+    machine = experiment_machine()
+
+    rows = []
+    n_viol = 0
+    for short in shorts:
+        workload = registry[short]
+        model = cost_model_for_instance(
+            workload.build(args.scale), machine)
+        cache = TraceCache(max_entries=1)
+        for config in configs:
+            predicted = model.predict(config)
+            run = simulate_workload(workload.build(args.scale), config,
+                                    machine=machine, trace_cache=cache,
+                                    trace_key=(short, "validate"))
+            violations = check_bounds(predicted, run, config)
+            measured = measured_metrics(run)
+            for v in violations:
+                n_viol += 1
+                print(f"VIOLATION {short} {v.format()}")
+            for metric in METRICS:
+                iv = predicted[metric]
+                rows.append({
+                    "workload": short, "config": config, "metric": metric,
+                    "lo": iv.lo, "hi": iv.hi,
+                    "measured": measured[metric],
+                    "tightness": iv.width_over(measured[metric]),
+                    "ok": not any(v.metric == metric for v in violations),
+                })
+        print(f"{short}: checked {len(configs)} configs")
+
+    # tightness summary per (config kind, metric)
+    print("\n=== tightness (interval width / measured; max over cells) ===")
+    agg = {}
+    for row in rows:
+        kind = "ooo" if row["config"] == "ooo" else "accel"
+        key = (kind, row["metric"])
+        agg.setdefault(key, []).append(row["tightness"])
+    for (kind, metric), vals in sorted(agg.items()):
+        finite = [v for v in vals if math.isfinite(v)]
+        worst = max(finite) if finite else float("inf")
+        n_inf = len(vals) - len(finite)
+        print(f"  {kind:5s} {metric:16s} worst={fmt(worst):>10s} "
+              f"inf-cells={n_inf}/{len(vals)}")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(rows, fh, indent=1)
+    print(f"\n{n_viol} violations over {len(rows)} metric cells")
+    return 1 if n_viol else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
