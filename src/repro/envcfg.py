@@ -59,6 +59,14 @@ REPRO_VEC = EnvVar(
     "per-access scalar reference paths (bit-identical results)",
     "tests/ir/test_vecinterp.py",
 )
+REPRO_SCHED = EnvVar(
+    "REPRO_SCHED", "bool", "1",
+    "two-level replay scheduler (same-timestamp run queue + calendar "
+    "buckets, sole-runner fast-forward) and analytic macro-chunk "
+    "coalescing of provably contention-free offload runs; `0` keeps the "
+    "single tuple-heap reference engine (bit-identical results)",
+    "tests/runtime/test_sched_equiv.py",
+)
 REPRO_NO_VERIFY = EnvVar(
     "REPRO_NO_VERIFY", "bool", "0",
     "`1` disables the default-on static IR verifier guard in "
@@ -74,7 +82,8 @@ REPRO_TRACE_SPILL = EnvVar(
 
 #: every declared variable, in documentation order
 ENV_VARS: Tuple[EnvVar, ...] = (
-    REPRO_FAST, REPRO_JOBS, REPRO_VEC, REPRO_NO_VERIFY, REPRO_TRACE_SPILL,
+    REPRO_FAST, REPRO_JOBS, REPRO_VEC, REPRO_SCHED, REPRO_NO_VERIFY,
+    REPRO_TRACE_SPILL,
 )
 
 
@@ -108,6 +117,11 @@ def fast_path_enabled() -> bool:
 def vec_path_enabled() -> bool:
     """True unless ``REPRO_VEC`` is explicitly disabled (0/false/off)."""
     return get_bool(REPRO_VEC, True)
+
+
+def sched_path_enabled() -> bool:
+    """True unless ``REPRO_SCHED`` is explicitly disabled (0/false/off)."""
+    return get_bool(REPRO_SCHED, True)
 
 
 def verification_enabled() -> bool:

@@ -37,8 +37,11 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Any, Callable, Deque, Generator, Iterator, List, Optional
+from typing import (
+    Any, Callable, Deque, Dict, Generator, Iterator, List, Optional, Tuple,
+)
 
+from .envcfg import sched_path_enabled
 from .errors import DeadlockError, SimulationError
 
 PS_PER_NS = 1000
@@ -131,15 +134,25 @@ class Process:
         self.done = False
         self.result: Any = None
         self._waiters: List["Process"] = []
-        #: human-readable description of what the process is blocked on,
-        #: used in deadlock diagnostics.
-        self.blocked_on: Optional[str] = None
+        #: what the process is blocked on — ``("get", channel)`` /
+        #: ``("put", channel)``, formatted lazily for deadlock
+        #: diagnostics (blocks are frequent; f-strings per block are not
+        #: free on the replay hot path)
+        self.blocked_on: Optional[tuple] = None
         #: daemon processes (e.g. sinks, FSMs that serve forever) may remain
         #: blocked at end of simulation without signalling deadlock.
         self.daemon = daemon
 
+    @property
+    def blocked_desc(self) -> Optional[str]:
+        """Human-readable description of the blocking operation."""
+        if self.blocked_on is None:
+            return None
+        op, ch = self.blocked_on
+        return f"{op}({ch.name})"
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "done" if self.done else (self.blocked_on or "ready")
+        state = "done" if self.done else (self.blocked_desc or "ready")
         return f"<Process {self.name}: {state}>"
 
 
@@ -149,6 +162,9 @@ class Channel:
     Models a hardware buffer: ``capacity`` is the number of slots. A
     ``capacity`` of ``None`` means unbounded (useful for statistics sinks).
     """
+
+    __slots__ = ("sim", "capacity", "name", "_items", "_getters",
+                 "_putters", "total_puts", "total_gets", "max_occupancy")
 
     def __init__(self, sim: "Simulator", capacity: Optional[int] = None,
                  name: str = "chan"):
@@ -188,7 +204,7 @@ class Channel:
             self.sim._schedule(self.sim.now, proc, item)
             self._drain_putters()
         else:
-            proc.blocked_on = f"get({self.name})"
+            proc.blocked_on = ("get", self)
             self._getters.append(proc)
 
     def _arm_put(self, proc: Process, item: Any) -> None:
@@ -196,7 +212,7 @@ class Channel:
             self._accept(item)
             self.sim._schedule(self.sim.now, proc, None)
         else:
-            proc.blocked_on = f"put({self.name})"
+            proc.blocked_on = ("put", self)
             self._putters.append((proc, item))
 
     def _accept(self, item: Any) -> None:
@@ -219,14 +235,53 @@ class Channel:
 
 
 class Simulator:
-    """Heap-scheduled discrete-event simulator with generator processes."""
+    """Discrete-event simulator with generator processes.
 
-    def __init__(self) -> None:
+    Two interchangeable scheduler cores exist (``REPRO_SCHED``):
+
+    * the **reference** core (``two_level=False``): a single tuple heap
+      ordered by ``(time_ps, seq)``;
+    * the **two-level** core (``two_level=True``, the default): a FIFO
+      run queue for events at the current timestamp in front of a
+      calendar queue — a dict of per-timestamp buckets plus a heap of
+      the distinct pending timestamps. Events scheduled at ``now``
+      (channel rendezvous, immediate wakes) ride the deque for O(1)
+      append/pop, and bucket lists are already in seq order by
+      construction, so draining a bucket needs no sort. A sole-runner
+      fast-forward resumes a process inline after a ``Delay`` when
+      nothing else can possibly run before its wakeup, and non-blocking
+      channel puts/gets continue inline the same way whenever the
+      resume they would schedule at ``now`` would be dispatched next
+      anyway (empty run queue), skipping the schedule/dispatch round
+      trip per rendezvous.
+
+    Both cores dispatch events in exactly the same order — the run
+    queue replicates the heap's sequence-number tie-break because
+    same-timestamp schedules always arrive in increasing seq order —
+    and the equivalence is pinned by ``tests/runtime/test_sched_equiv``.
+    """
+
+    def __init__(self, two_level: Optional[bool] = None) -> None:
         self._now = 0
-        self._heap: List[tuple] = []
         self._seq = 0
         self._processes: List[Process] = []
         self.events_executed = 0
+        #: resumes served inline by the two-level core (sole-runner
+        #: fast-forward on Delay, rendezvous fast path on Put/Get)
+        self.fastforwards = 0
+        #: most events simultaneously pending (heap depth, or run queue
+        #: plus calendar buckets)
+        self.peak_pending = 0
+        self._pending = 0
+        self._two_level = (
+            sched_path_enabled() if two_level is None else bool(two_level)
+        )
+        # reference core
+        self._heap: List[tuple] = []
+        # two-level core
+        self._runq: Deque[tuple] = deque()
+        self._buckets: Dict[int, List[tuple]] = {}
+        self._times: List[int] = []
 
     @property
     def now(self) -> int:
@@ -251,13 +306,35 @@ class Simulator:
 
     def call_at(self, time_ps: int, fn: Callable[[], None]) -> None:
         """Schedule a plain callback (no process) at an absolute time."""
-        self._seq += 1
-        heapq.heappush(self._heap, (time_ps, self._seq, None, fn))
+        self._enqueue(time_ps, None, fn)
 
     def _schedule(self, time_ps: int, proc: Process, value: Any) -> None:
         proc.blocked_on = None
-        self._seq += 1
-        heapq.heappush(self._heap, (time_ps, self._seq, proc, value))
+        self._enqueue(time_ps, proc, value)
+
+    def _enqueue(self, time_ps: int, proc: Optional[Process],
+                 value: Any) -> None:
+        if not self._two_level:
+            self._seq += 1
+            heapq.heappush(self._heap, (time_ps, self._seq, proc, value))
+            if len(self._heap) > self.peak_pending:
+                self.peak_pending = len(self._heap)
+            return
+        self._pending += 1
+        if self._pending > self.peak_pending:
+            self.peak_pending = self._pending
+        if time_ps <= self._now:
+            # current-timestamp events keep FIFO (== seq) order on the
+            # run queue; schedules never target the past in this model,
+            # so <= now means "now"
+            self._runq.append((proc, value))
+            return
+        bucket = self._buckets.get(time_ps)
+        if bucket is None:
+            self._buckets[time_ps] = [(proc, value)]
+            heapq.heappush(self._times, time_ps)
+        else:
+            bucket.append((proc, value))
 
     def _step(self, proc: Process, value: Any) -> None:
         try:
@@ -277,12 +354,32 @@ class Simulator:
 
     def run(self, until_ps: Optional[int] = None,
             max_events: Optional[int] = None) -> int:
-        """Run until the event heap drains (or a limit is hit).
+        """Run until the event queue drains (or a limit is hit).
 
         Returns the final simulation time in picoseconds. Raises
         :class:`DeadlockError` if processes remain blocked with no
-        pending events.
+        pending events. With ``until_ps`` the run pauses (and may be
+        resumed by calling :meth:`run` again) once every event at or
+        before the horizon has executed; no event is lost at the pause.
         """
+        if self._two_level:
+            finished = self._run_two_level(until_ps, max_events)
+        else:
+            finished = self._run_heap(until_ps, max_events)
+        if not finished:
+            return self._now  # paused at the horizon, events remain
+        blocked = [
+            p for p in self._processes
+            if not p.done and p.blocked_on and not p.daemon
+        ]
+        if blocked:
+            detail = ", ".join(f"{p.name} on {p.blocked_desc}" for p in blocked)
+            raise DeadlockError(f"deadlock: blocked processes: {detail}")
+        return self._now
+
+    def _run_heap(self, until_ps: Optional[int],
+                  max_events: Optional[int]) -> bool:
+        """Reference tuple-heap dispatch; returns False on horizon pause."""
         if until_ps is None and max_events is None:
             # specialized dispatch loop for the unbounded case (every
             # replay run): no limit checks, counter kept in a local, the
@@ -318,28 +415,196 @@ class Simulator:
                             )
             finally:
                 self.events_executed += executed
-        else:
-            while self._heap:
-                time_ps, _seq, proc, value = heapq.heappop(self._heap)
-                if until_ps is not None and time_ps > until_ps:
+            return True
+        while self._heap:
+            time_ps, _seq, proc, value = heapq.heappop(self._heap)
+            if until_ps is not None and time_ps > until_ps:
+                # pause without losing the over-horizon event: push it
+                # back with its original sequence number so a resumed
+                # run dispatches in the exact original order
+                heapq.heappush(self._heap, (time_ps, _seq, proc, value))
+                self._now = until_ps
+                return False
+            self._now = time_ps
+            self.events_executed += 1
+            if (max_events is not None
+                    and self.events_executed > max_events):
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self._now}ps"
+                )
+            if proc is None:
+                value()  # plain callback
+            else:
+                self._step(proc, value)
+        return True
+
+    def _run_two_level(self, until_ps: Optional[int],
+                       max_events: Optional[int]) -> bool:
+        """Two-level dispatch; returns False on horizon pause."""
+        runq = self._runq
+        buckets = self._buckets
+        times = self._times
+        if until_ps is None and max_events is None:
+            pop_time = heapq.heappop
+            executed = 0
+            forwards = 0
+            try:
+                while True:
+                    if runq:
+                        proc, value = runq.popleft()
+                    else:
+                        if not times:
+                            break
+                        t = pop_time(times)
+                        self._now = t
+                        bucket = buckets.pop(t)
+                        if len(bucket) > 1:
+                            runq.extend(bucket)
+                            proc, value = runq.popleft()
+                        else:
+                            proc, value = bucket[0]
+                    self._pending -= 1
+                    executed += 1
+                    if proc is None:
+                        value()  # plain callback
+                        continue
+                    while True:
+                        try:
+                            cmd = proc._gen.send(value)
+                        except StopIteration as stop:
+                            proc.done = True
+                            proc.result = stop.value
+                            for waiter in proc._waiters:
+                                self._schedule(self._now, waiter, stop.value)
+                            proc._waiters.clear()
+                            break
+                        cls = cmd.__class__
+                        if cls is Delay:
+                            wake = self._now + cmd.ps
+                            if not runq and (not times or wake < times[0]):
+                                # sole-runner fast-forward: nothing else
+                                # can run before this wakeup, so advance
+                                # time and resume inline
+                                self._now = wake
+                                executed += 1
+                                forwards += 1
+                                value = None
+                                continue
+                            self._schedule(wake, proc, None)
+                            break
+                        if cls is Put:
+                            # inline rendezvous: a non-blocking put's
+                            # resume is scheduled at `now`, so when the
+                            # run queue is empty it is dispatched next
+                            # anyway — continue the generator in place.
+                            # With a parked getter the getter's resume
+                            # precedes the putter's, so the getter
+                            # continues inline and the putter rides the
+                            # run queue right behind it. Event order is
+                            # identical to the reference core either way.
+                            ch = cmd.channel
+                            cap = ch.capacity
+                            items = ch._items
+                            if cap is not None and len(items) >= cap:
+                                proc.blocked_on = ("put", ch)
+                                ch._putters.append((proc, cmd.item))
+                                break
+                            ch.total_puts += 1
+                            if ch._getters:
+                                getter = ch._getters.popleft()
+                                getter.blocked_on = None
+                                ch.total_gets += 1
+                                if runq:
+                                    runq.append((getter, cmd.item))
+                                    runq.append((proc, None))
+                                    pend = self._pending + 2
+                                    self._pending = pend
+                                    if pend > self.peak_pending:
+                                        self.peak_pending = pend
+                                    break
+                                runq.append((proc, None))
+                                pend = self._pending + 1
+                                self._pending = pend
+                                if pend > self.peak_pending:
+                                    self.peak_pending = pend
+                                proc, value = getter, cmd.item
+                                executed += 1
+                                forwards += 1
+                                continue
+                            items.append(cmd.item)
+                            if len(items) > ch.max_occupancy:
+                                ch.max_occupancy = len(items)
+                            if runq:
+                                runq.append((proc, None))
+                                pend = self._pending + 1
+                                self._pending = pend
+                                if pend > self.peak_pending:
+                                    self.peak_pending = pend
+                                break
+                            executed += 1
+                            forwards += 1
+                            value = None
+                            continue
+                        if cls is Get:
+                            # inline rendezvous, get side: the getter's
+                            # resume precedes any putters drained into
+                            # the freed slot, so with an empty run queue
+                            # the getter continues inline after the
+                            # drained putters are queued behind it
+                            ch = cmd.channel
+                            items = ch._items
+                            if items:
+                                item = items.popleft()
+                                ch.total_gets += 1
+                                if runq:
+                                    runq.append((proc, item))
+                                    pend = self._pending + 1
+                                    self._pending = pend
+                                    if pend > self.peak_pending:
+                                        self.peak_pending = pend
+                                    if ch._putters:
+                                        ch._drain_putters()
+                                    break
+                                if ch._putters:
+                                    ch._drain_putters()
+                                executed += 1
+                                forwards += 1
+                                value = item
+                                continue
+                            proc.blocked_on = ("get", ch)
+                            ch._getters.append(proc)
+                            break
+                        if isinstance(cmd, Command):
+                            cmd.arm(self, proc)
+                            break
+                        raise SimulationError(
+                            f"process {proc.name!r} yielded {cmd!r}, "
+                            f"expected a Command"
+                        )
+            finally:
+                self.events_executed += executed
+                self.fastforwards += forwards
+            return True
+        while True:
+            if not runq:
+                if not times:
+                    break
+                if until_ps is not None and times[0] > until_ps:
                     self._now = until_ps
-                    return self._now
-                self._now = time_ps
-                self.events_executed += 1
-                if (max_events is not None
-                        and self.events_executed > max_events):
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} at t={self._now}ps"
-                    )
-                if proc is None:
-                    value()  # plain callback
-                else:
-                    self._step(proc, value)
-        blocked = [
-            p for p in self._processes
-            if not p.done and p.blocked_on and not p.daemon
-        ]
-        if blocked:
-            detail = ", ".join(f"{p.name} on {p.blocked_on}" for p in blocked)
-            raise DeadlockError(f"deadlock: blocked processes: {detail}")
-        return self._now
+                    return False
+                t = heapq.heappop(times)
+                self._now = t
+                runq.extend(buckets.pop(t))
+            proc, value = runq.popleft()
+            self._pending -= 1
+            self.events_executed += 1
+            if (max_events is not None
+                    and self.events_executed > max_events):
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at t={self._now}ps"
+                )
+            if proc is None:
+                value()  # plain callback
+            else:
+                self._step(proc, value)
+        return True

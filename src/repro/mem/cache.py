@@ -32,9 +32,19 @@ class AccessOutcome:
 _HIT = AccessOutcome(hit=True)
 _MISS_CLEAN = AccessOutcome(hit=False)
 
+#: absent-marker for the single-lookup pop in `access` (dirty bits are
+#: bools, so any non-bool sentinel is unambiguous)
+_ABSENT = object()
+
 
 class Cache:
     """One level of set-associative cache."""
+
+    # slots: `access` runs millions of times per matrix cell and touches
+    # half a dozen attributes per call
+    __slots__ = ("params", "name", "line_shift", "num_sets", "ways",
+                 "_sets", "accesses", "hits", "misses", "writebacks",
+                 "prefetch_fills", "invalidations")
 
     def __init__(self, params: CacheParams, name: str = "cache"):
         self.params = params
@@ -81,16 +91,26 @@ class Cache:
         set_idx = line % self.num_sets
         tag = line // self.num_sets
         cset = self._sets[set_idx]
-        if tag in cset:
+        dirty = cset.pop(tag, _ABSENT)
+        if dirty is not _ABSENT:
             self.hits += 1
-            dirty = cset.pop(tag) or is_write
-            cset[tag] = dirty  # move to MRU position
+            cset[tag] = dirty or is_write  # move to MRU position
             return _HIT
         self.misses += 1
-        evicted = self._insert(set_idx, tag, dirty=is_write)
-        if evicted is None:
-            return _MISS_CLEAN
-        return AccessOutcome(hit=False, evicted=evicted)
+        # _insert inlined (same hot-path rationale)
+        if len(cset) >= self.ways:
+            victim_tag = next(iter(cset))  # oldest == LRU
+            victim_dirty = cset.pop(victim_tag)
+            if victim_dirty:
+                self.writebacks += 1
+            cset[tag] = is_write
+            return AccessOutcome(
+                hit=False,
+                evicted=(victim_tag * self.num_sets + set_idx,
+                         victim_dirty),
+            )
+        cset[tag] = is_write
+        return _MISS_CLEAN
 
     def touch_resident(self, addr: int, make_dirty: bool,
                        count: int) -> None:
@@ -256,13 +276,8 @@ class Cache:
         per_set = np.bincount(set_idx, minlength=1)
         busiest = int(per_set.max())
         if busiest > self._WAVE_FALLBACK_COUNT and busiest * 8 > n:
-            for i in range(n):
-                out = self.access(int(lines[i]) << self.line_shift,
-                                  bool(make_dirty[i]))
-                hit[i] = out.hit
-                if out.evicted is not None and out.evicted[1]:
-                    victim_line[i] = out.evicted[0]
-                    victim_dirty[i] = True
+            self._access_batch_scalar(lines, make_dirty, hit,
+                                      victim_line, victim_dirty)
             return hit, victim_line, victim_dirty
 
         # stable sort by set groups each set's accesses in program
@@ -281,13 +296,8 @@ class Cache:
         wave_sizes = np.bincount(rank)
         if int(wave_sizes[0]) < self._WAVE_MIN_VEC:
             # even the widest wave is narrow: skip the dense image
-            for i in range(n):
-                out = self.access(int(lines[i]) << self.line_shift,
-                                  bool(make_dirty[i]))
-                hit[i] = out.hit
-                if out.evicted is not None and out.evicted[1]:
-                    victim_line[i] = out.evicted[0]
-                    victim_dirty[i] = True
+            self._access_batch_scalar(lines, make_dirty, hit,
+                                      victim_line, victim_dirty)
             return hit, victim_line, victim_dirty
 
         tags, dirty = self._export_state()
@@ -345,6 +355,82 @@ class Cache:
                 victim_line[i] = out.evicted[0]
                 victim_dirty[i] = True
         return hit, victim_line, victim_dirty
+
+    def _access_batch_scalar(self, lines: np.ndarray,
+                             make_dirty: np.ndarray, hit: np.ndarray,
+                             victim_line: np.ndarray,
+                             victim_dirty: np.ndarray) -> None:
+        """Program-order scalar walk with same-line run collapsing.
+
+        The scalar fallbacks fire exactly when accesses concentrate on
+        few sets — which in practice means long back-to-back runs to
+        the *same line* (an accumulator, a hot stride). After the run's
+        first access the line is resident at MRU, so the rest are
+        guaranteed hits whose pop/reinsert is a no-op — accounted in
+        bulk, like :meth:`touch_resident`. The per-access logic of
+        :meth:`access`/:meth:`_insert` is inlined with the counters kept
+        in locals and flushed once (bit-identical: integer sums).
+        """
+        n = len(lines)
+        nsets = self.num_sets
+        ways = self.ways
+        sets_ = self._sets
+        # numpy run detection: a "run" is a maximal stretch of the same
+        # line; only run heads need the full lookup, the rest are
+        # guaranteed MRU hits (their only effect is the dirty-OR below)
+        is_head = np.empty(n, dtype=bool)
+        is_head[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=is_head[1:])
+        heads = np.flatnonzero(is_head)
+        nruns = len(heads)
+        head_lines = lines[heads].tolist()
+        head_dirty = make_dirty[heads].tolist()
+        heads_list = heads.tolist()
+        if nruns != n:
+            np.logical_not(is_head, out=hit)  # non-heads: always hits
+            bounds = np.concatenate((heads, [n]))
+            rest_counts = (np.diff(bounds) - 1).tolist()
+            csum = np.concatenate(
+                ([0], np.cumsum(make_dirty, dtype=np.int64))
+            )
+            rest_any = (np.diff(csum[bounds])
+                        - np.asarray(head_dirty, dtype=np.int64)
+                        > 0).tolist()
+        else:
+            rest_counts = rest_any = None
+        acc = nhit = nmiss = nwb = 0
+        for r in range(nruns):
+            i = heads_list[r]
+            ln = head_lines[r]
+            si = ln % nsets
+            tag = ln // nsets
+            cset = sets_[si]
+            acc += 1
+            d = cset.pop(tag, _ABSENT)
+            if d is not _ABSENT:
+                nhit += 1
+                cset[tag] = d or head_dirty[r]  # move to MRU
+                hit[i] = True
+            else:
+                nmiss += 1
+                if len(cset) >= ways:
+                    vtag = next(iter(cset))  # oldest == LRU
+                    if cset.pop(vtag):
+                        nwb += 1
+                        victim_line[i] = vtag * nsets + si
+                        victim_dirty[i] = True
+                cset[tag] = head_dirty[r]
+            if rest_counts is not None:
+                rest = rest_counts[r]
+                if rest:
+                    acc += rest
+                    nhit += rest
+                    if rest_any[r] and not cset[tag]:
+                        cset[tag] = True
+        self.accesses += acc
+        self.hits += nhit
+        self.misses += nmiss
+        self.writebacks += nwb
 
     # -- introspection --------------------------------------------------------
     @property

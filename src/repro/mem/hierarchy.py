@@ -17,7 +17,7 @@ results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +39,11 @@ MC_NODE = 3
 #: even under ``REPRO_VEC`` — the per-call array setup costs more than
 #: it saves (chunks are frequently a single line or element)
 _ACCEL_BATCH_VEC_MIN = 10**9
+
+#: segment-coalesced (``seg_ends``) batches at least this long take the
+#: per-home vectorized walk; per-access latencies are materialized as an
+#: array and cut into per-segment subtotals by prefix sums
+_SEG_VEC_MIN = 48
 
 
 @dataclass
@@ -102,6 +107,10 @@ class MemoryHierarchy:
         #: deferred DRAM fill/writeback accounting, open only while a
         #: batch replay method is on the stack (None on the scalar path)
         self._dram_pool: Optional[_DramPool] = None
+        #: run-scoped pooled batch-tail accounting (energy charge counts
+        #: and traffic record counts by key); None outside a window
+        self._acct_energy: Optional[Dict[Tuple[str, str], int]] = None
+        self._acct_traffic: Optional[Dict[Tuple, int]] = None
 
     # ------------------------------------------------------------------
     # host path
@@ -222,6 +231,61 @@ class MemoryHierarchy:
             lat_req + lat_fill, self.machine.core.freq_ghz
         )
 
+    def open_accounting(self):
+        """Open a run-scoped deferred-accounting window: one DRAM pool
+        plus pooled batch-tail energy/traffic counts shared by every
+        batch replay call until :meth:`close_accounting`.
+
+        Energy charges and ``count=``-style traffic records are linear in
+        their count and the ledgers are order-free (sorted summaries), so
+        merging them per key across a whole offload run is bit-identical
+        to flushing per batch call. Nothing may read the ledgers while a
+        window is open.
+        """
+        pool = self._open_dram_pool()
+        owned = self._acct_energy is None
+        if owned:
+            self._acct_energy = {}
+            self._acct_traffic = {}
+        return (pool, owned)
+
+    def close_accounting(self, win) -> None:
+        """Flush a window opened by :meth:`open_accounting`."""
+        pool, owned = win
+        if pool is not None:
+            self._flush_dram_pool(pool)
+        if owned:
+            en = self._acct_energy
+            tr = self._acct_traffic
+            self._acct_energy = None
+            self._acct_traffic = None
+            charge = self.energy.charge
+            for (unit, event), n in en.items():
+                charge(unit, event, n)
+            record = self.traffic.record
+            for (kind, src, dst, payload), c in tr.items():
+                record(kind, src, dst, payload, count=c)
+
+    def _charge(self, unit: str, event: str, n: int) -> None:
+        """Energy charge, pooled while an accounting window is open."""
+        acct = self._acct_energy
+        if acct is None:
+            self.energy.charge(unit, event, n)
+        else:
+            key = (unit, event)
+            acct[key] = acct.get(key, 0) + n
+
+    def _record(self, kind: MessageKind, src: int, dst: int, payload: int,
+                count: int) -> None:
+        """Traffic record (return value unused), pooled while an
+        accounting window is open."""
+        acct = self._acct_traffic
+        if acct is None:
+            self.traffic.record(kind, src, dst, payload, count=count)
+        else:
+            key = (kind, src, dst, payload)
+            acct[key] = acct.get(key, 0) + count
+
     def _open_dram_pool(self) -> Optional["_DramPool"]:
         """Start deferring DRAM fill/writeback accounting; returns the
         pool to pass to :meth:`_flush_dram_pool`, or None when an
@@ -235,6 +299,8 @@ class MemoryHierarchy:
         """Charge the pooled DRAM traffic/energy/movement (commutative
         integer counts — bit-identical to the per-fill scalar charges)."""
         self._dram_pool = None
+        if not (pool.fills or pool.wbs or pool.l2_wbs or pool.l3_wbs):
+            return  # every access hit: nothing pooled (the common case)
         traffic = self.traffic
         line = self._line
         total = 0
@@ -605,16 +671,15 @@ class MemoryHierarchy:
         finally:
             if pool is not None:
                 self._flush_dram_pool(pool)
-        self.energy.charge("l1", "l1_access", n)
+        self._charge("l1", "l1_access", n)
         if n_l2:
-            self.energy.charge("l2", "l2_access", n_l2)
-        traffic = self.traffic
+            self._charge("l2", "l2_access", n_l2)
         for cluster, count in demand_counts.items():
-            self.energy.charge("l3", "l3_access", count)
-            traffic.record(MessageKind.CACHE_REQ, HOST_NODE, cluster, 0,
-                           count=count)
-            traffic.record(MessageKind.CACHE_FILL, cluster, HOST_NODE,
-                           line, count=count)
+            self._charge("l3", "l3_access", count)
+            self._record(MessageKind.CACHE_REQ, HOST_NODE, cluster, 0,
+                         count)
+            self._record(MessageKind.CACHE_FILL, cluster, HOST_NODE,
+                         line, count)
         self.movement_bytes += moved
         return stall
 
@@ -749,34 +814,41 @@ class MemoryHierarchy:
         finally:
             if pool is not None:
                 self._flush_dram_pool(pool)
-        self.energy.charge("l1", "l1_access", n)
+        self._charge("l1", "l1_access", n)
         if n_l2:
-            self.energy.charge("l2", "l2_access", n_l2)
-        traffic = self.traffic
+            self._charge("l2", "l2_access", n_l2)
         for cluster, count in demand_counts.items():
-            self.energy.charge("l3", "l3_access", count)
-            traffic.record(MessageKind.CACHE_REQ, HOST_NODE, cluster, 0,
-                           count=count)
-            traffic.record(MessageKind.CACHE_FILL, cluster, HOST_NODE,
-                           line, count=count)
+            self._charge("l3", "l3_access", count)
+            self._record(MessageKind.CACHE_REQ, HOST_NODE, cluster, 0,
+                         count)
+            self._record(MessageKind.CACHE_FILL, cluster, HOST_NODE,
+                         line, count)
         self.movement_bytes += moved
         return stall
 
     def accel_line_fetch_batch(self, local_cluster: int,
                                line_addrs: np.ndarray,
-                               is_write: bool) -> int:
+                               is_write: bool,
+                               seg_ends: Optional[np.ndarray] = None):
         """Line-granular fill/drain of a chunk (see
-        :meth:`accel_line_fetch`); returns total latency cycles."""
+        :meth:`accel_line_fetch`); returns total latency cycles.
+
+        With ``seg_ends`` (ascending exclusive end offsets into
+        ``line_addrs``) the call covers several coalesced chunks in one
+        widened pass and returns the per-segment latency subtotals
+        instead — state transitions stay in program order and the pooled
+        accounting is identical to per-segment calls.
+        """
         n = len(line_addrs)
         if n == 0:
-            return 0
+            return 0 if seg_ends is None else [0] * len(seg_ends)
         m = self.machine
         line = self._line
         freq = m.core.freq_ghz
         l3 = self.l3
         stripe = l3.stripe_bytes
         ncl = l3.num_clusters
-        l3_access = l3.access
+        slices = l3.slices  # home is recomputed below; dispatch directly
         lat_of = self.traffic.latency_of
         bank_lat = m.l3_bank_latency
         l3_lat = m.l3.latency_cycles
@@ -784,9 +856,92 @@ class MemoryHierarchy:
         conv: Dict[int, int] = {}
         total = 0
         moved = 0
+        seg_totals: List[int] = []
         pool = self._open_dram_pool()
         try:
-            if n >= _ACCEL_BATCH_VEC_MIN and vec_path_enabled():
+            if seg_ends is not None and n >= _SEG_VEC_MIN:
+                # per-home set-level walk (same argument as the vec
+                # branch below: slices are independent state machines,
+                # DRAM side effects pool commutatively), materializing
+                # per-access latencies so prefix sums recover the exact
+                # per-segment subtotals of the scalar walk
+                homes = (line_addrs // stripe) % ncl
+                lat_arr = np.zeros(n, dtype=np.int64)
+                dpool = self._dram_pool
+                uniq, first = np.unique(homes, return_index=True)
+                for home in uniq[np.argsort(first)].tolist():
+                    sel = np.flatnonzero(homes == home)
+                    k = len(sel)
+                    counts[home] = k
+                    conv[home] = _ps_to_cycles_int(
+                        lat_of(local_cluster, home, 0)
+                        + (lat_of(local_cluster, home, line) if is_write
+                           else lat_of(home, local_cluster, line)),
+                        freq,
+                    )
+                    if home == local_cluster:
+                        base = 1 + bank_lat + conv[home]
+                    else:
+                        base = 1 + l3_lat + conv[home]
+                        moved += k * line
+                    slc = slices[home]
+                    hit, _vline, vdirty = slc.access_batch(
+                        line_addrs[sel] >> slc.line_shift,
+                        np.full(k, is_write, dtype=bool),
+                    )
+                    wbs = int(vdirty.sum())
+                    if wbs:
+                        dpool.wbs[home] = dpool.wbs.get(home, 0) + wbs
+                    if not is_write:
+                        miss = ~hit
+                        fills = int(miss.sum())
+                        if fills:
+                            fl = self._dram_fill(home)  # pools one fill
+                            dpool.fills[home] += fills - 1
+                            lat_arr[sel] = base + fl * miss
+                            continue
+                    lat_arr[sel] = base
+                csum = np.concatenate(([0], np.cumsum(lat_arr)))
+                bounds = np.concatenate(
+                    ([0], np.asarray(seg_ends, dtype=np.int64))
+                )
+                seg_totals = np.diff(csum[bounds]).tolist()
+            elif seg_ends is not None:
+                prev_total = 0
+                pos = 0
+                for end in (seg_ends.tolist()
+                            if isinstance(seg_ends, np.ndarray)
+                            else seg_ends):
+                    end = int(end)
+                    for addr in line_addrs[pos:end].tolist():
+                        home = (addr // stripe) % ncl
+                        seen = counts.get(home)
+                        if seen is None:
+                            counts[home] = 1
+                            conv[home] = _ps_to_cycles_int(
+                                lat_of(local_cluster, home, 0)
+                                + (lat_of(local_cluster, home, line)
+                                   if is_write
+                                   else lat_of(home, local_cluster, line)),
+                                freq,
+                            )
+                        else:
+                            counts[home] = seen + 1
+                        if home == local_cluster:
+                            total += 1 + bank_lat + conv[home]
+                        else:
+                            total += 1 + l3_lat + conv[home]
+                            moved += line
+                        out = slices[home].access(addr, is_write)
+                        ev = out.evicted
+                        if ev is not None and ev[1]:
+                            self._writeback_to_dram(home)
+                        if not out.hit and not is_write:
+                            total += self._dram_fill(home)
+                    seg_totals.append(total - prev_total)
+                    prev_total = total
+                    pos = end
+            elif n >= _ACCEL_BATCH_VEC_MIN and vec_path_enabled():
                 # set-level walk per home slice: the L3 slices are
                 # independent state machines, so grouping by home (in
                 # first-touch order, program order within a home) is
@@ -824,8 +979,35 @@ class MemoryHierarchy:
                             lat = self._dram_fill(home)  # counts one fill
                             dpool.fills[home] += fills - 1
                             total += lat * fills
+            elif (addr_list := line_addrs.tolist()) and (
+                    min(addr_list) // stripe == max(addr_list) // stripe):
+                # whole chunk lives in one stripe block (the common case:
+                # chunks are short, stripes are large): hoist the per-line
+                # home math and bookkeeping out of the walk
+                home = (addr_list[0] // stripe) % ncl
+                counts[home] = n
+                conv[home] = _ps_to_cycles_int(
+                    lat_of(local_cluster, home, 0)
+                    + (lat_of(local_cluster, home, line)
+                       if is_write
+                       else lat_of(home, local_cluster, line)),
+                    freq,
+                )
+                if home == local_cluster:
+                    total += n * (1 + bank_lat + conv[home])
+                else:
+                    total += n * (1 + l3_lat + conv[home])
+                    moved += n * line
+                access = slices[home].access
+                for addr in addr_list:
+                    out = access(addr, is_write)
+                    ev = out.evicted
+                    if ev is not None and ev[1]:
+                        self._writeback_to_dram(home)
+                    if not out.hit and not is_write:
+                        total += self._dram_fill(home)
             else:
-                for addr in line_addrs.tolist():
+                for addr in addr_list:
                     home = (addr // stripe) % ncl
                     seen = counts.get(home)
                     if seen is None:
@@ -844,7 +1026,7 @@ class MemoryHierarchy:
                     else:
                         total += 1 + l3_lat + conv[home]
                         moved += line
-                    out = l3_access(addr, is_write=is_write)
+                    out = slices[home].access(addr, is_write)
                     ev = out.evicted
                     if ev is not None and ev[1]:
                         self._writeback_to_dram(home)
@@ -853,30 +1035,108 @@ class MemoryHierarchy:
         finally:
             if pool is not None:
                 self._flush_dram_pool(pool)
-        energy = self.energy
-        traffic = self.traffic
-        energy.charge("access_unit", "acp_access", n)
+        self._charge("access_unit", "acp_access", n)
         for home, count in counts.items():
-            energy.charge("l3", "l3_access", count)
-            traffic.record(MessageKind.ACC_HANDSHAKE, local_cluster, home,
-                           0, count=count)
+            self._charge("l3", "l3_access", count)
+            self._record(MessageKind.ACC_HANDSHAKE, local_cluster, home,
+                         0, count)
             if is_write:
-                traffic.record(MessageKind.ACC_OPERAND, local_cluster,
-                               home, line, count=count)
+                self._record(MessageKind.ACC_OPERAND, local_cluster,
+                             home, line, count)
             else:
-                traffic.record(MessageKind.ACC_OPERAND, home,
-                               local_cluster, line, count=count)
+                self._record(MessageKind.ACC_OPERAND, home,
+                             local_cluster, line, count)
         self.movement_bytes += moved
-        return total
+        return seg_totals if seg_ends is not None else total
+
+    def _acp_elem_walk(self, addr_list, local_cluster: int, is_write: bool,
+                       elem_bytes: int, counts: Dict[int, int],
+                       conv: Dict[int, int], total: int, n_l3: int,
+                       moved: int):
+        """Program-order element walk for :meth:`accel_elem_access_batch`
+        with same-line run collapsing: after the first access of a run of
+        consecutive same-line addresses the line is the ACP's resident MRU
+        line, so the remaining ``k-1`` accesses are guaranteed hits with
+        no L3 side — accounted in bulk via :meth:`Cache.touch_resident`
+        and ``k-1``-scaled arithmetic, bit-identical to the scalar loop.
+        """
+        m = self.machine
+        line = self._line
+        freq = m.core.freq_ghz
+        l3 = self.l3
+        slices = l3.slices
+        stripe = l3.stripe_bytes
+        ncl = l3.num_clusters
+        acps = self.acps
+        lat_of = self.traffic.latency_of
+        bank_lat = m.l3_bank_latency
+        shift = acps[0].line_shift
+        # same line => same home only when stripes are line-aligned
+        collapse = stripe % (1 << shift) == 0
+        n = len(addr_list)
+        i = 0
+        while i < n:
+            addr = addr_list[i]
+            j = i + 1
+            if collapse:
+                ln = addr >> shift
+                while j < n and addr_list[j] >> shift == ln:
+                    j += 1
+            k = j - i
+            home = (addr // stripe) % ncl
+            seen = counts.get(home)
+            if seen is None:
+                counts[home] = k
+                conv[home] = _ps_to_cycles_int(
+                    lat_of(local_cluster, home, 0)
+                    + (lat_of(local_cluster, home, elem_bytes)
+                       if is_write
+                       else lat_of(home, local_cluster, elem_bytes)),
+                    freq,
+                )
+            else:
+                counts[home] = seen + k
+            if home != local_cluster:
+                moved += k * elem_bytes
+            total += k * (1 + conv[home])
+            out = acps[home].access(addr, is_write)
+            if k > 1:
+                acps[home].touch_resident(addr, is_write, k - 1)
+            ev = out.evicted
+            if ev is not None and ev[1]:
+                # dirty line retires into the local bank
+                n_l3 += 1
+                evicted = l3.fill(ev[0] * line, dirty=True)
+                if evicted and evicted[1]:
+                    self._writeback_to_dram(home)
+            i = j
+            if out.hit:
+                continue
+            n_l3 += 1
+            total += bank_lat
+            out3 = slices[home].access(addr, is_write=False)
+            ev3 = out3.evicted
+            if ev3 is not None and ev3[1]:
+                self._writeback_to_dram(home)
+            if not out3.hit:
+                total += self._dram_fill(home)
+        return total, n_l3, moved
 
     def accel_elem_access_batch(self, local_cluster: int,
                                 addrs: np.ndarray, is_write: bool,
-                                elem_bytes: int) -> int:
+                                elem_bytes: int,
+                                seg_ends: Optional[np.ndarray] = None):
         """Element-granular near-data accesses for a chunk (see
-        :meth:`accel_elem_access`); returns total latency cycles."""
+        :meth:`accel_elem_access`); returns total latency cycles.
+
+        With ``seg_ends`` (ascending exclusive end offsets into
+        ``addrs``) the call covers several coalesced chunks at once and
+        returns per-segment latency subtotals — identical state
+        transitions and pooled accounting as per-segment calls.
+        """
         n = len(addrs)
         if n == 0:
-            return 0
+            return 0 if seg_ends is None else [0] * len(seg_ends)
         m = self.machine
         line = self._line
         freq = m.core.freq_ghz
@@ -891,9 +1151,79 @@ class MemoryHierarchy:
         n_l3 = 0  # miss-side bank reads + dirty ACP retires
         total = 0
         moved = 0
+        seg_totals: List[int] = []
         pool = self._open_dram_pool()
         try:
-            if n >= _ACCEL_BATCH_VEC_MIN and vec_path_enabled():
+            if seg_ends is not None and n >= _SEG_VEC_MIN:
+                # per-home grouped walk (see the vec branch below for the
+                # identity argument: an ACP and its victims/misses only
+                # touch the home cluster's L3 slice), materializing
+                # per-access latencies so prefix sums recover the exact
+                # per-segment subtotals of the scalar walk
+                homes = (addrs // stripe) % ncl
+                lat_arr = np.zeros(n, dtype=np.int64)
+                uniq, first = np.unique(homes, return_index=True)
+                for home in uniq[np.argsort(first)].tolist():
+                    sel = np.flatnonzero(homes == home)
+                    k = len(sel)
+                    counts[home] = k
+                    conv[home] = _ps_to_cycles_int(
+                        lat_of(local_cluster, home, 0)
+                        + (lat_of(local_cluster, home, elem_bytes)
+                           if is_write
+                           else lat_of(home, local_cluster, elem_bytes)),
+                        freq,
+                    )
+                    if home != local_cluster:
+                        moved += k * elem_bytes
+                    acp = acps[home]
+                    sel_addrs = addrs[sel]
+                    hit, vline, vdirty = acp.access_batch(
+                        sel_addrs >> acp.line_shift,
+                        np.full(k, is_write, dtype=bool),
+                    )
+                    miss_pos = np.flatnonzero(~hit)
+                    n_l3 += int(vdirty.sum()) + len(miss_pos)
+                    lat_arr[sel] = 1 + conv[home]
+                    if len(miss_pos):
+                        slc = l3.slices[home]
+                        extra = np.full(len(miss_pos), bank_lat,
+                                        dtype=np.int64)
+                        for t, (addr, vd, vl) in enumerate(zip(
+                                sel_addrs[miss_pos].tolist(),
+                                vdirty[miss_pos].tolist(),
+                                vline[miss_pos].tolist())):
+                            if vd:
+                                evicted = l3.fill(vl * line, dirty=True)
+                                if evicted and evicted[1]:
+                                    self._writeback_to_dram(home)
+                            out3 = slc.access(addr, is_write=False)
+                            ev3 = out3.evicted
+                            if ev3 is not None and ev3[1]:
+                                self._writeback_to_dram(home)
+                            if not out3.hit:
+                                extra[t] += self._dram_fill(home)
+                        lat_arr[sel[miss_pos]] += extra
+                csum = np.concatenate(([0], np.cumsum(lat_arr)))
+                bounds = np.concatenate(
+                    ([0], np.asarray(seg_ends, dtype=np.int64))
+                )
+                seg_totals = np.diff(csum[bounds]).tolist()
+            elif seg_ends is not None:
+                prev_total = 0
+                pos = 0
+                for end in (seg_ends.tolist()
+                            if isinstance(seg_ends, np.ndarray)
+                            else seg_ends):
+                    end = int(end)
+                    total, n_l3, moved = self._acp_elem_walk(
+                        addrs[pos:end].tolist(), local_cluster, is_write,
+                        elem_bytes, counts, conv, total, n_l3, moved,
+                    )
+                    seg_totals.append(total - prev_total)
+                    prev_total = total
+                    pos = end
+            elif n >= _ACCEL_BATCH_VEC_MIN and vec_path_enabled():
                 # group by home ACP: an ACP only caches addresses of its
                 # own stripe, so its victims retire into the same home's
                 # L3 slice — per-home groups never interleave L3 state,
@@ -941,61 +1271,27 @@ class MemoryHierarchy:
                         if not out3.hit:
                             total += self._dram_fill(home)
             else:
-                for addr in addrs.tolist():
-                    home = (addr // stripe) % ncl
-                    seen = counts.get(home)
-                    if seen is None:
-                        counts[home] = 1
-                        conv[home] = _ps_to_cycles_int(
-                            lat_of(local_cluster, home, 0)
-                            + (lat_of(local_cluster, home, elem_bytes)
-                               if is_write
-                               else lat_of(home, local_cluster,
-                                           elem_bytes)),
-                            freq,
-                        )
-                    else:
-                        counts[home] = seen + 1
-                    if home != local_cluster:
-                        moved += elem_bytes
-                    total += 1 + conv[home]
-                    out = acps[home].access(addr, is_write)
-                    ev = out.evicted
-                    if ev is not None and ev[1]:
-                        # dirty line retires into the local bank
-                        n_l3 += 1
-                        evicted = l3.fill(ev[0] * line, dirty=True)
-                        if evicted and evicted[1]:
-                            self._writeback_to_dram(home)
-                    if out.hit:
-                        continue
-                    n_l3 += 1
-                    total += bank_lat
-                    out3 = l3.access(addr, is_write=False)
-                    ev3 = out3.evicted
-                    if ev3 is not None and ev3[1]:
-                        self._writeback_to_dram(home)
-                    if not out3.hit:
-                        total += self._dram_fill(home)
+                total, n_l3, moved = self._acp_elem_walk(
+                    addrs.tolist(), local_cluster, is_write, elem_bytes,
+                    counts, conv, total, n_l3, moved,
+                )
         finally:
             if pool is not None:
                 self._flush_dram_pool(pool)
-        energy = self.energy
-        traffic = self.traffic
-        energy.charge("access_unit", "acp_access", n)
+        self._charge("access_unit", "acp_access", n)
         if n_l3:
-            energy.charge("l3", "l3_access", n_l3)
+            self._charge("l3", "l3_access", n_l3)
         for home, count in counts.items():
-            traffic.record(MessageKind.ACC_HANDSHAKE, local_cluster, home,
-                           0, count=count)
+            self._record(MessageKind.ACC_HANDSHAKE, local_cluster, home,
+                         0, count)
             if is_write:
-                traffic.record(MessageKind.ACC_OPERAND, local_cluster,
-                               home, elem_bytes, count=count)
+                self._record(MessageKind.ACC_OPERAND, local_cluster,
+                             home, elem_bytes, count)
             else:
-                traffic.record(MessageKind.ACC_OPERAND, home,
-                               local_cluster, elem_bytes, count=count)
+                self._record(MessageKind.ACC_OPERAND, home,
+                             local_cluster, elem_bytes, count)
         self.movement_bytes += moved
-        return total
+        return seg_totals if seg_ends is not None else total
 
     def l3_demand_batch(self, from_node: int,
                         as_accel: bool = False) -> "L3DemandWindow":
@@ -1121,11 +1417,11 @@ class L3DemandWindow:
         total = 0
         for cluster, count in self._counts.items():
             total += count
-            h.energy.charge("l3", "l3_access", count)
-            h.traffic.record(MessageKind.CACHE_REQ, self.from_node,
-                             cluster, 0, count=count)
-            h.traffic.record(self.kind, cluster, self.from_node,
-                             h._line, count=count)
+            h._charge("l3", "l3_access", count)
+            h._record(MessageKind.CACHE_REQ, self.from_node,
+                      cluster, 0, count)
+            h._record(self.kind, cluster, self.from_node,
+                      h._line, count)
         h.movement_bytes += total * h._line
         self._counts.clear()
         self._conv.clear()

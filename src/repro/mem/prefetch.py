@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     last_addr: int
     stride: int = 0

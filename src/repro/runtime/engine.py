@@ -20,6 +20,7 @@ import numpy as np
 from ..accel.base import PartitionProfile
 from ..compiler.pipeline import CompiledOffload
 from ..energy import EnergyLedger
+from ..envcfg import sched_path_enabled, vec_path_enabled
 from ..events import Channel, Delay, Get, Put, Simulator, cycles_to_ps
 from ..fastpath import fast_path_enabled
 from ..interface.config import AccessConfig, AccessKind, PartitionConfig
@@ -32,6 +33,7 @@ from ..mem.slab import SlabAllocator
 from ..noc import HOST_NODE, MessageKind
 from ..obs import OBS
 from ..params import MachineParams
+from . import fastsim
 from .streams import SiteStreams
 
 #: target number of chunks an innermost loop is simulated in
@@ -42,6 +44,9 @@ FSM_OVERLAP = 4
 HOST_SYNC_CYCLES = 40
 #: memory clock domain for latency accounting
 MEM_FREQ_GHZ = 2.0
+#: Mono-CA chunks at least this long advance the private cache through
+#: the set-parallel batch walk instead of the per-access loop
+_PRIVATE_VEC_MIN = 16
 
 
 @dataclass
@@ -176,18 +181,36 @@ class OffloadEngine:
         if n == 0:
             return 0
         self.energy.charge("accel", "private_cache_access", n)
-        access = self.private_cache.access
+        pc = self.private_cache
         writeback = self.hierarchy.writeback_line_from
         window = self.hierarchy.l3_demand_batch(cluster)
         total = n  # 1 cycle per private-cache lookup
         try:
-            for addr in addrs.tolist():
-                out = access(addr, is_write)
-                ev = out.evicted
-                if ev is not None and ev[1]:
-                    writeback(ev[0], cluster)
-                if not out.hit:
+            if n >= _PRIVATE_VEC_MIN and vec_path_enabled():
+                # advance the private cache set-parallel first: nothing
+                # downstream (L3 window, victim writebacks) ever feeds
+                # back into it, so visiting only the misses afterwards
+                # keeps every downstream transition in scalar order
+                hit, vline, vdirty = pc.access_batch(
+                    addrs >> pc.line_shift,
+                    np.full(n, is_write, dtype=bool),
+                )
+                for addr, vd, vl in zip(
+                        addrs[~hit].tolist(),
+                        vdirty[~hit].tolist(),
+                        vline[~hit].tolist()):
+                    if vd:
+                        writeback(vl, cluster)
                     total += window.access(addr)
+            else:
+                access = pc.access
+                for addr in addrs.tolist():
+                    out = access(addr, is_write)
+                    ev = out.evicted
+                    if ev is not None and ev[1]:
+                        writeback(ev[0], cluster)
+                    if not out.hit:
+                        total += window.access(addr)
         finally:
             window.flush()
         return total
@@ -274,13 +297,35 @@ class OffloadEngine:
             chunk_sizes=chunk_sizes, site_streams=site_streams,
             sim=sim, stats=stats, shared_port=shared_port,
         )
-        run_ctx.build()
-        sim.run()
+        run_time = None
+        # run-scoped deferred accounting: one DRAM pool and pooled
+        # batch-tail ledger counts across the whole replay (exact: the
+        # pooled charges/records are linear and the ledgers order-free)
+        win = self.hierarchy.open_accounting()
+        try:
+            if sched_path_enabled() and shared_port is None:
+                run_time = fastsim.replay(run_ctx)
+            if run_time is None:
+                run_ctx.build()
+                sim.run()
+                run_time = sim.now
+                OBS.inc("engine.sim_events", sim.events_executed)
+                OBS.inc("engine.sim_fastforwards", sim.fastforwards)
+                OBS.observe_max("engine.sim_peak_pending",
+                                sim.peak_pending)
+                for chans in (run_ctx.channels, run_ctx.fill_tokens,
+                              run_ctx.drain_tokens):
+                    for ch in chans.values():
+                        OBS.observe_max("engine.chan_max_occupancy",
+                                        ch.max_occupancy)
+            else:
+                OBS.inc("engine.fastsim_runs")
+        finally:
+            self.hierarchy.close_accounting(win)
         OBS.inc("engine.offload_runs")
-        OBS.inc("engine.sim_events", sim.events_executed)
         OBS.inc("engine.accel_iterations", trips)
         OBS.observe_max("engine.peak_chunks", nchunks)
-        stats.time_ps += sim.now
+        stats.time_ps += run_time
         stats.accel_iterations += trips
         # per-invocation host relaunch overhead for data-dependent inner
         # bounds (the paper's spmv Dist-DA-B effect); affine bounds are
@@ -325,6 +370,13 @@ class _RunContext:
     #: and partition procs all re-derive the same chunk slices, and the
     #: per-chunk np.unique is measurable across ~100k chunk visits
     _chunk_memo: Dict[tuple, np.ndarray] = field(default_factory=dict)
+    #: partial macro-chunk coalescing (fastsim): per-chunk latencies of
+    #: processes whose footprint is private to them — their hierarchy
+    #: sweeps ran up front in one widened call, so the event process
+    #: replays the latencies without touching memory-system state
+    pre_fill: Dict[int, List[int]] = field(default_factory=dict)
+    pre_drain: Dict[int, List[int]] = field(default_factory=dict)
+    pre_ind: Dict[int, List[int]] = field(default_factory=dict)
 
     def build(self) -> None:
         config = self.offload.config
@@ -353,7 +405,7 @@ class _RunContext:
                 self.fill_tokens[buf_key] = tok
                 self.sim.spawn(
                     f"fsm-fill-{buf_key}",
-                    self._fill_proc(acc, cluster, tok),
+                    self._fill_proc(acc, cluster, tok, buf_key),
                 )
             for buf_key, acc in self._grouped(
                 self._buffered_writes(part)
@@ -364,7 +416,7 @@ class _RunContext:
                 self.drain_tokens[buf_key] = tok
                 self.sim.spawn(
                     f"fsm-drain-{buf_key}",
-                    self._drain_proc(acc, cluster, tok),
+                    self._drain_proc(acc, cluster, tok, buf_key),
                 )
         for group in groups:
             if len(group) == 1:
@@ -480,57 +532,91 @@ class _RunContext:
             if a.kind in (AccessKind.INDIRECT, AccessKind.RANDOM)
         ]
 
-    def _elems_for_chunk(self, acc: AccessConfig, c: int) -> np.ndarray:
-        """Slice of the access's element stream belonging to chunk c."""
-        key = ("e", id(acc), c)
+    def _elem_chunks(self, acc: AccessConfig) -> List[np.ndarray]:
+        """Element-stream slices of every chunk, computed in one pass."""
+        key = ("e", id(acc))
         out = self._chunk_memo.get(key)
         if out is None:
             stream = self.site_streams.for_sites(acc.site_ids)
-            if stream.size == 0:
-                out = stream
-            else:
-                n = len(self.chunk_sizes)
-                lo = (stream.size * c) // n
-                hi = (stream.size * (c + 1)) // n
-                out = stream[lo:hi]
+            n = len(self.chunk_sizes)
+            size = stream.size
+            bounds = [(size * c) // n for c in range(n + 1)]
+            out = [stream[bounds[c]:bounds[c + 1]] for c in range(n)]
             self._chunk_memo[key] = out
         return out
+
+    def _elems_for_chunk(self, acc: AccessConfig, c: int) -> np.ndarray:
+        """Slice of the access's element stream belonging to chunk c."""
+        return self._elem_chunks(acc)[c]
 
     def _addr(self, acc: AccessConfig, elem: int) -> int:
         alloc = self.engine.slab.by_name(acc.obj)
         return alloc.base + int(elem) * acc.elem_bytes
 
+    def _line_chunks(self, acc: AccessConfig) -> List[np.ndarray]:
+        """Unique line addresses each chunk's elements touch (64 B
+        lines), all chunks in one vectorized pass.
+
+        Streams are almost always monotone, so the per-chunk sorted
+        dedup is a single global adjacent-difference mask re-anchored at
+        each chunk boundary (~200k chunk visits per small matrix cell
+        made the per-chunk set/np.unique cost measurable). Non-monotone
+        streams keep the per-chunk reference dedup.
+        """
+        key = ("l", id(acc))
+        out = self._chunk_memo.get(key)
+        if out is not None:
+            return out
+        elem_chunks = self._elem_chunks(acc)
+        stream = self.site_streams.for_sites(acc.site_ids)
+        n = len(self.chunk_sizes)
+        size = stream.size
+        if size == 0:
+            out = elem_chunks  # every chunk is the empty slice
+        else:
+            base = self.engine.slab.by_name(acc.obj).base
+            eb = acc.elem_bytes
+            lines = (base + stream * eb) >> 6
+            bounds = [(size * c) // n for c in range(n + 1)]
+            if size == 1 or bool((lines[1:] >= lines[:-1]).all()):
+                keep = np.empty(size, dtype=bool)
+                keep[0] = True
+                np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+                out = []
+                for c in range(n):
+                    lo, hi = bounds[c], bounds[c + 1]
+                    if lo == hi:
+                        out.append(lines[:0])
+                        continue
+                    k = keep[lo:hi].copy()
+                    k[0] = True  # dedup restarts at the chunk boundary
+                    out.append(lines[lo:hi][k] << 6)
+            else:
+                out = [self._chunk_lines_ref(elems, base, eb)
+                       for elems in elem_chunks]
+        self._chunk_memo[key] = out
+        return out
+
+    @staticmethod
+    def _chunk_lines_ref(elems: np.ndarray, base: int,
+                         eb: int) -> np.ndarray:
+        """Reference per-chunk line dedup (non-monotone streams)."""
+        if elems.size == 0:
+            return elems
+        if elems.size <= 16:
+            lines = sorted({(base + e * eb) >> 6 for e in elems.tolist()})
+            return np.array(lines, dtype=np.int64) << 6
+        lines = (base + elems * eb) >> 6
+        if (lines[1:] >= lines[:-1]).all():
+            keep = np.empty(lines.size, dtype=bool)
+            keep[0] = True
+            keep[1:] = lines[1:] != lines[:-1]
+            return lines[keep] << 6
+        return np.unique(lines) << 6
+
     def _lines_for_chunk(self, acc: AccessConfig, c: int) -> np.ndarray:
         """Unique line addresses a chunk's elements touch (64 B lines)."""
-        key = ("l", id(acc), c)
-        out = self._chunk_memo.get(key)
-        if out is None:
-            elems = self._elems_for_chunk(acc, c)
-            if elems.size == 0:
-                out = elems
-            elif elems.size <= 16:
-                # typical chunks touch a handful of lines; a Python set
-                # beats np.unique's sort at this size by an order of
-                # magnitude (~200k chunks per small matrix cell)
-                base = self.engine.slab.by_name(acc.obj).base
-                eb = acc.elem_bytes
-                lines = sorted({(base + e * eb) >> 6
-                                for e in elems.tolist()})
-                out = np.array(lines, dtype=np.int64) << 6
-            else:
-                base = self.engine.slab.by_name(acc.obj).base
-                lines = (base + elems * acc.elem_bytes) >> 6
-                if (lines[1:] >= lines[:-1]).all():
-                    # streams are monotone: dedup with one linear pass
-                    # instead of np.unique's sort
-                    keep = np.empty(lines.size, dtype=bool)
-                    keep[0] = True
-                    keep[1:] = lines[1:] != lines[:-1]
-                    out = lines[keep] << 6
-                else:
-                    out = np.unique(lines) << 6
-            self._chunk_memo[key] = out
-        return out
+        return self._line_chunks(acc)[c]
 
     def _is_invariant(self, acc: AccessConfig) -> bool:
         return acc.stride_elems == 0 and acc.kind is AccessKind.STREAM_READ
@@ -571,54 +657,82 @@ class _RunContext:
         return self.engine.hierarchy.l3.home_cluster(int(addr))
 
     # -- processes -----------------------------------------------------------
-    def _fill_proc(self, acc: AccessConfig, cluster: int, tok: Channel):
+    def _fill_proc(self, acc: AccessConfig, cluster: int, tok: Channel,
+                   buf_key: int):
+        # the per-chunk energy charges and Fig-9 byte tallies are
+        # commutative integer accumulations: summing them locally and
+        # flushing once per process is bit-identical to per-chunk calls
         engine = self.engine
         energy = engine.energy
         invariant = self._is_invariant(acc)
+        line_chunks = self._line_chunks(acc)
+        elem_chunks = None if invariant else self._elem_chunks(acc)
+        pre = self.pre_fill.get(buf_key)
+        fsm_n = buf_n = trans_n = d_a = 0
         for c, iters in enumerate(self.chunk_sizes):
             if invariant and c > 0:
                 yield Put(tok, c)
                 continue
-            lines = self._lines_for_chunk(acc, c)
+            lines = line_chunks[c]
             if invariant:
                 lines = lines[:1]
             if self.shared_port is not None:
                 yield Get(self.shared_port)
-            at = self._migrated(cluster, lines[0] if len(lines) else None)
-            lat_cycles = self._fetch_chunk(at, lines, False)
-            n_elems = (1 if invariant
-                       else len(self._elems_for_chunk(acc, c)))
-            if len(lines):
-                energy.charge("access_unit", "fsm_step", n_elems)
-                energy.charge("access_unit", "buffer_access", len(lines))
-                energy.charge("access_unit", "translation_lookup", 1)
-                self.stats.d_a_bytes += len(lines) * 64
+            if pre is not None:
+                lat_cycles = pre[c]
+            else:
+                at = self._migrated(cluster,
+                                    lines[0] if len(lines) else None)
+                lat_cycles = self._fetch_chunk(at, lines, False)
+            nlines = len(lines)
+            if nlines:
+                fsm_n += 1 if invariant else len(elem_chunks[c])
+                buf_n += nlines
+                trans_n += 1
+                d_a += nlines * 64
             yield Delay(cycles_to_ps(
-                lat_cycles / FSM_OVERLAP + len(lines), MEM_FREQ_GHZ
+                lat_cycles / FSM_OVERLAP + nlines, MEM_FREQ_GHZ
             ))
             if self.shared_port is not None:
                 yield Put(self.shared_port, True)
             yield Put(tok, c)
+        if trans_n:
+            energy.charge("access_unit", "fsm_step", fsm_n)
+            energy.charge("access_unit", "buffer_access", buf_n)
+            energy.charge("access_unit", "translation_lookup", trans_n)
+            self.stats.d_a_bytes += d_a
 
-    def _drain_proc(self, acc: AccessConfig, cluster: int, tok: Channel):
+    def _drain_proc(self, acc: AccessConfig, cluster: int, tok: Channel,
+                    buf_key: int):
         engine = self.engine
         energy = engine.energy
+        line_chunks = self._line_chunks(acc)
+        pre = self.pre_drain.get(buf_key)
+        buf_n = d_a = 0
         for _ in self.chunk_sizes:
             c = yield Get(tok)
-            lines = self._lines_for_chunk(acc, c)
+            lines = line_chunks[c]
             if self.shared_port is not None:
                 yield Get(self.shared_port)
-            at = self._migrated(cluster, lines[0] if len(lines) else None)
-            lat_cycles = self._fetch_chunk(at, lines, True)
-            if len(lines):
-                energy.charge("access_unit", "fsm_step", len(lines))
-                energy.charge("access_unit", "buffer_access", len(lines))
-                self.stats.d_a_bytes += len(lines) * 64
+            if pre is not None:
+                lat_cycles = pre[c]
+            else:
+                at = self._migrated(cluster,
+                                    lines[0] if len(lines) else None)
+                lat_cycles = self._fetch_chunk(at, lines, True)
+            nlines = len(lines)
+            if nlines:
+                buf_n += nlines
+                d_a += nlines * 64
             yield Delay(cycles_to_ps(
-                lat_cycles / FSM_OVERLAP + len(lines), MEM_FREQ_GHZ
+                lat_cycles / FSM_OVERLAP + nlines, MEM_FREQ_GHZ
             ))
             if self.shared_port is not None:
                 yield Put(self.shared_port, True)
+        if buf_n:
+            energy.charge("access_unit", "fsm_step", buf_n)
+            energy.charge("access_unit", "buffer_access", buf_n)
+            self.stats.d_a_bytes += d_a
 
     def _partition_proc(self, part: PartitionConfig, cluster: int):
         engine = self.engine
@@ -626,6 +740,7 @@ class _RunContext:
         config = self.offload.config
         profile = PartitionProfile.from_config(part)
         timing = engine.backend.timing(profile)
+        ii_ps = timing.ii_ps  # property: hoisted out of the chunk loop
         read_bufs = self.read_bufs[part.partition_index]
         write_bufs = self.write_bufs[part.partition_index]
         indirect = self._indirect(part)
@@ -633,56 +748,88 @@ class _RunContext:
         intra_per_iter = (
             profile.buffer_reads + profile.buffer_writes
         )
+        ind_chunks = [(acc, self._elem_chunks(acc)) for acc in indirect]
+        pre = self.pre_ind.get(part.partition_index)
+        # hoist the per-chunk channel/token lookups out of the loop
+        consume_chs = [self.channels[ch_id] for ch_id in part.consumes]
+        read_toks = [self.fill_tokens[b] for b in read_bufs]
+        write_toks = [self.drain_tokens[b] for b in write_bufs]
+        produce_chs = [
+            (self.channels[ch_id],
+             self.clusters[config.channel(ch_id).consumer_partition],
+             config.channel(ch_id).payload_bytes)
+            for ch_id in part.produces
+        ]
+        overlap = 1.0 if self.offload.serial_chain else engine.io_overlap
+        # deferred commutative accounting, flushed once after the loop
+        # (bit-identical to per-chunk charges/records: the ledgers
+        # accumulate exact integer counts)
+        trans_n = d_a = total_iters = a_a = 0
+        operand_recs: Dict[Tuple[int, int], int] = {}
         for c, iters in enumerate(self.chunk_sizes):
-            for ch_id in part.consumes:
-                yield Get(self.channels[ch_id])
-            for buf_key in read_bufs:
-                yield Get(self.fill_tokens[buf_key])
+            for ch in consume_chs:
+                yield Get(ch)
+            for tok in read_toks:
+                yield Get(tok)
             ind_cycles = 0
-            for acc in indirect:
-                elems = self._elems_for_chunk(acc, c)
-                at = self._migrated(
-                    cluster,
-                    self._addr(acc, elems[0]) if len(elems) else None,
-                )
-                ind_cycles += self._indirect_chunk(acc, at, elems)
-                if len(elems):
-                    energy.charge(
-                        "access_unit", "translation_lookup", len(elems)
+            if pre is not None:
+                ind_cycles = pre[c]
+                for acc, chunks in ind_chunks:
+                    n_elems = len(chunks[c])
+                    if n_elems:
+                        trans_n += n_elems
+                        d_a += n_elems * acc.elem_bytes
+            else:
+                for acc, chunks in ind_chunks:
+                    elems = chunks[c]
+                    at = self._migrated(
+                        cluster,
+                        self._addr(acc, elems[0]) if len(elems) else None,
                     )
-                    self.stats.d_a_bytes += len(elems) * acc.elem_bytes
-            compute_ps = timing.ii_ps * iters
+                    ind_cycles += self._indirect_chunk(acc, at, elems)
+                    if len(elems):
+                        trans_n += len(elems)
+                        d_a += len(elems) * acc.elem_bytes
+            compute_ps = ii_ps * iters
             # a loop-carried address chain (pointer chasing) serializes
-            # indirect accesses on every substrate
-            overlap = 1.0 if self.offload.serial_chain else engine.io_overlap
+            # indirect accesses on every substrate (overlap hoisted)
             indirect_ps = cycles_to_ps(ind_cycles / overlap, MEM_FREQ_GHZ)
             yield Delay(compute_ps + indirect_ps)
-            engine.backend.charge_iteration(profile, energy, count=iters)
-            # operand reads/writes: access-unit SRAM buffers, or the
-            # centralized private cache in Mono-CA
-            operand_event = (
-                "private_cache_access" if engine.private_cache is not None
-                else "buffer_access"
-            )
-            energy.charge("access_unit", operand_event,
-                          intra_per_iter * iters)
-            self.stats.intra_bytes += intra_per_iter * iters * 4
-            for ch_id in part.produces:
-                ch = config.channel(ch_id)
-                dst_cluster = self.clusters[ch.consumer_partition]
-                payload = ch.payload_bytes * iters
-                lat_ps = traffic.record(
-                    MessageKind.ACC_OPERAND, cluster, dst_cluster, payload
-                )
-                traffic.record(
-                    MessageKind.ACC_CREDIT, dst_cluster, cluster, 0
-                )
-                self.stats.a_a_bytes += payload
-                if lat_ps and c == 0:
-                    yield Delay(lat_ps)  # pipeline fill latency, once
-                yield Put(self.channels[ch_id], c)
-            for buf_key in write_bufs:
-                yield Put(self.drain_tokens[buf_key], c)
+            total_iters += iters
+            for ch, dst_cluster, payload_bytes in produce_chs:
+                payload = payload_bytes * iters
+                key = (dst_cluster, payload)
+                operand_recs[key] = operand_recs.get(key, 0) + 1
+                a_a += payload
+                if c == 0:
+                    lat_ps = traffic.latency_of(
+                        cluster, dst_cluster, payload
+                    )
+                    if lat_ps:
+                        yield Delay(lat_ps)  # pipeline fill latency, once
+                yield Put(ch, c)
+            for tok in write_toks:
+                yield Put(tok, c)
+        if trans_n:
+            energy.charge("access_unit", "translation_lookup", trans_n)
+            self.stats.d_a_bytes += d_a
+        engine.backend.charge_iteration(profile, energy, count=total_iters)
+        # operand reads/writes: access-unit SRAM buffers, or the
+        # centralized private cache in Mono-CA
+        operand_event = (
+            "private_cache_access" if engine.private_cache is not None
+            else "buffer_access"
+        )
+        energy.charge("access_unit", operand_event,
+                      intra_per_iter * total_iters)
+        self.stats.intra_bytes += intra_per_iter * total_iters * 4
+        self.stats.a_a_bytes += a_a
+        for (dst_cluster, payload), count in operand_recs.items():
+            traffic.record(MessageKind.ACC_OPERAND, cluster, dst_cluster,
+                           payload, count=count)
+            # every operand message is matched by a zero-payload credit
+            traffic.record(MessageKind.ACC_CREDIT, dst_cluster, cluster,
+                           0, count=count)
 
     def _fused_group_proc(self, group: List[int]):
         """Serially executes a dependence cycle of partitions.
@@ -727,6 +874,13 @@ class _RunContext:
             if ch.producer_partition in group_set
             and ch.consumer_partition not in group_set
         ]
+        ind_chunks = [
+            (part, acc, self._elem_chunks(acc))
+            for part in members for acc in self._indirect(part)
+        ]
+        # deferred commutative accounting (see _partition_proc)
+        trans_n = d_a = total_iters = a_a = 0
+        operand_recs: Dict[Tuple[int, int, int], int] = {}
         for c, iters in enumerate(self.chunk_sizes):
             for ch_id in external_consumes:
                 yield Get(self.channels[ch_id])
@@ -734,49 +888,57 @@ class _RunContext:
                 for buf_key in self.read_bufs[part.partition_index]:
                     yield Get(self.fill_tokens[buf_key])
             ind_cycles = 0
-            for part in members:
+            for part, acc, chunks in ind_chunks:
                 cluster = self.clusters[part.partition_index]
-                for acc in self._indirect(part):
-                    elems = self._elems_for_chunk(acc, c)
-                    at = self._migrated(
-                        cluster,
-                        self._addr(acc, elems[0]) if len(elems) else None,
-                    )
-                    ind_cycles += self._indirect_chunk(acc, at, elems)
-                    if len(elems):
-                        energy.charge("access_unit", "translation_lookup",
-                                      len(elems))
-                        self.stats.d_a_bytes += len(elems) * acc.elem_bytes
+                elems = chunks[c]
+                at = self._migrated(
+                    cluster,
+                    self._addr(acc, elems[0]) if len(elems) else None,
+                )
+                ind_cycles += self._indirect_chunk(acc, at, elems)
+                if len(elems):
+                    trans_n += len(elems)
+                    d_a += len(elems) * acc.elem_bytes
             # dependence cycle: no overlap across iterations
             yield Delay(
                 iters * (per_iter_ps + hop_ps)
                 + cycles_to_ps(ind_cycles, MEM_FREQ_GHZ)
             )
-            for part in members:
-                profile = profiles[part.partition_index]
-                engine.backend.charge_iteration(profile, energy, count=iters)
-                intra = profile.buffer_reads + profile.buffer_writes
-                energy.charge("access_unit", "buffer_access", intra * iters)
-                self.stats.intra_bytes += intra * iters * 4
+            total_iters += iters
             for ch in intra_channels:
                 payload = ch.payload_bytes * iters
-                traffic.record(
-                    MessageKind.ACC_OPERAND,
+                key = (
                     self.clusters[ch.producer_partition],
                     self.clusters[ch.consumer_partition],
                     payload,
                 )
-                self.stats.a_a_bytes += payload
+                operand_recs[key] = operand_recs.get(key, 0) + 1
+                a_a += payload
             for ch in external_produces:
                 payload = ch.payload_bytes * iters
-                traffic.record(
-                    MessageKind.ACC_OPERAND,
+                key = (
                     self.clusters[ch.producer_partition],
                     self.clusters[ch.consumer_partition],
                     payload,
                 )
-                self.stats.a_a_bytes += payload
+                operand_recs[key] = operand_recs.get(key, 0) + 1
+                a_a += payload
                 yield Put(self.channels[ch.channel_id], c)
             for part in members:
                 for buf_key in self.write_bufs[part.partition_index]:
                     yield Put(self.drain_tokens[buf_key], c)
+        if trans_n:
+            energy.charge("access_unit", "translation_lookup", trans_n)
+            self.stats.d_a_bytes += d_a
+        for part in members:
+            profile = profiles[part.partition_index]
+            engine.backend.charge_iteration(profile, energy,
+                                            count=total_iters)
+            intra = profile.buffer_reads + profile.buffer_writes
+            energy.charge("access_unit", "buffer_access",
+                          intra * total_iters)
+            self.stats.intra_bytes += intra * total_iters * 4
+        self.stats.a_a_bytes += a_a
+        for (src, dst, payload), count in operand_recs.items():
+            traffic.record(MessageKind.ACC_OPERAND, src, dst, payload,
+                           count=count)

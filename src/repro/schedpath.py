@@ -1,0 +1,38 @@
+"""Feature gate for the two-level replay scheduler and macro-chunk
+coalescing.
+
+``REPRO_SCHED=1`` (the default) enables two coordinated replay-engine
+optimizations:
+
+* the two-level event scheduler in :mod:`repro.events`: a
+  same-timestamp FIFO run queue (channel rendezvous resumes through a
+  deque append instead of a heap push/pop pair) in front of a calendar
+  queue of per-timestamp buckets, plus a sole-runner fast-forward that
+  advances ``now`` directly when the only runnable process yields
+  ``Delay``; and
+* analytic macro-chunk coalescing in :mod:`repro.runtime.fastsim`: an
+  offload run whose process network is statically provable free of
+  shared-port contention and cross-process cache-set interference is
+  replayed with per-process widened memory-system batches and a
+  closed-form marked-graph schedule instead of discrete events.
+
+``REPRO_SCHED=0`` keeps the single tuple-heap reference engine and the
+event-per-yield offload replay. Both settings produce bit-identical
+results — timelines, traces and every timing/energy/traffic counter —
+which is enforced by ``tests/runtime/test_sched_equiv.py`` and the
+differential oracle (:mod:`repro.testing.oracle`).
+
+The variable is consulted at every simulation entry (once per
+``Simulator`` / offload run, never per event), so tests can flip it
+in-process with ``monkeypatch.setenv``. The variable itself is declared
+in :mod:`repro.envcfg`, the authoritative ``REPRO_*`` registry.
+"""
+
+from __future__ import annotations
+
+from . import envcfg
+from .envcfg import sched_path_enabled
+
+ENV_VAR = envcfg.REPRO_SCHED.name
+
+__all__ = ["ENV_VAR", "sched_path_enabled"]

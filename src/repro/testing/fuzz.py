@@ -138,7 +138,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     hist_line = "  ".join(f"{k}={v}" for k, v in hist.items())
     print(f"[fuzz] {len(reports)} cases in {elapsed:.1f}s "
           f"across {len(paths)} paths x {len(oracle.modes)} replay x "
-          f"{len(oracle.vec_modes)} interpreter modes")
+          f"{len(oracle.vec_modes)} interpreter modes x "
+          f"{len(set(oracle.sched_modes))} scheduler engines")
     print(f"[fuzz] shapes: {hist_line}")
     print(f"[fuzz] static cost bounds (AN-C): {len(reports)} cases "
           f"checked, {static_bound_fails} violation(s)")
