@@ -57,9 +57,6 @@ from .ranges import affine_form
 
 INF = math.inf
 
-#: the frozen per-event energy charge sheet every simulation run uses.
-ENERGY = EnergyTable()
-
 # ---------------------------------------------------------------------------
 # margin constants (all latencies in cycles at the named clock)
 # ---------------------------------------------------------------------------
@@ -976,8 +973,7 @@ class CostModel:
     def _ooo_energy(self, machine: MachineParams, acc: _Acc,
                     insts: Interval, out: Dict[str, Interval],
                     d_lines: float) -> Interval:
-        del machine  # the energy charge sheet is machine-independent
-        t = ENERGY
+        t = machine.energy
         core_lo = (t.ooo_inst_overhead * insts.lo
                    + t.reg_access * 2.0 * insts.lo
                    + t.int_op * (acc.int_ops.lo + acc.ovh.lo)
@@ -1080,7 +1076,7 @@ class CostModel:
                     time_lo += max(t.ii_ps for t in timings) * trips.lo
                 # energy: the per-iteration backend charge is exact
                 for profile in profiles:
-                    pj = _iteration_pj(backend, profile)
+                    pj = _iteration_pj(backend, profile, machine.energy)
                     per_iter_pj_lo += pj * trips.lo
                     per_iter_pj_hi += _mul0(trips.hi, pj)
                     intra_ops = intra_ops + trips.scale(
@@ -1152,7 +1148,8 @@ class CostModel:
                                  for p in off.config.partitions), default=0)
                     call_time_hi += CONFIGURE_PS + cycles_to_ps(
                         setup, backend.freq_ghz)
-                    setup_pj += _setup_pj(backend, off.config.partitions)
+                    setup_pj += _setup_pj(backend, off.config.partitions,
+                                          machine.energy)
                 # per-invocation relaunch sync (host HOST_SYNC_CYCLES)
                 if (invocations.hi > 1 and not spec.localized_control
                         and _bounds_data_dependent(off)):
@@ -1181,7 +1178,7 @@ class CostModel:
                 else:
                     time_hi = INF
 
-        t = ENERGY
+        t = machine.energy
         lines_elems_hi = (lines_tot.hi + elems_tot.hi
                           if math.isfinite(lines_tot.hi)
                           and math.isfinite(elems_tot.hi) else INF)
@@ -1234,18 +1231,20 @@ class CostModel:
         return out
 
 
-def _iteration_pj(backend: Any, profile: Any) -> float:
+def _iteration_pj(backend: Any, profile: Any,
+                  table: EnergyTable) -> float:
     from ..energy import EnergyLedger
 
-    ledger = EnergyLedger()
+    ledger = EnergyLedger(table)
     backend.charge_iteration(profile, ledger, 1.0)
     return ledger.total_pj()
 
 
-def _setup_pj(backend: Any, partitions: Sequence[Any]) -> float:
+def _setup_pj(backend: Any, partitions: Sequence[Any],
+              table: EnergyTable) -> float:
     from ..energy import EnergyLedger
 
-    ledger = EnergyLedger()
+    ledger = EnergyLedger(table)
     charge = getattr(backend, "charge_setup", None)
     if charge is not None:
         for part in partitions:

@@ -134,19 +134,31 @@ def cluster_spans(kernel: Kernel,
                   ) -> Dict[str, Tuple[int, ...]]:
     """Home-cluster set of every object under the simulator's layout:
     stripe-aligned bump allocation + static range striping."""
+    import math
+
+    from ..mem.slab import DEFAULT_ARENA_BASE
+    from ..params import PAGE_BYTES
+
     machine = machine or default_machine()
     stripe = machine.l3_cluster_bytes
     n = machine.l3_clusters
     spans: Dict[str, Tuple[int, ...]] = {}
-    base = 0
+    # the simulator's slab bumps page-granular slabs from
+    # DEFAULT_ARENA_BASE, not 0; when arena_base // stripe is not a
+    # multiple of n (any topology whose stripe * clusters does not
+    # divide the arena base) the first home cluster is nonzero, so
+    # starting the mirror at 0 would misattribute every span
+    align = math.lcm(stripe, PAGE_BYTES)
+    base = DEFAULT_ARENA_BASE
     for name, obj in kernel.objects.items():
-        # stripe-aligned bump layout, mirroring SystemSimulator.run()
-        base = (base + stripe - 1) // stripe * stripe
+        # aligned page-granular bump layout, mirroring
+        # SystemSimulator.run()'s slab allocation
+        base = (base + align - 1) // align * align
         first = (base // stripe) % n
         stripes = (obj.size_bytes + stripe - 1) // stripe
         spans[name] = tuple(sorted({(first + k) % n
                                     for k in range(min(stripes, n))}))
-        base += obj.size_bytes
+        base += (obj.size_bytes + PAGE_BYTES - 1) // PAGE_BYTES * PAGE_BYTES
     return spans
 
 

@@ -22,7 +22,7 @@ from time import perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs import OBS, CellStat, SweepProgress
-from ..params import MachineParams
+from ..params import MachineParams, machine_digest
 from ..sim.results import RunResult
 from ..sim.system import simulate_workload
 from ..sim.tracecache import TraceCache
@@ -54,6 +54,7 @@ def _run_point(hash_: str, point: SweepPoint, base: MachineParams,
                cache: TraceCache) -> Dict[str, object]:
     """Simulate one point; retry once; always return a row."""
     machine = point.machine(base)
+    digest = machine_digest(machine)
     error: Optional[str] = None
     attempts = 0
     while attempts < MAX_ATTEMPTS:
@@ -74,6 +75,7 @@ def _run_point(hash_: str, point: SweepPoint, base: MachineParams,
             "version": STORE_VERSION,
             "status": "ok",
             "point": point.as_dict(),
+            "machine_digest": digest,
             "metrics": point_metrics(run),
             "error": None,
             "attempts": attempts,
@@ -83,6 +85,7 @@ def _run_point(hash_: str, point: SweepPoint, base: MachineParams,
         "version": STORE_VERSION,
         "status": "failed",
         "point": point.as_dict(),
+        "machine_digest": digest,
         "metrics": None,
         "error": error,
         "attempts": attempts,
@@ -260,6 +263,8 @@ def run_sweep(spec: SweepSpec,
                         "version": STORE_VERSION,
                         "status": "pruned",
                         "point": point.as_dict(),
+                        "machine_digest": machine_digest(
+                            point.machine(base)),
                         "metrics": None,
                         "bounds": {
                             m: list(pair) for m, pair in

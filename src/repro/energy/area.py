@@ -15,35 +15,20 @@ L1/L2, and uncore.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ..params import AreaTable, CgraParams, MachineParams
 
-from ..params import CgraParams, MachineParams
-
-
-@dataclass(frozen=True)
-class AreaTable:
-    """Component areas in mm^2 at 32 nm."""
-
-    l3_cluster: float = 2.10          # 256 KB SRAM + 4 bank ctl + router
-    ooo_core: float = 12.5            # 5-way OoO + private L1 (McPAT-class)
-    l2: float = 1.6                   # 128 KB + control
-    uncore_misc: float = 73.0         # memory ctl, IO, SoC uncore, spare
-    io_accel_core: float = 0.040      # 1-issue IO core, 2 complex + 2 FP ALU
-    cgra_pe_int: float = 0.0013
-    cgra_pe_float: float = 0.0030
-    cgra_pe_complex: float = 0.0036
-    cgra_network_per_pe: float = 0.0002
-    access_buffer_4kb: float = 0.0060
-    acp_1kb: float = 0.0025
-    stride_fsm: float = 0.0012
+__all__ = ["AreaTable", "AreaModel", "default_area_model"]
 
 
 class AreaModel:
-    """Computes accelerator area overheads per cluster and per chip."""
+    """Computes accelerator area overheads per cluster and per chip.
+
+    ``table`` defaults to the machine's own ``area`` charge sheet
+    (document-sourced; see :mod:`repro.machine`)."""
 
     def __init__(self, machine: MachineParams, table: AreaTable | None = None):
         self.machine = machine
-        self.table = table or AreaTable()
+        self.table = table or machine.area
 
     # -- aggregates ------------------------------------------------------
     def chip_area(self) -> float:

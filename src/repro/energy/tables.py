@@ -14,63 +14,18 @@ builds on:
 * Off-chip LPDDR access costs ~20 pJ/byte → ~1.3 nJ per 64 B line.
 * On-chip interconnect costs ~1 pJ per byte per hop plus router overhead.
 
-The table is a frozen dataclass so experiments can tweak entries with
-``dataclasses.replace`` for sensitivity studies.
+The :class:`EnergyTable` dataclass itself lives in :mod:`repro.params`
+(it is part of a machine description: every :class:`~repro.params.
+MachineParams` carries its own ``energy`` charge sheet, and machine
+documents may override individual entries). This module re-exports it
+for backward compatibility and keeps the default-table constructor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ..params import EnergyTable
 
-
-@dataclass(frozen=True)
-class EnergyTable:
-    """Dynamic energy per event, in picojoules (pJ)."""
-
-    # --- host OoO core -------------------------------------------------
-    #: per-instruction pipeline overhead (fetch/decode/rename/ROB/commit)
-    ooo_inst_overhead: float = 45.0
-    #: per-instruction overhead of a lightweight single-issue in-order core
-    io_inst_overhead: float = 6.0
-    #: per-op energy of a CGRA PE (op + local operand routing, no fetch)
-    cgra_op: float = 2.0
-    #: CGRA static-configuration load, per 64-bit config word
-    cgra_config_word: float = 4.0
-
-    # --- functional units (charged on top of pipeline overheads) -------
-    int_op: float = 0.9
-    float_op: float = 3.5
-    complex_op: float = 14.0  # div / sqrt / exp-class
-    reg_access: float = 1.0
-
-    # --- memory hierarchy (per access of one line / element) -----------
-    l1_access: float = 20.0
-    l2_access: float = 50.0
-    l3_access: float = 100.0
-    #: private accelerator cache in Mono-CA (8 KB)
-    private_cache_access: float = 8.0
-    #: DRAM access per 64-byte line
-    dram_line_access: float = 1300.0
-    #: access-unit SRAM buffer, per element (<= 8 B) access
-    buffer_access: float = 3.0
-    #: ACP lookup (1 KB, 1-way)
-    acp_access: float = 2.0
-    #: TLB/translation-block lookup
-    translation_lookup: float = 1.5
-
-    # --- interconnect ---------------------------------------------------
-    #: per byte per mesh hop (link traversal)
-    noc_byte_hop: float = 1.0
-    #: per flit per router traversal
-    noc_router_flit: float = 0.6
-    #: MMIO register write/read at an accelerator (config/ctrl intrinsics)
-    mmio_access: float = 2.5
-
-    # --- miscellaneous ---------------------------------------------------
-    #: stride-FSM address generation step
-    fsm_step: float = 0.4
-    #: hardware-scheduler buffer-allocation-table lookup/update
-    sched_table_access: float = 1.2
+__all__ = ["EnergyTable", "default_energy_table"]
 
 
 def default_energy_table() -> EnergyTable:

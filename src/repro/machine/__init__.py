@@ -1,0 +1,42 @@
+"""Declarative machine-description frontend.
+
+A machine document is a validated JSON description (same spirit as the
+DSE sweep specs) from which a :class:`~repro.params.MachineParams` is
+*constructed*: variable cluster/bank counts, arbitrary mesh shapes with
+configurable host/memory-controller tiles, per-level cache geometry,
+and document-sourced energy/area charge sheets. The six shipped
+configurations are committed as reference documents under ``builtin/``
+and back :data:`repro.params.BASE_MACHINES`; the golden matrix snapshot
+pins them bit-identical to the historical factory constructors.
+"""
+
+from .doc import (
+    BUILTIN_DIR,
+    MachineDocError,
+    builtin_documents,
+    builtin_machine,
+    document_digest,
+    document_from_machine,
+    dumps_document,
+    load_document,
+    machine_from_document,
+    validate_document,
+)
+from .schema import DOC_ONLY_KEYS, SCHEMA_VERSION, schema_fields, top_level_keys
+
+__all__ = [
+    "BUILTIN_DIR",
+    "DOC_ONLY_KEYS",
+    "MachineDocError",
+    "SCHEMA_VERSION",
+    "builtin_documents",
+    "builtin_machine",
+    "document_digest",
+    "document_from_machine",
+    "dumps_document",
+    "load_document",
+    "machine_from_document",
+    "schema_fields",
+    "top_level_keys",
+    "validate_document",
+]

@@ -1,0 +1,64 @@
+"""Machine-description document schema (version 1).
+
+A machine document is a JSON object mirroring the
+:class:`~repro.params.MachineParams` dataclass tree: two document-only
+keys (``schema_version``, ``name``) plus one key per ``MachineParams``
+field. Nested parameter groups (``core``, ``l1`` .. ``l3``, ``noc``,
+``dram``, ``inorder``, ``cgra``, ``access_unit``, ``energy``, ``area``)
+are JSON objects of leaf fields; everything else is a scalar. Omitted
+fields default to the paper's Table III values, so a sparse document
+describes a *delta* against the reference machine.
+
+The schema is derived reflectively from the dataclasses so it can never
+drift from the parameters the simulator actually consumes; the
+README's schema-reference table is checked against
+:func:`schema_fields` by ``tools/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+from typing import Dict, Tuple
+
+from ..params import MachineParams, default_machine
+
+#: current document format version (``schema_version`` key)
+SCHEMA_VERSION = 1
+
+#: keys that belong to the document, not to :class:`MachineParams`
+DOC_ONLY_KEYS = frozenset({"schema_version", "name"})
+
+
+def _leaf_type(value: object) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    raise TypeError(f"unsupported machine parameter type: {value!r}")
+
+
+def schema_fields() -> Dict[str, Tuple[str, object]]:
+    """Every settable document field: dotted name -> (type, default).
+
+    Dotted names are relative to the document root (``l3.size_bytes``,
+    ``noc.host_node``, ``l3_clusters``); defaults are the Table III
+    reference values.
+    """
+    out: Dict[str, Tuple[str, object]] = {}
+    base = default_machine()
+    for f in fields(MachineParams):
+        value = getattr(base, f.name)
+        if is_dataclass(value):
+            for leaf in fields(type(value)):
+                sub = getattr(value, leaf.name)
+                out[f"{f.name}.{leaf.name}"] = (_leaf_type(sub), sub)
+        else:
+            out[f.name] = (_leaf_type(value), value)
+    return out
+
+
+def top_level_keys() -> frozenset:
+    """Every key a document may carry at the root."""
+    return DOC_ONLY_KEYS | {f.name for f in fields(MachineParams)}

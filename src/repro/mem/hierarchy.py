@@ -23,17 +23,14 @@ import numpy as np
 
 from ..energy import EnergyLedger
 from ..events import ps_to_cycles
-from ..noc import HOST_NODE, Mesh, MessageKind, TrafficLedger
+from ..noc import Mesh, MessageKind, TrafficLedger
 from ..obs import OBS
-from ..params import CACHE_LINE_BYTES, CacheParams, MachineParams
+from ..params import CacheParams, MachineParams
 from ..vecpath import vec_path_enabled
 from .cache import Cache
 from .dram import Dram
 from .nuca import NucaL3
 from .prefetch import StridePrefetcher
-
-#: mesh node where the memory controller attaches
-MC_NODE = 3
 
 #: accelerator chunk batches below this length take the scalar walk
 #: even under ``REPRO_VEC`` — the per-call array setup costs more than
@@ -90,6 +87,7 @@ class MemoryHierarchy:
             ways=machine.access_unit.acp_ways,
             latency_cycles=1,
             mshrs=4,
+            line_bytes=machine.l3.line_bytes,
         )
         self.acps: List[Cache] = [
             Cache(acp_params, name=f"acp{i}")
@@ -97,7 +95,10 @@ class MemoryHierarchy:
         ]
         #: total bytes moved between hierarchy levels (fills + writebacks)
         self.movement_bytes = 0
-        self._line = CACHE_LINE_BYTES
+        self._line = machine.l3.line_bytes
+        #: host tile / memory-controller mesh attachment points
+        self._host = machine.noc.host_node
+        self._mc = machine.noc.mc_node
         self._stats_prefetches = 0
         #: line -> residual latency a late prefetch exposes to the first
         #: demand hit (prefetch timeliness model). Bounded: entries for
@@ -144,7 +145,7 @@ class MemoryHierarchy:
             return latency + residual
 
         # L2 miss -> home L3 slice over the mesh
-        latency += self._l3_demand(addr, from_node=HOST_NODE,
+        latency += self._l3_demand(addr, from_node=self._host,
                                    kind_fill=MessageKind.CACHE_FILL)
         self.movement_bytes += self._line  # L3 -> L2 fill
         return latency
@@ -170,7 +171,7 @@ class MemoryHierarchy:
                 continue
             # fetch from L3/DRAM into L2
             fill_latency = self._l3_demand(
-                pf_addr, from_node=HOST_NODE,
+                pf_addr, from_node=self._host,
                 kind_fill=MessageKind.CACHE_FILL,
             )
             evicted = self.l2.fill(pf_addr, is_prefetch=True)
@@ -212,18 +213,18 @@ class MemoryHierarchy:
             if lat is None:
                 lat = pool.fill_lat[cluster] = (
                     self.dram.params.latency_cycles + _ps_to_cycles_int(
-                        self.traffic.latency_of(cluster, MC_NODE, 0)
+                        self.traffic.latency_of(cluster, self._mc, 0)
                         + self.traffic.latency_of(
-                            MC_NODE, cluster, self._line),
+                            self._mc, cluster, self._line),
                         self.machine.core.freq_ghz,
                     )
                 )
             return lat
         lat_req = self.traffic.record(
-            MessageKind.CACHE_REQ, cluster, MC_NODE, 0
+            MessageKind.CACHE_REQ, cluster, self._mc, 0
         )
         lat_fill = self.traffic.record(
-            MessageKind.CACHE_FILL, MC_NODE, cluster, self._line
+            MessageKind.CACHE_FILL, self._mc, cluster, self._line
         )
         self.movement_bytes += self._line
         cycles = self.dram.access(is_write=False)
@@ -306,9 +307,9 @@ class MemoryHierarchy:
         total = 0
         for cluster, count in pool.fills.items():
             total += count
-            traffic.record(MessageKind.CACHE_REQ, cluster, MC_NODE, 0,
+            traffic.record(MessageKind.CACHE_REQ, cluster, self._mc, 0,
                            count=count)
-            traffic.record(MessageKind.CACHE_FILL, MC_NODE, cluster,
+            traffic.record(MessageKind.CACHE_FILL, self._mc, cluster,
                            line, count=count)
         if total:
             self.dram.reads += total
@@ -317,7 +318,7 @@ class MemoryHierarchy:
         total = 0
         for cluster, count in pool.wbs.items():
             total += count
-            traffic.record(MessageKind.CACHE_WRITEBACK, cluster, MC_NODE,
+            traffic.record(MessageKind.CACHE_WRITEBACK, cluster, self._mc,
                            line, count=count)
         if total:
             self.dram.writes += total
@@ -330,7 +331,7 @@ class MemoryHierarchy:
         for cluster, count in pool.l3_wbs.items():
             total += count
             self.energy.charge("l3", "l3_access", count)
-            traffic.record(MessageKind.CACHE_WRITEBACK, HOST_NODE,
+            traffic.record(MessageKind.CACHE_WRITEBACK, self._host,
                            cluster, line, count=count)
         if total:
             self.movement_bytes += total * line
@@ -356,7 +357,7 @@ class MemoryHierarchy:
         else:
             self.energy.charge("l3", "l3_access")
             self.traffic.record(
-                MessageKind.CACHE_WRITEBACK, HOST_NODE, cluster, self._line
+                MessageKind.CACHE_WRITEBACK, self._host, cluster, self._line
             )
             self.movement_bytes += self._line
         evicted = self.l3.fill(addr, dirty=True)
@@ -369,7 +370,7 @@ class MemoryHierarchy:
             pool.wbs[cluster] = pool.wbs.get(cluster, 0) + 1
             return
         self.traffic.record(
-            MessageKind.CACHE_WRITEBACK, cluster, MC_NODE, self._line
+            MessageKind.CACHE_WRITEBACK, cluster, self._mc, self._line
         )
         self.movement_bytes += self._line
         self.dram.access(is_write=True)
@@ -614,8 +615,8 @@ class MemoryHierarchy:
                             if conv is None:
                                 conv = demand_cycles[cluster] = (
                                     _ps_to_cycles_int(
-                                        lat_of(HOST_NODE, cluster, 0)
-                                        + lat_of(cluster, HOST_NODE, line),
+                                        lat_of(self._host, cluster, 0)
+                                        + lat_of(cluster, self._host, line),
                                         freq,
                                     )
                                 )
@@ -649,8 +650,8 @@ class MemoryHierarchy:
                         if conv is None:
                             conv = demand_cycles[cluster] = (
                                 _ps_to_cycles_int(
-                                    lat_of(HOST_NODE, cluster, 0)
-                                    + lat_of(cluster, HOST_NODE, line),
+                                    lat_of(self._host, cluster, 0)
+                                    + lat_of(cluster, self._host, line),
                                     freq,
                                 )
                             )
@@ -676,9 +677,9 @@ class MemoryHierarchy:
             self._charge("l2", "l2_access", n_l2)
         for cluster, count in demand_counts.items():
             self._charge("l3", "l3_access", count)
-            self._record(MessageKind.CACHE_REQ, HOST_NODE, cluster, 0,
+            self._record(MessageKind.CACHE_REQ, self._host, cluster, 0,
                          count)
-            self._record(MessageKind.CACHE_FILL, cluster, HOST_NODE,
+            self._record(MessageKind.CACHE_FILL, cluster, self._host,
                          line, count)
         self.movement_bytes += moved
         return stall
@@ -762,8 +763,8 @@ class MemoryHierarchy:
                         if conv is None:
                             conv = demand_cycles[cluster] = (
                                 _ps_to_cycles_int(
-                                    lat_of(HOST_NODE, cluster, 0)
-                                    + lat_of(cluster, HOST_NODE, line),
+                                    lat_of(self._host, cluster, 0)
+                                    + lat_of(cluster, self._host, line),
                                     freq,
                                 )
                             )
@@ -797,8 +798,8 @@ class MemoryHierarchy:
                     if conv is None:
                         conv = demand_cycles[cluster] = (
                             _ps_to_cycles_int(
-                                lat_of(HOST_NODE, cluster, 0)
-                                + lat_of(cluster, HOST_NODE, line),
+                                lat_of(self._host, cluster, 0)
+                                + lat_of(cluster, self._host, line),
                                 freq,
                             )
                         )
@@ -819,9 +820,9 @@ class MemoryHierarchy:
             self._charge("l2", "l2_access", n_l2)
         for cluster, count in demand_counts.items():
             self._charge("l3", "l3_access", count)
-            self._record(MessageKind.CACHE_REQ, HOST_NODE, cluster, 0,
+            self._record(MessageKind.CACHE_REQ, self._host, cluster, 0,
                          count)
-            self._record(MessageKind.CACHE_FILL, cluster, HOST_NODE,
+            self._record(MessageKind.CACHE_FILL, cluster, self._host,
                          line, count)
         self.movement_bytes += moved
         return stall

@@ -1,4 +1,7 @@
-"""Static-NUCA L3: 8 clusters x 4 banks on the mesh (Table III).
+"""Static-NUCA L3: per-cluster slices x banks on the mesh.
+
+Table III ships 8 clusters x 4 banks; the geometry is fully machine-
+described, so any cluster/bank count a document derives works here.
 
 Address mapping is *static* and range-based: contiguous slice-sized
 stripes of the address space map round-robin to clusters, and lines
@@ -13,12 +16,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from ..params import CACHE_LINE_BYTES, CacheParams, MachineParams
+from ..params import CacheParams, MachineParams
 from .cache import AccessOutcome, Cache
 
 
 class NucaL3:
-    """The shared L3 as eight independent per-cluster slices."""
+    """The shared L3 as independent per-cluster slices."""
 
     def __init__(self, machine: MachineParams):
         self.machine = machine
@@ -37,6 +40,7 @@ class NucaL3:
         ]
         #: contiguous bytes mapped to one cluster before striping wraps
         self.stripe_bytes = slice_bytes
+        self._line = machine.l3.line_bytes
 
     # -- static address mapping ------------------------------------------------
     def home_cluster(self, addr: int) -> int:
@@ -45,7 +49,7 @@ class NucaL3:
 
     def bank(self, addr: int) -> int:
         """Bank within the home cluster (line-interleaved)."""
-        return (addr // CACHE_LINE_BYTES) % self.banks_per_cluster
+        return (addr // self._line) % self.banks_per_cluster
 
     def location(self, addr: int) -> Tuple[int, int]:
         return self.home_cluster(addr), self.bank(addr)
@@ -72,14 +76,15 @@ class NucaL3:
         """
         if size <= 0:
             return 0
-        aligned = (base // CACHE_LINE_BYTES) * CACHE_LINE_BYTES
-        span_lines = -(-(base + size - aligned) // CACHE_LINE_BYTES)
+        line = self._line
+        aligned = (base // line) * line
+        span_lines = -(-(base + size - aligned) // line)
         if span_lines > sum(s.occupancy for s in self.slices):
             return sum(
                 s.invalidate_range(base, size) for s in self.slices
             )
         dirty = 0
-        for line_base in range(aligned, base + size, CACHE_LINE_BYTES):
+        for line_base in range(aligned, base + size, line):
             cluster = self.home_cluster(line_base)
             if self.slices[cluster].invalidate(line_base):
                 dirty += 1

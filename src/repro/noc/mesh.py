@@ -1,10 +1,11 @@
 """Mesh topology with dimension-ordered (XY) routing.
 
 Nodes are numbered row-major: node = row * cols + col. The host tile is
-co-located with node :data:`HOST_NODE` (cluster 0), matching the paper's
-single-core system where the core's L2 connects to the L3 mesh at one
-point. XY routing is deadlock-free on a mesh, which is why the credit
-accounting here never needs an escape path.
+co-located with the node named by ``NocParams.host_node`` (node 0 in
+the paper's Table III machine), matching a single-core system where the
+core's L2 connects to the L3 mesh at one point. XY routing is
+deadlock-free on a mesh, which is why the credit accounting here never
+needs an escape path.
 """
 
 from __future__ import annotations
@@ -15,9 +16,6 @@ from typing import Iterator, List, Tuple
 from ..errors import ConfigError
 from ..events import cycles_to_ps
 from ..params import NocParams
-
-#: mesh node where the host core (and its L1/L2) attaches
-HOST_NODE = 0
 
 
 @dataclass(frozen=True)

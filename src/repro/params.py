@@ -60,8 +60,12 @@ class CacheParams:
 class NocParams:
     """Mesh NoC parameters.
 
-    The 8 L3 clusters sit on a 4x2 mesh; the host tile is attached to
-    mesh node 0. Link width is in bytes per flit.
+    Nodes are numbered row-major over an arbitrary ``mesh_cols x
+    mesh_rows`` rectangle. The host tile attaches at ``host_node`` (it
+    must be co-located with an L3 cluster, i.e. ``host_node <
+    l3_clusters``); the memory controller attaches at ``mc_node`` (any
+    mesh node). Table III: 8 clusters on a 4x2 mesh, host at node 0,
+    memory controller at node 3. Link width is in bytes per flit.
     """
 
     mesh_cols: int = 4
@@ -69,10 +73,34 @@ class NocParams:
     hop_latency_cycles: int = 2
     flit_bytes: int = 16
     credits_per_link: int = 8
+    #: mesh node where the host core (and its L1/L2) attaches
+    host_node: int = 0
+    #: mesh node where the memory controller attaches; ``-1`` resolves
+    #: to the east end of the top row (node 3 on the default 4x2 mesh)
+    mc_node: int = -1
 
     @property
     def num_nodes(self) -> int:
         return self.mesh_cols * self.mesh_rows
+
+    def __post_init__(self) -> None:
+        if self.mesh_cols < 1 or self.mesh_rows < 1:
+            raise ValueError(
+                f"mesh must be at least 1x1: "
+                f"{self.mesh_cols}x{self.mesh_rows}"
+            )
+        if self.flit_bytes < 1:
+            raise ValueError(f"flit_bytes must be positive: {self.flit_bytes}")
+        if self.mc_node == -1:
+            object.__setattr__(self, "mc_node", self.mesh_cols - 1)
+        n = self.num_nodes
+        for label, node in (("host_node", self.host_node),
+                            ("mc_node", self.mc_node)):
+            if not 0 <= node < n:
+                raise ValueError(
+                    f"{label} {node} outside the "
+                    f"{self.mesh_cols}x{self.mesh_rows} mesh ({n} nodes)"
+                )
 
 
 @dataclass(frozen=True)
@@ -137,6 +165,87 @@ class AccessUnitParams:
 
 
 @dataclass(frozen=True)
+class EnergyTable:
+    """Dynamic energy per event, in picojoules (pJ) at 32 nm.
+
+    Magnitudes follow the published 32/45 nm characterizations used by
+    McPAT [51], Cacti [52], and the near-data-processing literature (see
+    :mod:`repro.energy.tables`). Part of :class:`MachineParams` so a
+    machine-description document sources per-access energies alongside
+    the structural parameters; experiments tweak entries with
+    ``dataclasses.replace`` for sensitivity studies.
+    """
+
+    # --- host OoO core -------------------------------------------------
+    #: per-instruction pipeline overhead (fetch/decode/rename/ROB/commit)
+    ooo_inst_overhead: float = 45.0
+    #: per-instruction overhead of a lightweight single-issue in-order core
+    io_inst_overhead: float = 6.0
+    #: per-op energy of a CGRA PE (op + local operand routing, no fetch)
+    cgra_op: float = 2.0
+    #: CGRA static-configuration load, per 64-bit config word
+    cgra_config_word: float = 4.0
+
+    # --- functional units (charged on top of pipeline overheads) -------
+    int_op: float = 0.9
+    float_op: float = 3.5
+    complex_op: float = 14.0  # div / sqrt / exp-class
+    reg_access: float = 1.0
+
+    # --- memory hierarchy (per access of one line / element) -----------
+    l1_access: float = 20.0
+    l2_access: float = 50.0
+    l3_access: float = 100.0
+    #: private accelerator cache in Mono-CA (8 KB)
+    private_cache_access: float = 8.0
+    #: DRAM access per 64-byte line
+    dram_line_access: float = 1300.0
+    #: access-unit SRAM buffer, per element (<= 8 B) access
+    buffer_access: float = 3.0
+    #: ACP lookup (1 KB, 1-way)
+    acp_access: float = 2.0
+    #: TLB/translation-block lookup
+    translation_lookup: float = 1.5
+
+    # --- interconnect ---------------------------------------------------
+    #: per byte per mesh hop (link traversal)
+    noc_byte_hop: float = 1.0
+    #: per flit per router traversal
+    noc_router_flit: float = 0.6
+    #: MMIO register write/read at an accelerator (config/ctrl intrinsics)
+    mmio_access: float = 2.5
+
+    # --- miscellaneous ---------------------------------------------------
+    #: stride-FSM address generation step
+    fsm_step: float = 0.4
+    #: hardware-scheduler buffer-allocation-table lookup/update
+    sched_table_access: float = 1.2
+
+
+@dataclass(frozen=True)
+class AreaTable:
+    """Component areas in mm^2 at 32 nm (paper §VI-E overhead analysis).
+
+    Part of :class:`MachineParams` so a machine-description document
+    sources component areas; :class:`repro.energy.area.AreaModel`
+    computes the per-cluster / per-chip overhead percentages from it.
+    """
+
+    l3_cluster: float = 2.10          # 256 KB SRAM + 4 bank ctl + router
+    ooo_core: float = 12.5            # 5-way OoO + private L1 (McPAT-class)
+    l2: float = 1.6                   # 128 KB + control
+    uncore_misc: float = 73.0         # memory ctl, IO, SoC uncore, spare
+    io_accel_core: float = 0.040      # 1-issue IO core, 2 complex + 2 FP ALU
+    cgra_pe_int: float = 0.0013
+    cgra_pe_float: float = 0.0030
+    cgra_pe_complex: float = 0.0036
+    cgra_network_per_pe: float = 0.0002
+    access_buffer_4kb: float = 0.0060
+    acp_1kb: float = 0.0025
+    stride_fsm: float = 0.0012
+
+
+@dataclass(frozen=True)
 class MachineParams:
     """Complete parameter set for one simulated machine (Table III)."""
 
@@ -170,9 +279,70 @@ class MachineParams:
     #: Table III "latency 10" includes the host-side slice controller and
     #: queueing that an access unit sitting at the bank does not pay
     l3_bank_latency: int = 4
+    #: per-event dynamic energies (document-sourced; defaults = the
+    #: calibrated 32 nm table)
+    energy: EnergyTable = field(default_factory=EnergyTable)
+    #: component areas (document-sourced; defaults = the 32 nm table)
+    area: AreaTable = field(default_factory=AreaTable)
+
+    def __post_init__(self) -> None:
+        problems = []
+        if self.l3_clusters < 1:
+            problems.append(f"l3_clusters must be >= 1: {self.l3_clusters}")
+        if self.l3_banks_per_cluster < 1:
+            problems.append(
+                f"l3_banks_per_cluster must be >= 1: "
+                f"{self.l3_banks_per_cluster}"
+            )
+        if self.l3_clusters >= 1:
+            if self.l3.size_bytes % self.l3_clusters != 0:
+                problems.append(
+                    f"l3.size_bytes {self.l3.size_bytes} not divisible by "
+                    f"l3_clusters {self.l3_clusters}"
+                )
+            else:
+                slice_bytes = self.l3.size_bytes // self.l3_clusters
+                if slice_bytes % (self.l3.ways * self.l3.line_bytes) != 0:
+                    problems.append(
+                        f"l3 slice size {slice_bytes} not divisible by "
+                        f"ways*line ({self.l3.ways}*{self.l3.line_bytes})"
+                    )
+            if self.noc.num_nodes < self.l3_clusters:
+                problems.append(
+                    f"mesh {self.noc.mesh_cols}x{self.noc.mesh_rows} "
+                    f"({self.noc.num_nodes} nodes) too small for "
+                    f"{self.l3_clusters} L3 clusters"
+                )
+            if self.noc.host_node >= self.l3_clusters:
+                problems.append(
+                    f"host_node {self.noc.host_node} is not co-located "
+                    f"with an L3 cluster (l3_clusters={self.l3_clusters})"
+                )
+        if not (self.l1.line_bytes == self.l2.line_bytes
+                == self.l3.line_bytes):
+            problems.append(
+                f"cache line size must be uniform across levels: "
+                f"l1={self.l1.line_bytes} l2={self.l2.line_bytes} "
+                f"l3={self.l3.line_bytes}"
+            )
+        if self.dram.bandwidth_bytes_per_cycle <= 0:
+            problems.append(
+                f"dram.bandwidth_bytes_per_cycle must be positive: "
+                f"{self.dram.bandwidth_bytes_per_cycle}"
+            )
+        for label, freq in (("core", self.core.freq_ghz),
+                            ("inorder", self.inorder.freq_ghz),
+                            ("cgra", self.cgra.freq_ghz)):
+            if freq <= 0:
+                problems.append(f"{label}.freq_ghz must be positive: {freq}")
+        if problems:
+            raise ConfigError(
+                "invalid machine parameters: " + "; ".join(problems)
+            )
 
     @property
     def l3_cluster_bytes(self) -> int:
+        """Bytes of one L3 slice (validated divisible in __post_init__)."""
         return self.l3.size_bytes // self.l3_clusters
 
     def with_accel_freq(self, freq_ghz: float) -> "MachineParams":
@@ -198,22 +368,82 @@ def mono_da_cgra_machine(base: MachineParams = None) -> MachineParams:
     return replace(base, cgra=big_fabric)
 
 
-#: named base machines a sweep spec / CLI can start from
+def _builtin_loader(name: str) -> Callable[[], "MachineParams"]:
+    def load() -> "MachineParams":
+        from .machine import builtin_machine
+
+        return builtin_machine(name)
+
+    return load
+
+
+#: named base machines a sweep spec / CLI can start from; every entry is
+#: constructed from its committed machine-description document under
+#: ``repro/machine/builtin/`` (the factories below are the reference
+#: constructors the documents are pinned against)
 BASE_MACHINES: Dict[str, Callable[[], "MachineParams"]] = {
-    "table3": default_machine,
-    "experiment": lambda: experiment_machine(),
-    "mono_da_cgra": lambda: mono_da_cgra_machine(),
+    name: _builtin_loader(name)
+    for name in (
+        "table3", "experiment", "mono_da_cgra", "mono_ca",
+        "experiment_mono_da_cgra", "experiment_mono_ca",
+    )
 }
 
 
 def base_machine(name: str) -> MachineParams:
-    """Look up one of the :data:`BASE_MACHINES` factories by name."""
-    try:
-        return BASE_MACHINES[name]()
-    except KeyError:
+    """Resolve a named base machine or a machine-document path.
+
+    ``name`` is either one of the :data:`BASE_MACHINES` builtin document
+    names or a filesystem path to a machine-description JSON document
+    (see :mod:`repro.machine`).
+    """
+    loader = BASE_MACHINES.get(name)
+    if loader is not None:
+        return loader()
+    import os
+
+    if os.path.exists(name):
+        from .machine import load_document, machine_from_document
+
+        return machine_from_document(load_document(name))
+    raise ConfigError(
+        f"unknown base machine {name!r}; known: {sorted(BASE_MACHINES)} "
+        f"(or a path to a machine-description document)"
+    )
+
+
+def _apply_topology(machine: "MachineParams", value) -> "MachineParams":
+    """``topology`` alias: ``"CxR"`` (or ``[C, R]``) re-shapes the mesh
+    to ``C x R`` nodes with one L3 cluster per node, clamping the host
+    and memory-controller attachment points into the new mesh. Couples
+    the cluster count to the mesh shape so a single sweep-axis value
+    always derives a valid machine."""
+    if isinstance(value, str):
+        parts = value.lower().split("x")
+    elif isinstance(value, (list, tuple)):
+        parts = list(value)
+    else:
         raise ConfigError(
-            f"unknown base machine {name!r}; known: {sorted(BASE_MACHINES)}"
+            f"machine override 'topology' expects 'CxR' or [C, R], "
+            f"got {value!r}"
+        )
+    try:
+        cols, rows = (int(p) for p in parts)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"machine override 'topology' expects 'CxR' or [C, R], "
+            f"got {value!r}"
         ) from None
+    if cols < 1 or rows < 1:
+        raise ConfigError(f"machine override 'topology': bad mesh "
+                          f"{cols}x{rows}")
+    nodes = cols * rows
+    noc = replace(
+        machine.noc, mesh_cols=cols, mesh_rows=rows,
+        host_node=min(machine.noc.host_node, nodes - 1),
+        mc_node=min(machine.noc.mc_node, nodes - 1),
+    )
+    return replace(machine, noc=noc, l3_clusters=nodes)
 
 
 #: derived-override aliases: one spec key fans out to several fields
@@ -222,6 +452,8 @@ OVERRIDE_ALIASES: Dict[str, Callable[["MachineParams", object],
     # both accelerator substrates are re-clocked together, as in the
     # paper's §VI-E clocking study
     "accel_freq_ghz": lambda m, v: m.with_accel_freq(float(v)),
+    # mesh shape + one-cluster-per-node topology (DSE topology sweeps)
+    "topology": _apply_topology,
 }
 
 

@@ -30,7 +30,7 @@ from ..ir.expr import Load
 from ..mem.cache import Cache
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.slab import SlabAllocator
-from ..noc import HOST_NODE, MessageKind
+from ..noc import MessageKind
 from ..obs import OBS
 from ..params import MachineParams
 from . import fastsim
@@ -229,7 +229,7 @@ class OffloadEngine:
         per_part = max(1, len(calls) // max(len(clusters), 1))
         for part_idx, cluster in clusters.items():
             lat = traffic.record(
-                MessageKind.MMIO_CONFIG, HOST_NODE, cluster,
+                MessageKind.MMIO_CONFIG, self.machine.noc.host_node, cluster,
                 payload_bytes=per_part * 16,
             )
             total_ps += lat

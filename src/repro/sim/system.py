@@ -7,6 +7,7 @@ point every experiment uses.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, Optional, Tuple
 
@@ -21,9 +22,9 @@ from ..mem.cache import Cache
 from ..mem.coherence import CoherenceManager, Domain
 from ..mem.hierarchy import MemoryHierarchy
 from ..mem.slab import SlabAllocator
-from ..noc import HOST_NODE
 from ..obs import OBS
 from ..params import (
+    PAGE_BYTES,
     CacheParams,
     MachineParams,
     default_machine,
@@ -162,12 +163,17 @@ class SystemSimulator:
 
     # ------------------------------------------------------------------
     def run(self, instance: WorkloadInstance) -> RunResult:
-        energy = EnergyLedger()
+        energy = EnergyLedger(self.machine.energy)
         hierarchy = MemoryHierarchy(self.machine, energy)
         slab = SlabAllocator()
         stripe = hierarchy.l3.stripe_bytes
+        # stripe alignment anchors each object at a home-cluster
+        # boundary; the slab itself is page-granular, so topologies
+        # whose stripe is smaller than a page align to the lcm (a page
+        # boundary is then also a stripe boundary)
+        align = math.lcm(stripe, PAGE_BYTES)
         allocations = {
-            name: slab.allocate(name, obj.size_bytes, align=stripe)
+            name: slab.allocate(name, obj.size_bytes, align=align)
             for name, obj in instance.objects.items()
         }
         coherence = CoherenceManager(hierarchy)
@@ -255,7 +261,8 @@ class SystemSimulator:
         if spec.private_cache:
             private = Cache(
                 CacheParams(size_bytes=self.machine.mono_private_bytes,
-                            ways=4, latency_cycles=1, mshrs=8),
+                            ways=4, latency_cycles=1, mshrs=8,
+                            line_bytes=self.machine.l3.line_bytes),
                 name="mono_ca_private",
             )
         engine = OffloadEngine(
@@ -354,7 +361,7 @@ class SystemSimulator:
     def _place(self, off, allocations, hierarchy) -> Dict[int, int]:
         if self.spec.mode is CompileMode.MONO_CA:
             return {
-                p: HOST_NODE
+                p: self.machine.noc.host_node
                 for p in range(off.partitioning.num_partitions)
             }
         clusters = place_partitions(
@@ -363,7 +370,7 @@ class SystemSimulator:
         # vertical placement: near-host partitions sit at the host tile
         for part_idx, level in off.vertical.items():
             if level is PlacementLevel.NEAR_HOST:
-                clusters[part_idx] = HOST_NODE
+                clusters[part_idx] = self.machine.noc.host_node
         return clusters
 
     # ------------------------------------------------------------------

@@ -1,6 +1,7 @@
 """Differential conformance subsystem.
 
 Structured kernel/workload generation (:mod:`repro.testing.genkernel`),
+random machine-description generation (:mod:`repro.testing.genmachine`),
 cross-path differential oracles (:mod:`repro.testing.oracle`), greedy
 failure minimization (:mod:`repro.testing.shrink`), a JSON corpus wire
 format (:mod:`repro.testing.serialize`), and the ``python -m
@@ -13,6 +14,11 @@ from .genkernel import (
     case_stream,
     generate_case,
     shape_histogram,
+)
+from .genmachine import (
+    generate_machine_doc,
+    machine_doc_stream,
+    machine_histogram,
 )
 from .oracle import (
     DEFAULT_PATHS,
@@ -38,6 +44,9 @@ __all__ = [
     "case_stream",
     "generate_case",
     "shape_histogram",
+    "generate_machine_doc",
+    "machine_doc_stream",
+    "machine_histogram",
     "DEFAULT_PATHS",
     "DifferentialOracle",
     "OracleFailure",

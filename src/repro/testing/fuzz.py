@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.testing.fuzz --seed 0 --cases 200
+                                 [--machines]
                                  [--time-budget SECONDS]
                                  [--paths ooo,dist_da_f,...]
                                  [--shapes elementwise,guarded,...]
@@ -13,7 +14,13 @@ Usage::
 Generates structured kernels/workloads (:mod:`repro.testing.genkernel`),
 runs each through every requested execution path under both
 ``REPRO_FAST`` pipelines, and checks the differential oracles
-(:mod:`repro.testing.oracle`). Failing cases are greedily minimized
+(:mod:`repro.testing.oracle`). With ``--machines``, every case also
+draws a seeded random machine document
+(:mod:`repro.testing.genmachine`) and the whole oracle battery —
+including the ``sched-vs-reference`` engine identity and the AN-C
+``static-cost-bounds`` interval checks — runs on that machine instead
+of the default, so random machines x random kernels are crossed in one
+sweep. Failing cases are greedily minimized
 (:mod:`repro.testing.shrink`) and written to ``--corpus-dir`` as JSON
 for deterministic replay; the exit status is nonzero whenever any
 oracle failed. A shape histogram is always reported so a run can prove
@@ -26,12 +33,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import time
 from typing import List, Optional, Sequence
 
 from ..params import experiment_machine
 from .genkernel import SHAPES, case_stream, shape_histogram
+from .genmachine import generate_machine_doc, machine_histogram
 from .oracle import DEFAULT_PATHS, DifferentialOracle, OracleReport
 from .shrink import save_corpus_entry, shrink
 
@@ -46,6 +55,11 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
                         help="master RNG seed (default 0)")
     parser.add_argument("--cases", type=int, default=100,
                         help="number of generated cases (default 100)")
+    parser.add_argument("--machines", action="store_true",
+                        help="random-machine axis: attach a seeded random "
+                             "machine document to every case so the "
+                             "oracles run on that machine instead of the "
+                             "default")
     parser.add_argument("--time-budget", type=float, default=None,
                         help="stop generating after this many seconds")
     parser.add_argument("--paths", default=",".join(DEFAULT_PATHS),
@@ -76,11 +90,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     cases = []
     corpus_paths: List[str] = []
     stopped_early = False
+    # independent sub-stream so --machines never perturbs which kernels
+    # a given --seed generates
+    machine_rng = random.Random(args.seed ^ 0x6D61_6368)
     for case in case_stream(args.seed, args.cases, shapes=shapes):
         if (args.time_budget is not None
                 and time.monotonic() - start > args.time_budget):
             stopped_early = True
             break
+        if args.machines:
+            case.machine_doc = generate_machine_doc(
+                machine_rng.getrandbits(32))
         cases.append(case)
         report = oracle.check_case(case)
         reports.append(report)
@@ -119,6 +139,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "elapsed_s": round(elapsed, 2),
         "shape_histogram": hist,
         "failures_by_check": dict(sorted(by_check.items())),
+        "machines": {
+            "enabled": bool(args.machines),
+            "cluster_histogram": machine_histogram(
+                [c.machine_doc for c in cases]),
+        },
         "static_bounds": {
             "cases_checked": len(reports),
             "violations": static_bound_fails,
@@ -141,6 +166,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"{len(oracle.vec_modes)} interpreter modes x "
           f"{len(set(oracle.sched_modes))} scheduler engines")
     print(f"[fuzz] shapes: {hist_line}")
+    if args.machines:
+        mach_line = "  ".join(
+            f"clusters={k}:{v}" for k, v in
+            machine_histogram([c.machine_doc for c in cases]).items()
+        )
+        print(f"[fuzz] machines: {mach_line}")
     print(f"[fuzz] static cost bounds (AN-C): {len(reports)} cases "
           f"checked, {static_bound_fails} violation(s)")
     if failures:

@@ -87,6 +87,10 @@ class GeneratedCase:
     #: initial array contents, keyed by object name
     arrays: Dict[str, np.ndarray]
     outputs: List[str]
+    #: optional machine document (sparse deltas against Table III); when
+    #: set, the oracle simulates the case on this machine instead of its
+    #: default (the random-machine conformance axis)
+    machine_doc: Optional[Dict[str, object]] = None
     _golden: Optional[Dict[str, np.ndarray]] = field(
         default=None, repr=False, compare=False)
     _golden_counts: Optional[OpCounts] = field(
@@ -118,11 +122,21 @@ class GeneratedCase:
                     total += 1
             return total
 
+        def leaves(value) -> int:
+            if isinstance(value, dict):
+                return sum(leaves(v) for v in value.values())
+            return 1
+
         stmt_total = sum(
             stmts_of(l) for k in self.kernels for l in k.loops
         )
         elems = sum(a.size for a in self.arrays.values())
-        return stmt_total * 1000 + elems + len(self.calls)
+        # a machine doc counts per leaf so shrink steps that drop keys
+        # (moving toward the reference machine) strictly reduce size
+        machine = 0
+        if self.machine_doc is not None:
+            machine = 100 + 10 * leaves(self.machine_doc)
+        return stmt_total * 1000 + elems + len(self.calls) + machine
 
     # ------------------------------------------------------------------
     def golden_run(self) -> Tuple[Dict[str, np.ndarray], OpCounts]:

@@ -7,11 +7,19 @@ committed under ``tests/golden/``. Any change to the modeled numbers
 shows up as a reviewable JSON diff instead of silently shifting the
 paper's figures.
 
+The same module pins the *machine* snapshot: every builtin machine
+document under ``repro/machine/builtin/`` is constructed into its
+derived :class:`~repro.params.MachineParams` and compared field for
+field (plus digest) against ``tests/golden/machines.json`` — a change
+to a shipped document, a schema default, or the construction path shows
+up as a reviewable diff.
+
 Usage::
 
-    python -m repro.testing.golden             # verify against the snapshot
-    python -m repro.testing.golden --update    # refresh the snapshot
-    python -m repro.testing.golden --jobs 4    # verify a parallel run too
+    python -m repro.testing.golden                  # verify both snapshots
+    python -m repro.testing.golden --update           # refresh the matrix
+    python -m repro.testing.golden --update-machines  # refresh machines
+    python -m repro.testing.golden --jobs 4      # verify a parallel run too
 
 The document is byte-deterministic: no wall-clock fields, sorted keys,
 and exact counter values (floats serialize through ``repr`` via the
@@ -39,6 +47,11 @@ GOLDEN_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))))),
     "tests", "golden", "matrix_tiny.json",
+)
+
+#: committed machine snapshot: derived MachineParams of every builtin
+MACHINES_GOLDEN_PATH = os.path.join(
+    os.path.dirname(GOLDEN_PATH), "machines.json",
 )
 
 
@@ -83,6 +96,51 @@ def matrix_snapshot(scale: str = "tiny",
             for w in workloads
         },
     }
+
+
+def machines_snapshot() -> Dict[str, object]:
+    """Digest + fully-derived parameters of every builtin machine."""
+    from dataclasses import asdict
+
+    from ..machine import builtin_documents, builtin_machine
+    from ..params import machine_digest
+
+    machines = {}
+    for name in sorted(builtin_documents()):
+        machine = builtin_machine(name)
+        machines[name] = {
+            "digest": machine_digest(machine),
+            "params": asdict(machine),
+        }
+    return {"machines": machines}
+
+
+def diff_machines(expected: Dict[str, object],
+                  actual: Dict[str, object]) -> list:
+    """Human-readable divergences between two machine snapshots."""
+    lines = []
+    exp = expected.get("machines", {})
+    act = actual.get("machines", {})
+    for name in sorted(set(exp) | set(act)):
+        if name not in exp or name not in act:
+            lines.append(f"{name}: present in only one snapshot")
+            continue
+        if exp[name].get("digest") != act[name].get("digest"):
+            lines.append(
+                f"{name}.digest: golden={exp[name].get('digest')!r} "
+                f"actual={act[name].get('digest')!r}"
+            )
+
+        def walk(path, e, a):
+            if isinstance(e, dict) and isinstance(a, dict):
+                for key in sorted(set(e) | set(a)):
+                    walk(f"{path}.{key}", e.get(key), a.get(key))
+            elif e != a:
+                lines.append(f"{path}: golden={e!r} actual={a!r}")
+
+        walk(f"{name}.params", exp[name].get("params"),
+             act[name].get("params"))
+    return lines
 
 
 def snapshot_text(snapshot: Dict[str, object]) -> str:
@@ -132,14 +190,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "of the experiment matrix's headline numbers.",
     )
     parser.add_argument("--update", action="store_true",
-                        help="rewrite the snapshot instead of verifying")
+                        help="rewrite the matrix snapshot instead of "
+                             "verifying")
+    parser.add_argument("--update-machines", action="store_true",
+                        help="rewrite the builtin-machine snapshot "
+                             "instead of verifying")
     parser.add_argument("--path", default=GOLDEN_PATH,
-                        help=f"snapshot file (default: {GOLDEN_PATH})")
+                        help=f"matrix snapshot file (default: "
+                             f"{GOLDEN_PATH})")
+    parser.add_argument("--machines-path", default=MACHINES_GOLDEN_PATH,
+                        help=f"machine snapshot file (default: "
+                             f"{MACHINES_GOLDEN_PATH})")
     parser.add_argument("--scale", default="tiny",
                         choices=("tiny", "small", "large"))
     parser.add_argument("--jobs", type=int, default=None,
                         help="parallel matrix workers")
     args = parser.parse_args(argv)
+
+    machines = machines_snapshot()
+    if args.update_machines:
+        write_snapshot(machines, args.machines_path)
+        print(f"machine snapshot written to {args.machines_path} "
+              f"({len(machines['machines'])} machines)")
+        if not args.update:
+            return 0
 
     snapshot = matrix_snapshot(scale=args.scale, jobs=args.jobs)
     if args.update:
@@ -151,16 +225,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"no golden snapshot at {args.path}; run with --update",
               file=sys.stderr)
         return 2
-    expected = load_snapshot(args.path)
-    lines = diff_snapshots(expected, snapshot)
+    lines = diff_snapshots(load_snapshot(args.path), snapshot)
+    if not args.update_machines:
+        if not os.path.exists(args.machines_path):
+            print(f"no machine snapshot at {args.machines_path}; run "
+                  f"with --update-machines", file=sys.stderr)
+            return 2
+        lines += diff_machines(load_snapshot(args.machines_path), machines)
     if lines:
         for line in lines:
             print(f"GOLDEN DIFF {line}", file=sys.stderr)
-        print(f"{len(lines)} divergence(s) from {args.path}; "
-              f"rerun with --update if the change is intended",
+        print(f"{len(lines)} divergence(s); rerun with --update / "
+              f"--update-machines if the change is intended",
               file=sys.stderr)
         return 1
-    print(f"matrix matches golden snapshot {args.path}")
+    print(f"matrix matches golden snapshot {args.path}; "
+          f"{len(machines['machines'])} builtin machines match "
+          f"{args.machines_path}")
     return 0
 
 

@@ -160,6 +160,21 @@ class DifferentialOracle:
         self.sched_modes = sched_modes
 
     # ------------------------------------------------------------------
+    def _machine_for(self, case: GeneratedCase) -> MachineParams:
+        """The machine a case is checked on.
+
+        A machine-bearing case (``case.machine_doc`` set, the
+        random-machine conformance axis) overrides the oracle's
+        constructor machine; the document is validated on every call, so
+        a shrinker candidate that corrupted it fails loudly here.
+        """
+        if case.machine_doc is None:
+            return self.machine
+        from ..machine import machine_from_document
+
+        return machine_from_document(case.machine_doc)
+
+    # ------------------------------------------------------------------
     def check_case(self, case: GeneratedCase) -> OracleReport:
         failures: List[OracleFailure] = []
         self._check_analysis(case, failures)
@@ -223,6 +238,7 @@ class DifferentialOracle:
         mode's — the cross-mode comparison stays evidentiary.
         """
         runs: Dict[Tuple[str, bool, bool], RunResult] = {}
+        machine = self._machine_for(case)
         cache = TraceCache(max_entries=1)
         for vec in self.vec_modes:
             variant = "fuzz" if vec else "fuzz+scalar"
@@ -233,7 +249,7 @@ class DifferentialOracle:
                             try:
                                 runs[(config, fast, vec)] = simulate_workload(
                                     case.instance(), config,
-                                    machine=self.machine,
+                                    machine=machine,
                                     trace_cache=cache,
                                     trace_key=(case.name, variant),
                                 )
@@ -320,6 +336,7 @@ class DifferentialOracle:
         fast, vec = self.modes[0], self.vec_modes[0]
         variant = "fuzz" if vec else "fuzz+scalar"
         other = self.sched_modes[1]
+        machine = self._machine_for(case)
         cache = TraceCache(max_entries=1)
         with _vec_mode(vec), _fast_mode(fast), _sched_mode(other):
             for config in self.paths:
@@ -329,7 +346,7 @@ class DifferentialOracle:
                 try:
                     ref = simulate_workload(
                         case.instance(), config,
-                        machine=self.machine,
+                        machine=machine,
                         trace_cache=cache,
                         trace_key=(case.name, variant),
                     )
@@ -403,7 +420,8 @@ class DifferentialOracle:
         )
 
         try:
-            model = cost_model_for_instance(case.instance(), self.machine)
+            model = cost_model_for_instance(case.instance(),
+                                            self._machine_for(case))
             predictions = {
                 config: model.predict(config)
                 for config in self.paths if config in VALIDATED_CONFIGS

@@ -175,7 +175,7 @@ def array_from_json(data: Dict[str, Any]) -> np.ndarray:
 
 def case_to_json(case) -> Dict[str, Any]:
     """Serialize a :class:`~repro.testing.genkernel.GeneratedCase`."""
-    return {
+    data = {
         "version": FORMAT_VERSION,
         "name": case.name,
         "shape": case.shape,
@@ -191,6 +191,11 @@ def case_to_json(case) -> Dict[str, Any]:
         },
         "outputs": list(case.outputs),
     }
+    # only machine-bearing cases carry the key, so pre-existing corpus
+    # entries keep their exact bytes under re-serialization
+    if case.machine_doc is not None:
+        data["machine"] = case.machine_doc
+    return data
 
 
 def case_from_json(data: Dict[str, Any]):
@@ -217,6 +222,7 @@ def case_from_json(data: Dict[str, Any]):
             for name, spec in data["arrays"].items()
         },
         outputs=list(data["outputs"]),
+        machine_doc=data.get("machine"),
     )
 
 

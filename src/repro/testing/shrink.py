@@ -3,7 +3,9 @@
 Given a case and a predicate ("does it still fail?"), repeatedly tries
 structure-removing transformations on the case's JSON form — drop a
 kernel call, drop a statement, unwrap a ``When``, halve a constant loop
-bound, drop an unreferenced object — and keeps any candidate that still
+bound, drop an unreferenced object, drop machine-document keys (moving
+a machine-bearing case toward the reference machine) — and keeps any
+candidate that still
 builds, still passes the static verifier-wellformedness the generator
 guarantees, and still fails. The loop runs to a fixpoint, so the result
 is 1-minimal with respect to the transformation set: removing any
@@ -142,6 +144,40 @@ def _candidates(data: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
         cand["outputs"] = [o for o in cand["outputs"] if o not in dead]
         if cand["outputs"]:
             yield cand
+    # 6. simplify the machine document toward the reference machine:
+    # drop it entirely, one top-level key, or one group leaf. Candidates
+    # are pre-validated — an invalid document would crash the oracle,
+    # which the greedy loop would misread as "failure reproduced".
+    machine = data.get("machine")
+    if machine is not None:
+        cand = copy.deepcopy(data)
+        del cand["machine"]
+        yield cand
+        for key, value in machine.items():
+            if key in ("schema_version", "name"):
+                continue
+            cand = copy.deepcopy(data)
+            del cand["machine"][key]
+            if _machine_valid(cand["machine"]):
+                yield cand
+            if isinstance(value, dict):
+                for sub in value:
+                    cand = copy.deepcopy(data)
+                    del cand["machine"][key][sub]
+                    if not cand["machine"][key]:
+                        del cand["machine"][key]
+                    if _machine_valid(cand["machine"]):
+                        yield cand
+
+
+def _machine_valid(doc: Dict[str, Any]) -> bool:
+    from ..machine import validate_document
+
+    try:
+        validate_document(doc)
+    except Exception:
+        return False
+    return True
 
 
 def _rebuild(data: Dict[str, Any]) -> Optional[GeneratedCase]:

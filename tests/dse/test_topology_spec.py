@@ -1,0 +1,43 @@
+"""The shipped topology sweep spec and machine-digest result rows."""
+
+from repro.dse.scheduler import run_sweep
+from repro.dse.spec import SweepSpec, load_spec
+from repro.params import experiment_machine, machine_digest
+
+
+def test_shipped_topology_spec_loads_and_expands():
+    spec = load_spec("topology")
+    spec.validate()
+    points = spec.points()
+    # 2 workloads x 1 config x 3 topologies
+    assert len(points) == 6
+    topologies = {
+        dict(p.machine_overrides)["topology"] for p in points
+    }
+    assert topologies == {"2x2", "4x2", "8x4"}
+
+
+def test_sweep_rows_carry_machine_digest():
+    spec = SweepSpec.from_dict({
+        "name": "digest-check",
+        "scale": "tiny",
+        "base": "experiment",
+        "workloads": ["sei"],
+        "configs": ["dist_da_io"],
+        "machine_axes": {"topology": ["2x2", "8x4"]},
+    })
+    base = experiment_machine()
+    result = run_sweep(spec, jobs=1)
+    rows = result.ok_rows()
+    assert len(rows) == 2 and not result.failed_rows()
+    digests = set()
+    for row in rows:
+        point = next(
+            p for p in spec.points()
+            if p.as_dict() == row["point"]
+        )
+        expected = machine_digest(point.machine(base))
+        assert row["machine_digest"] == expected
+        digests.add(row["machine_digest"])
+    # different topologies are genuinely different machines
+    assert len(digests) == 2

@@ -1,0 +1,42 @@
+"""The committed machine snapshot pins every builtin's derived params."""
+
+import os
+
+from repro.testing.golden import (
+    MACHINES_GOLDEN_PATH,
+    diff_machines,
+    load_snapshot,
+    machines_snapshot,
+    snapshot_text,
+)
+
+
+def test_machine_snapshot_exists():
+    assert os.path.exists(MACHINES_GOLDEN_PATH), (
+        f"no machine snapshot at {MACHINES_GOLDEN_PATH}; run "
+        f"python -m repro.testing.golden --update-machines"
+    )
+
+
+def test_builtins_match_golden_snapshot():
+    """Any drift in a shipped document, a schema default, or the
+    construction path must show up as a reviewable diff."""
+    expected = load_snapshot(MACHINES_GOLDEN_PATH)
+    actual = machines_snapshot()
+    assert diff_machines(expected, actual) == []
+
+
+def test_snapshot_file_is_canonical():
+    with open(MACHINES_GOLDEN_PATH) as f:
+        text = f.read()
+    assert snapshot_text(machines_snapshot()) == text
+
+
+def test_diff_machines_reports_divergence():
+    expected = machines_snapshot()
+    actual = machines_snapshot()
+    actual["machines"]["experiment"]["digest"] = "deadbeefdeadbeef"
+    actual["machines"]["experiment"]["params"]["l3_clusters"] = 99
+    lines = diff_machines(expected, actual)
+    assert any("experiment.digest" in line for line in lines)
+    assert any("experiment.params.l3_clusters" in line for line in lines)

@@ -39,12 +39,31 @@ class TestDeriveMachine:
         assert m.inorder.freq_ghz == 3.0 and m.cgra.freq_ghz == 3.0
 
     def test_multiple_overrides_deterministic(self):
+        # l3_clusters sorts before noc.mesh_cols, so the cluster count
+        # shrinks before the mesh does and every intermediate machine
+        # stays valid
         over = {"l3.size_bytes": 1 << 20, "accel_freq_ghz": 2.0,
-                "noc.mesh_cols": 2}
+                "l3_clusters": 4, "noc.mesh_cols": 2}
         a = derive_machine(default_machine(), over)
         b = derive_machine(default_machine(),
                            dict(reversed(list(over.items()))))
         assert a == b
+
+    def test_topology_alias(self):
+        m = derive_machine(default_machine(), {"topology": "2x2"})
+        assert (m.noc.mesh_cols, m.noc.mesh_rows) == (2, 2)
+        assert m.l3_clusters == 4
+        # attachment points are clamped into the smaller mesh
+        assert 0 <= m.noc.host_node < m.l3_clusters
+        assert 0 <= m.noc.mc_node < m.noc.num_nodes
+        # the identity topology reproduces the base machine exactly
+        assert derive_machine(default_machine(),
+                              {"topology": "4x2"}) == default_machine()
+
+    def test_topology_alias_rejects_garbage(self):
+        for bad in ("8", "0x2", 7, "axb"):
+            with pytest.raises(ConfigError):
+                derive_machine(default_machine(), {"topology": bad})
 
     def test_empty_overrides_is_identity(self):
         assert derive_machine(default_machine(), {}) == default_machine()
@@ -82,7 +101,7 @@ class TestMachineDigest:
 
     def test_any_parameter_moves_the_digest(self):
         base = machine_digest(default_machine())
-        for over in ({"l3.size_bytes": 1 << 20}, {"noc.mesh_cols": 2},
+        for over in ({"l3.size_bytes": 1 << 20}, {"topology": "2x2"},
                      {"accel_freq_ghz": 2.0}):
             assert machine_digest(
                 derive_machine(default_machine(), over)) != base

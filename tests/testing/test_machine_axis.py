@@ -1,0 +1,136 @@
+"""The random-machine conformance axis: serialize, oracle, shrink, CLI."""
+
+import json
+
+from repro.machine import machine_from_document
+from repro.params import experiment_machine
+from repro.testing import (
+    DifferentialOracle,
+    case_to_json,
+    check_case,
+    dumps_case,
+    generate_case,
+    generate_machine_doc,
+    loads_case,
+)
+from repro.testing.fuzz import main as fuzz_main
+from repro.testing.shrink import shrink
+
+
+def _machine_case(case_seed=5, machine_seed=11, shape="elementwise"):
+    case = generate_case(case_seed, shape=shape)
+    case.machine_doc = generate_machine_doc(machine_seed)
+    return case
+
+
+# ---------------------------------------------------------------------------
+# wire format
+# ---------------------------------------------------------------------------
+def test_plain_case_has_no_machine_key():
+    """Pre-existing corpus entries keep their exact bytes."""
+    case = generate_case(5, shape="elementwise")
+    assert "machine" not in case_to_json(case)
+
+
+def test_machine_case_roundtrips():
+    case = _machine_case()
+    text = dumps_case(case)
+    loaded = loads_case(text)
+    assert loaded.machine_doc == case.machine_doc
+    assert dumps_case(loaded) == text
+
+
+def test_machine_doc_raises_shrink_size():
+    plain = generate_case(5, shape="elementwise")
+    bearing = _machine_case(case_seed=5)
+    assert bearing.size() > plain.size()
+
+
+# ---------------------------------------------------------------------------
+# oracle machine resolution
+# ---------------------------------------------------------------------------
+def test_oracle_resolves_per_case_machine():
+    oracle = DifferentialOracle(paths=("ooo",))
+    plain = generate_case(5, shape="elementwise")
+    assert oracle._machine_for(plain) == experiment_machine()
+    bearing = _machine_case(case_seed=5)
+    resolved = oracle._machine_for(bearing)
+    assert resolved == machine_from_document(bearing.machine_doc)
+    assert resolved != experiment_machine()
+
+
+def test_machine_bearing_case_passes_full_oracle():
+    report = check_case(_machine_case(case_seed=8, machine_seed=3,
+                                      shape="gather"))
+    assert report.ok, [f.format() for f in report.failures]
+
+
+# ---------------------------------------------------------------------------
+# shrinking the machine document
+# ---------------------------------------------------------------------------
+def test_shrink_drops_machine_doc_when_irrelevant():
+    """A failure that reproduces on any machine shrinks to no document
+    at all (the reference machine)."""
+    case = _machine_case(case_seed=5)
+    minimal = shrink(case, lambda c: True, budget=150)
+    assert minimal.machine_doc is None
+    assert minimal.size() < case.size()
+
+
+def test_shrink_keeps_machine_doc_when_needed():
+    """When the failure requires the machine, the doc survives but
+    sheds keys the failure doesn't depend on."""
+    case = _machine_case(case_seed=5)
+    orig_leaves = json.dumps(case.machine_doc)
+
+    def needs_16_clusters(c):
+        return (c.machine_doc is not None
+                and c.machine_doc.get("l3_clusters") == 16)
+
+    if case.machine_doc.get("l3_clusters") != 16:
+        case.machine_doc["l3_clusters"] = 16
+        case.machine_doc["l3"]["size_bytes"] = 16 * 8192
+        case.machine_doc["l3"]["ways"] = 16
+        case.machine_doc["noc"]["mesh_cols"] = 4
+        case.machine_doc["noc"]["mesh_rows"] = 4
+        case.machine_doc["noc"]["host_node"] = 0
+        case.machine_doc["noc"]["mc_node"] = 0
+    minimal = shrink(case, needs_16_clusters, budget=200)
+    assert minimal.machine_doc is not None
+    assert minimal.machine_doc.get("l3_clusters") == 16
+    assert len(json.dumps(minimal.machine_doc)) <= len(orig_leaves)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_fuzz_cli_machines_axis(tmp_path, capsys):
+    report_path = tmp_path / "report.json"
+    rc = fuzz_main([
+        "--seed", "1", "--cases", "4", "--machines",
+        "--paths", "ooo,dist_da_io",
+        "--json", str(report_path),
+    ])
+    assert rc == 0
+    summary = json.loads(report_path.read_text())
+    assert summary["ok"] is True
+    assert summary["machines"]["enabled"] is True
+    assert sum(summary["machines"]["cluster_histogram"].values()) == 4
+    out = capsys.readouterr().out
+    assert "[fuzz] machines:" in out
+
+
+def test_fuzz_cli_machines_axis_does_not_change_kernels(tmp_path):
+    """--machines draws from an independent RNG stream: the kernels for
+    a given --seed are identical with and without the flag."""
+    with_m = tmp_path / "with.json"
+    without_m = tmp_path / "without.json"
+    assert fuzz_main(["--seed", "2", "--cases", "3", "--machines",
+                      "--paths", "ooo", "--json", str(with_m)]) == 0
+    assert fuzz_main(["--seed", "2", "--cases", "3",
+                      "--paths", "ooo", "--json", str(without_m)]) == 0
+    a = json.loads(with_m.read_text())
+    b = json.loads(without_m.read_text())
+    assert a["shape_histogram"] == b["shape_histogram"]
+    assert b["machines"]["enabled"] is False
+    assert b["machines"]["cluster_histogram"] == {}

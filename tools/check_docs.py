@@ -10,8 +10,11 @@ Two invariants keep the documentation layer honest:
    ``src/repro/`` is declared in :mod:`repro.envcfg` and documented in
    the README's environment-variable table (name, default and pinning
    tests all present).
+3. Every builtin machine document and every machine-schema field
+   (:func:`repro.machine.schema.schema_fields`) is documented in the
+   README's machine-description section.
 
-Exit status 0 when both hold; 1 with a per-violation listing otherwise.
+Exit status 0 when all hold; 1 with a per-violation listing otherwise.
 """
 
 from __future__ import annotations
@@ -86,15 +89,37 @@ def check_env_vars() -> list[str]:
     return problems
 
 
+def check_machine_docs() -> list[str]:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.machine import builtin_documents
+    from repro.machine.schema import schema_fields
+
+    readme = README.read_text(encoding="utf-8")
+    problems = []
+    for name in sorted(builtin_documents()):
+        if f"`{name}`" not in readme:
+            problems.append(f"builtin machine document {name} missing "
+                            f"from the README machine-description section")
+    for field in schema_fields():
+        if f"`{field}`" not in readme:
+            problems.append(f"machine schema field {field} missing from "
+                            f"the README schema reference")
+    return problems
+
+
 def main() -> int:
-    problems = check_architecture() + check_env_vars()
+    problems = (check_architecture() + check_env_vars()
+                + check_machine_docs())
     for p in problems:
         print(f"check_docs: {p}", file=sys.stderr)
     if problems:
         print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
         return 1
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.machine.schema import schema_fields
     print("check_docs: OK "
-          f"({len(module_tokens())} modules, README env table in sync)")
+          f"({len(module_tokens())} modules, README env table and "
+          f"{len(schema_fields())} machine schema fields in sync)")
     return 0
 
 
