@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Synthetic request storm against the sweep service.
+
+Measures the numbers that justify a *persistent* service over batch
+sweeps (EXPERIMENTS.md "Request storms"):
+
+1. **populate** — submit the storm spec cold and wait; points/sec of
+   the worker pool (every point is a miss).
+2. **repeated-spec storm** — resubmit the identical spec ``--repeats``
+   times; every point is answered from the store, so the aggregate hit
+   ratio must clear ``--min-hit-ratio`` (default 0.9; 19 repeats give
+   19/20 = 95%).
+3. **dedup probe** — submit a not-yet-computed spec twice concurrently;
+   the second submission must subscribe to the first's in-flight
+   points (``dedup_inflight > 0``), not recompute them.
+4. **single-cell query storm** — ``--storm`` cached queries cycling
+   over the spec's points; per-request wall-clock p50 must stay under
+   ``--max-p50-ms`` (default 50 ms).
+
+Writes a JSON report (default ``BENCH_serve.json``) and exits 1 when a
+threshold fails, so CI can keep the acceptance numbers honest. The
+server runs in-process on an ephemeral port with a temp store, workers
+inline by default (``--processes`` uses the real pool; numbers then
+include fork/IPC cost in phase 1 only — phases 2-4 never reach the
+pool).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.config import ServeConfig  # noqa: E402
+from repro.serve.server import SweepServer  # noqa: E402
+
+STORM_SPEC = {
+    "name": "storm",
+    "scale": "tiny",
+    "base": "experiment",
+    "workloads": ["fdt", "sei"],
+    "configs": ["ooo", "dist_da_f"],
+    "machine_axes": {"accel_freq_ghz": [1.0, 2.0]},
+}
+
+#: submitted twice concurrently by the dedup probe (distinct dataset,
+#: so nothing of it is cached when the probe runs)
+DEDUP_SPEC = {
+    "name": "storm-dedup",
+    "scale": "tiny",
+    "base": "experiment",
+    "workloads": ["pch"],
+    "configs": ["ooo", "dist_da_f"],
+}
+
+
+def percentile(samples, q):
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[idx]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--storm", type=int, default=200,
+                        help="cached single-cell queries (default 200)")
+    parser.add_argument("--repeats", type=int, default=19,
+                        help="repeated submissions of the storm spec "
+                             "(default 19 -> 95%% aggregate hit ratio)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--processes", action="store_true",
+                        help="use the real process pool instead of "
+                             "inline execution")
+    parser.add_argument("--min-hit-ratio", type=float, default=0.9)
+    parser.add_argument("--max-p50-ms", type=float, default=50.0)
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    tmp = tempfile.mkdtemp(prefix="bench-serve-")
+    config = ServeConfig(port=0,
+                         store_path=os.path.join(tmp, "store.sqlite"),
+                         workers=args.workers,
+                         inline=not args.processes)
+    server = SweepServer(config)
+    server.start()
+    client = ServeClient(port=server.port)
+    client.wait_until_up()
+
+    # -- phase 1: cold populate ---------------------------------------
+    t0 = time.perf_counter()
+    job = client.submit_sweep(STORM_SPEC)
+    job = client.wait_job(job["id"], timeout_s=600)
+    populate_s = time.perf_counter() - t0
+    total_points = job["points"]["total"]
+    assert job["state"] == "done", job
+    points_per_s = total_points / populate_s
+
+    # -- phase 2: repeated-spec storm ---------------------------------
+    submit_ms = []
+    for _ in range(args.repeats):
+        t = time.perf_counter()
+        repeat = client.submit_sweep(STORM_SPEC)
+        submit_ms.append(1e3 * (time.perf_counter() - t))
+        assert repeat["state"] == "done", repeat
+        assert repeat["points"]["cached"] == total_points, repeat
+
+    # -- phase 3: concurrent-duplicate probe --------------------------
+    dedup_jobs = []
+
+    def _submit_dedup():
+        dedup_jobs.append(client.submit_sweep(DEDUP_SPEC))
+
+    threads = [threading.Thread(target=_submit_dedup) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for j in dedup_jobs:
+        client.wait_job(j["id"], timeout_s=600)
+    dedup_count = int(client.stats()["stats"]["dedup_inflight"])
+
+    # -- phase 4: cached single-cell query storm ----------------------
+    points = []
+    for workload in STORM_SPEC["workloads"]:
+        for freq in STORM_SPEC["machine_axes"]["accel_freq_ghz"]:
+            for cfg in STORM_SPEC["configs"]:
+                points.append({
+                    "workload": workload, "config": cfg,
+                    "scale": STORM_SPEC["scale"],
+                    "machine_overrides": {"accel_freq_ghz": freq},
+                })
+    query_ms = []
+    for i in range(args.storm):
+        point = points[i % len(points)]
+        t = time.perf_counter()
+        resp = client.query(point)
+        query_ms.append(1e3 * (time.perf_counter() - t))
+        assert resp["cached"], f"storm query {i} missed the cache"
+
+    stats = client.stats()["stats"]
+    client.shutdown()
+
+    report = {
+        "spec": STORM_SPEC,
+        "mode": "processes" if args.processes else "inline",
+        "workers": args.workers,
+        "populate": {
+            "points": total_points,
+            "wall_s": round(populate_s, 3),
+            "points_per_s": round(points_per_s, 2),
+        },
+        "repeated_spec_storm": {
+            "repeats": args.repeats,
+            "submit_p50_ms": round(percentile(submit_ms, 0.5), 2),
+            "submit_p95_ms": round(percentile(submit_ms, 0.95), 2),
+        },
+        "query_storm": {
+            "requests": args.storm,
+            "p50_ms": round(percentile(query_ms, 0.5), 2),
+            "p95_ms": round(percentile(query_ms, 0.95), 2),
+            "mean_ms": round(statistics.fmean(query_ms), 2),
+        },
+        "dedup_inflight": dedup_count,
+        "hit_ratio": round(stats["hit_ratio"], 4),
+        "cache_hits": stats["cache_hits"],
+        "cache_misses": stats["cache_misses"],
+        "queue_depth_max": stats["queue_depth_max"],
+        "queue_latency_mean_ms": stats["queue_latency_mean_ms"],
+        "store_rows": stats["store_rows"],
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    problems = []
+    if report["hit_ratio"] < args.min_hit_ratio:
+        problems.append(f"hit ratio {report['hit_ratio']} < "
+                        f"{args.min_hit_ratio}")
+    if report["query_storm"]["p50_ms"] > args.max_p50_ms:
+        problems.append(f"cached query p50 "
+                        f"{report['query_storm']['p50_ms']}ms > "
+                        f"{args.max_p50_ms}ms")
+    if dedup_count < 1:
+        problems.append("concurrent duplicate submission was not "
+                        "deduplicated")
+    for p in problems:
+        print(f"bench_serve: FAIL {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

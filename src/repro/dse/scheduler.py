@@ -28,7 +28,7 @@ from ..sim.system import simulate_workload
 from ..sim.tracecache import TraceCache
 from ..workloads import ALL_WORKLOADS
 from .spec import STORE_VERSION, SweepPoint, SweepSpec
-from .store import ResultStore
+from .store import open_result_store
 
 #: a progress sink receives one human-readable line per completed unit
 ProgressFn = Callable[[str], None]
@@ -211,7 +211,7 @@ def run_sweep(spec: SweepSpec,
 
     base = base if base is not None else spec.base_machine()
     jobs = resolve_jobs(jobs)
-    store = ResultStore(store_path) if store_path else None
+    store = open_result_store(store_path)
     stored = store.load() if (store is not None and resume) else {}
 
     points = spec.points()
@@ -219,8 +219,17 @@ def run_sweep(spec: SweepSpec,
     groups, resumed = _group_points(spec, base, stored, track)
     result = SweepResult(spec=spec, rows=dict(resumed),
                          store_path=store_path, skipped=len(resumed))
-    if progress is not None and resumed:
-        progress(track.line(f"{spec.name}: resumed from {store_path}"))
+    if progress is not None and resume and store is not None:
+        # say exactly how much stored work the resume saved, even when
+        # that is nothing (an empty or fully-stale store is worth
+        # knowing about)
+        stored_ok = sum(1 for r in stored.values()
+                        if r.get("status") == "ok")
+        progress(track.line(
+            f"{spec.name}: resume from {store_path} skipped "
+            f"{len(resumed)} of {stored_ok} stored-ok hashes "
+            f"({len(stored)} stored rows)"
+        ))
 
     prune_plan = None
     if spec.prune:

@@ -81,6 +81,53 @@ class SweepPoint:
     #: sorted (kwarg, value) workload dataset parameters
     workload_kwargs: Tuple[Tuple[str, object], ...] = ()
 
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, object]) -> "SweepPoint":
+        """Build and validate one point from its wire/storage dict (the
+        inverse of :meth:`as_dict`; the serve layer's single-cell query
+        body). Unknown keys, unknown workloads/configs/scales fail with
+        :class:`~repro.errors.ConfigError`."""
+        from ..sim.system import CONFIGS
+        from ..workloads import ALL_WORKLOADS
+
+        known = {"workload", "config", "scale", "machine_overrides",
+                 "workload_kwargs"}
+        unknown = set(raw) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown sweep point keys {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        for required in ("workload", "config"):
+            if required not in raw:
+                raise ConfigError(f"sweep point lacks {required!r}")
+        workload = str(raw["workload"])
+        config = str(raw["config"])
+        scale = str(raw.get("scale", "small"))
+        if workload not in ALL_WORKLOADS:
+            raise ConfigError(
+                f"unknown workload {workload!r}; "
+                f"known: {sorted(ALL_WORKLOADS)}"
+            )
+        if config not in CONFIGS:
+            raise ConfigError(
+                f"unknown config {config!r}; known: {sorted(CONFIGS)}"
+            )
+        if scale not in _SCALES:
+            raise ConfigError(f"unknown scale {scale!r}")
+        overrides = raw.get("machine_overrides") or {}
+        kwargs = raw.get("workload_kwargs") or {}
+        for name, value in (("machine_overrides", overrides),
+                            ("workload_kwargs", kwargs)):
+            if not isinstance(value, Mapping):
+                raise ConfigError(f"sweep point {name} must be a mapping, "
+                                  f"got {type(value).__name__}")
+        return cls(
+            workload=workload, config=config, scale=scale,
+            machine_overrides=tuple(sorted(overrides.items())),
+            workload_kwargs=tuple(sorted(kwargs.items())),
+        )
+
     def machine(self, base: MachineParams) -> MachineParams:
         return derive_machine(base, dict(self.machine_overrides))
 

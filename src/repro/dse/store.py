@@ -1,13 +1,32 @@
-"""Crash-safe JSON-lines result store for design-space sweeps.
+"""Result stores for design-space sweeps: JSONL (v1) and sqlite (v2).
 
 One row per completed sweep point, keyed by the point's content hash
-(:meth:`~repro.dse.spec.SweepPoint.content_hash`). Rows are appended,
-flushed and fsync'd one line at a time, so a killed sweep loses at most
-the row being written; the loader tolerates a truncated final line and
-keeps the *last* row per hash (a retried/resumed point simply appends a
-fresh row that shadows the old one). Rows carry no wall-clock fields —
-a serial sweep, a ``--jobs N`` sweep and a resumed sweep of the same
-spec produce byte-identical rows, differing only in file order.
+(:meth:`~repro.dse.spec.SweepPoint.content_hash`). Two on-disk formats
+share one row schema and one access interface:
+
+* **Format v1 — append-only JSONL** (:class:`ResultStore`). Rows are
+  appended, flushed and fsync'd one line at a time, so a killed sweep
+  loses at most the row being written; the loader tolerates a truncated
+  final line and keeps the *last* row per hash (a retried/resumed point
+  simply appends a fresh row that shadows the old one).
+* **Format v2 — indexed sqlite** (:class:`SqliteResultStore`). Rows are
+  stored as their canonical v1 JSON text in an indexed table, so a
+  single cell is answered by one primary-key lookup in well under a
+  millisecond instead of a full-file scan — the store behind the
+  ``repro.serve`` sweep service. Adds age-based TTL expiry and an
+  oldest-first row cap (eviction metadata lives in table columns, never
+  inside the row payload), plus quarantine-and-recreate recovery when
+  the database file itself is torn or corrupt.
+
+:func:`open_result_store` picks the format from the path (``.sqlite`` /
+``.sqlite3`` / ``.db`` or an existing sqlite file header select v2),
+and :func:`migrate_jsonl_to_sqlite` upgrades a v1 file to v2 with
+row-for-row byte equality (:func:`store_digest` is format-independent,
+so the digest proves the migration lossless).
+
+Rows carry no wall-clock fields — a serial sweep, a ``--jobs N`` sweep
+and a resumed sweep of the same spec produce byte-identical rows,
+differing only in file order.
 
 Row schema (``version`` = :data:`~repro.dse.spec.STORE_VERSION`)::
 
@@ -16,15 +35,37 @@ Row schema (``version`` = :data:`~repro.dse.spec.STORE_VERSION`)::
                workload_kwargs},
      "metrics": {...} | null, "error": null | "ExcType: message",
      "attempts": 1 | 2}
+
+``attempts`` reflects the **last-written row only**: because the loader
+keeps the newest row per hash, a resumed retry of a ``failed`` point
+*replaces* the old row (and its attempts count) rather than
+accumulating across rows. A point that failed twice, then succeeded
+first-try on ``--resume``, loads as ``{"status": "ok", "attempts": 1}``
+— the earlier ``"attempts": 2`` row is shadowed (pinned by
+``tests/dse/test_store_v2.py::TestAttemptsSemantics``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Dict, Iterator, Optional
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Union
 
 from ..errors import ConfigError
+
+#: path suffixes that select the sqlite (v2) store format
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: the 16-byte magic every well-formed sqlite file starts with
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+
+#: value of the ``format`` key in a v2 store's ``meta`` table
+SQLITE_FORMAT_VERSION = 2
 
 
 def row_text(row: Dict[str, object]) -> str:
@@ -33,7 +74,7 @@ def row_text(row: Dict[str, object]) -> str:
 
 
 class ResultStore:
-    """Append-only JSONL store with hash-keyed resume."""
+    """Append-only JSONL store (format v1) with hash-keyed resume."""
 
     def __init__(self, path: str):
         self.path = path
@@ -67,6 +108,13 @@ class ResultStore:
         for row in self.load().values():
             yield row
 
+    def get(self, hash_: str) -> Optional[Dict[str, object]]:
+        """Last row for one hash (full-file scan; v2 answers indexed)."""
+        return self.load().get(hash_)
+
+    def count(self) -> int:
+        return len(self.load())
+
     # -- writing -------------------------------------------------------
     def append(self, row: Dict[str, object]) -> None:
         """Durably append one row (open lazily, flush + fsync)."""
@@ -98,5 +146,269 @@ class ResultStore:
         self.close()
 
 
-def open_store(path: Optional[str]) -> Optional[ResultStore]:
-    return ResultStore(path) if path else None
+class SqliteResultStore:
+    """Indexed sqlite store (format v2): same rows, millisecond lookups.
+
+    The row payload is stored verbatim as its canonical v1 JSON text
+    (:func:`row_text`), so v1 and v2 stores of the same sweep are
+    byte-for-byte interconvertible and :func:`store_digest` agrees
+    across formats. Bookkeeping that must never leak into rows —
+    insertion sequence for oldest-first eviction, a wall-clock
+    ``stored_at`` for TTL expiry — lives in separate columns.
+
+    * ``ttl_s > 0``: :meth:`evict_expired` deletes rows older than the
+      TTL, measured from the time the row was (re-)written; re-writing
+      a hash refreshes its age. ``ttl_s == 0`` disables expiry.
+    * ``max_rows > 0``: every append evicts oldest-written rows beyond
+      the cap. ``max_rows == 0`` means unbounded.
+    * A file that exists but is not a readable sqlite database (torn
+      block writes, a stray v1 JSONL handed to the v2 opener) is
+      quarantined — renamed to ``<path>.corrupt`` (``.corrupt-2``, ...
+      if taken) — and a fresh empty store is created in its place; the
+      quarantined path is kept in :attr:`quarantined` so callers can
+      surface it. Every point is recomputable, so losing a corrupt
+      cache beats refusing to serve.
+
+    Thread-safe: one connection guarded by a lock (the serve layer's
+    HTTP handler threads and worker callbacks share a store).
+    """
+
+    def __init__(self, path: str, ttl_s: float = 0.0, max_rows: int = 0):
+        self.path = path
+        self.ttl_s = float(ttl_s)
+        self.max_rows = int(max_rows)
+        #: path the pre-existing corrupt file was moved to, if any
+        self.quarantined: Optional[str] = None
+        self._lock = threading.Lock()
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._conn = self._connect()
+
+    # -- lifecycle -----------------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        try:
+            return self._open_and_init()
+        except sqlite3.DatabaseError:
+            self.quarantined = self._quarantine()
+            return self._open_and_init()
+
+    def _open_and_init(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, check_same_thread=False)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta ("
+                " key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS rows ("
+                " hash TEXT PRIMARY KEY,"
+                " status TEXT NOT NULL,"
+                " row TEXT NOT NULL,"
+                " seq INTEGER NOT NULL,"
+                " stored_at REAL NOT NULL)"
+            )
+            conn.execute(
+                "CREATE INDEX IF NOT EXISTS rows_seq ON rows(seq)"
+            )
+            conn.execute(
+                "INSERT OR IGNORE INTO meta(key, value) VALUES "
+                "('format', ?)", (str(SQLITE_FORMAT_VERSION),)
+            )
+            conn.commit()
+        except sqlite3.DatabaseError:
+            conn.close()
+            raise
+        return conn
+
+    def _quarantine(self) -> str:
+        target = self.path + ".corrupt"
+        n = 1
+        while os.path.exists(target):
+            n += 1
+            target = f"{self.path}.corrupt-{n}"
+        os.replace(self.path, target)
+        # sqlite sidecars of the corrupt db must not attach to the
+        # fresh file
+        for suffix in ("-wal", "-shm", "-journal"):
+            if os.path.exists(self.path + suffix):
+                os.replace(self.path + suffix, target + suffix)
+        return target
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "SqliteResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -------------------------------------------------------
+    def load(self) -> Dict[str, Dict[str, object]]:
+        """Hash -> row, in insertion order (parity with the v1 loader)."""
+        with self._lock:
+            cur = self._conn.execute(
+                "SELECT row FROM rows ORDER BY seq")
+            return {
+                (row := json.loads(text))["hash"]: row
+                for (text,) in cur.fetchall()
+            }
+
+    def iter_rows(self) -> Iterator[Dict[str, object]]:
+        for row in self.load().values():
+            yield row
+
+    def get(self, hash_: str) -> Optional[Dict[str, object]]:
+        """Indexed single-row lookup — the serve layer's cache hit."""
+        with self._lock:
+            cur = self._conn.execute(
+                "SELECT row FROM rows WHERE hash = ?", (hash_,))
+            hit = cur.fetchone()
+        return json.loads(hit[0]) if hit else None
+
+    def count(self) -> int:
+        with self._lock:
+            (n,) = self._conn.execute(
+                "SELECT COUNT(*) FROM rows").fetchone()
+        return int(n)
+
+    # -- writing -------------------------------------------------------
+    def append(self, row: Dict[str, object]) -> None:
+        """Insert-or-replace one row; enforces ``max_rows``."""
+        if not isinstance(row, dict) or "hash" not in row:
+            raise ConfigError(
+                f"result store {self.path}: row without a hash")
+        with self._lock:
+            (seq,) = self._conn.execute(
+                "SELECT COALESCE(MAX(seq), 0) + 1 FROM rows").fetchone()
+            self._conn.execute(
+                "INSERT OR REPLACE INTO rows"
+                " (hash, status, row, seq, stored_at)"
+                " VALUES (?, ?, ?, ?, ?)",
+                (row["hash"], str(row.get("status")), row_text(row),
+                 seq, time.time()),
+            )
+            if self.max_rows > 0:
+                self._conn.execute(
+                    "DELETE FROM rows WHERE seq <= ("
+                    " SELECT COALESCE(MAX(seq), 0) - ? FROM rows)",
+                    (self.max_rows,),
+                )
+            self._conn.commit()
+
+    def evict_expired(self, now: Optional[float] = None) -> int:
+        """Delete rows older than ``ttl_s``; returns the eviction count.
+
+        ``now`` is injectable for tests; production callers (the serve
+        housekeeping loop) pass nothing.
+        """
+        if self.ttl_s <= 0:
+            return 0
+        cutoff = (now if now is not None else time.time()) - self.ttl_s
+        with self._lock:
+            cur = self._conn.execute(
+                "DELETE FROM rows WHERE stored_at < ?", (cutoff,))
+            self._conn.commit()
+        return cur.rowcount
+
+
+#: either store format, from the caller's point of view
+AnyResultStore = Union[ResultStore, SqliteResultStore]
+
+
+def is_sqlite_path(path: str) -> bool:
+    """True when ``path`` should open as a v2 sqlite store: a v2 suffix,
+    or an existing file with the sqlite magic header."""
+    if path.endswith(SQLITE_SUFFIXES):
+        return True
+    try:
+        with open(path, "rb") as f:
+            return f.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC
+    except OSError:
+        return False
+
+
+def open_result_store(path: Optional[str], ttl_s: float = 0.0,
+                      max_rows: int = 0) -> Optional[AnyResultStore]:
+    """Open ``path`` as whichever store format it denotes (None -> None).
+
+    TTL/cap knobs only apply to sqlite stores; the JSONL format ignores
+    them (it has no eviction metadata).
+    """
+    if not path:
+        return None
+    if is_sqlite_path(path):
+        return SqliteResultStore(path, ttl_s=ttl_s, max_rows=max_rows)
+    return ResultStore(path)
+
+
+def store_digest(store: AnyResultStore) -> str:
+    """Format-independent content digest: sha256 over the sorted
+    canonical row lines. Two stores holding the same rows — regardless
+    of format, insertion order or shadowed history — share a digest."""
+    lines = sorted(row_text(row) for row in store.load().values())
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What :func:`migrate_jsonl_to_sqlite` did."""
+
+    source: str
+    target: str
+    rows: int
+    digest: str
+
+    def line(self) -> str:
+        return (f"migrated {self.rows} rows: {self.source} -> "
+                f"{self.target} (digest {self.digest[:12]})")
+
+
+def migrate_jsonl_to_sqlite(jsonl_path: str,
+                            sqlite_path: Optional[str] = None,
+                            overwrite: bool = False) -> MigrationReport:
+    """Upgrade a v1 JSONL store to a v2 sqlite store.
+
+    Rows are carried over in file order with their exact canonical
+    bytes (shadowed history collapses to last-row-per-hash, which is
+    what the v1 loader already exposed; a torn final line is dropped,
+    as on any v1 load). The source file is left untouched so the
+    operator can verify :func:`store_digest` equality before deleting
+    it. Refuses to clobber an existing non-empty target unless
+    ``overwrite=True``.
+    """
+    if not os.path.exists(jsonl_path):
+        raise ConfigError(f"migration source {jsonl_path} does not exist")
+    if is_sqlite_path(jsonl_path):
+        raise ConfigError(
+            f"migration source {jsonl_path} is already a sqlite store")
+    target = sqlite_path or (os.path.splitext(jsonl_path)[0] + ".sqlite")
+    if os.path.exists(target):
+        if not overwrite:
+            raise ConfigError(
+                f"migration target {target} exists "
+                f"(pass overwrite to replace it)")
+        os.remove(target)
+    rows = ResultStore(jsonl_path).load()
+    store = SqliteResultStore(target)
+    try:
+        for row in rows.values():
+            store.append(row)
+        digest = store_digest(store)
+    finally:
+        store.close()
+    return MigrationReport(source=jsonl_path, target=target,
+                           rows=len(rows), digest=digest)
+
+
+__all__ = [
+    "AnyResultStore", "MigrationReport", "ResultStore",
+    "SQLITE_FORMAT_VERSION", "SQLITE_SUFFIXES", "SqliteResultStore",
+    "is_sqlite_path", "migrate_jsonl_to_sqlite", "open_result_store",
+    "row_text", "store_digest",
+]

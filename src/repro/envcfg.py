@@ -80,10 +80,54 @@ REPRO_TRACE_SPILL = EnvVar(
     "tests/sim/test_tracecache_spill.py",
 )
 
+REPRO_SERVE_PORT = EnvVar(
+    "REPRO_SERVE_PORT", "int", "8177",
+    "default TCP port of the `repro.serve` sweep service when `--port` "
+    "is not given (`--socket` bypasses TCP entirely)",
+    "tests/serve/test_config.py",
+)
+REPRO_SERVE_STORE = EnvVar(
+    "REPRO_SERVE_STORE", "path", "serve-store.sqlite",
+    "default result-store path of the sweep service when `--store` is "
+    "not given; a `.sqlite`/`.db` suffix selects the indexed v2 store, "
+    "anything else the v1 JSONL store",
+    "tests/serve/test_config.py",
+)
+REPRO_SERVE_WORKERS = EnvVar(
+    "REPRO_SERVE_WORKERS", "int", "2",
+    "default worker count of the sweep service when `--workers` is not "
+    "given: dataset groups execute on this many processes (and queue "
+    "consumers) in parallel",
+    "tests/serve/test_config.py",
+)
+REPRO_SERVE_TTL_S = EnvVar(
+    "REPRO_SERVE_TTL_S", "int", "0",
+    "age-based TTL (seconds) for rows in the service's sqlite store; "
+    "expired rows are evicted by the housekeeping loop; `0` disables "
+    "expiry",
+    "tests/serve/test_config.py, tests/dse/test_store_v2.py",
+)
+REPRO_SERVE_MAX_ROWS = EnvVar(
+    "REPRO_SERVE_MAX_ROWS", "int", "0",
+    "row cap for the service's sqlite store: each append evicts the "
+    "oldest-written rows beyond the cap; `0` means unbounded",
+    "tests/serve/test_config.py, tests/dse/test_store_v2.py",
+)
+REPRO_SERVE_TIMEOUT_S = EnvVar(
+    "REPRO_SERVE_TIMEOUT_S", "int", "0",
+    "per-dataset-group execution timeout (seconds) in the sweep "
+    "service's worker pool; a group that exceeds it is retried with "
+    "backoff and finally recorded as `failed` rows; `0` disables the "
+    "timeout",
+    "tests/serve/test_config.py, tests/serve/test_workers.py",
+)
+
 #: every declared variable, in documentation order
 ENV_VARS: Tuple[EnvVar, ...] = (
     REPRO_FAST, REPRO_JOBS, REPRO_VEC, REPRO_SCHED, REPRO_NO_VERIFY,
-    REPRO_TRACE_SPILL,
+    REPRO_TRACE_SPILL, REPRO_SERVE_PORT, REPRO_SERVE_STORE,
+    REPRO_SERVE_WORKERS, REPRO_SERVE_TTL_S, REPRO_SERVE_MAX_ROWS,
+    REPRO_SERVE_TIMEOUT_S,
 )
 
 
@@ -136,3 +180,28 @@ def default_jobs() -> int:
 
 def trace_spill_dir() -> Optional[str]:
     return get_path(REPRO_TRACE_SPILL)
+
+
+# -- repro.serve defaults (CLI flags override these) -----------------------
+def serve_port() -> int:
+    return get_int(REPRO_SERVE_PORT, 8177)
+
+
+def serve_store_path() -> str:
+    return get_path(REPRO_SERVE_STORE) or "serve-store.sqlite"
+
+
+def serve_workers() -> int:
+    return get_int(REPRO_SERVE_WORKERS, 2)
+
+
+def serve_ttl_s() -> int:
+    return get_int(REPRO_SERVE_TTL_S, 0)
+
+
+def serve_max_rows() -> int:
+    return get_int(REPRO_SERVE_MAX_ROWS, 0)
+
+
+def serve_timeout_s() -> int:
+    return get_int(REPRO_SERVE_TIMEOUT_S, 0)

@@ -57,9 +57,14 @@ class StatsRegistry:
         try:
             yield
         finally:
-            entry = self.timers.setdefault(name, [0.0, 0])
-            entry[0] += time.perf_counter() - start
-            entry[1] += 1
+            self.add_time(name, time.perf_counter() - start)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Record one already-measured duration (for spans that start
+        and end on different threads, e.g. serve queue latency)."""
+        entry = self.timers.setdefault(name, [0.0, 0])
+        entry[0] += seconds
+        entry[1] += 1
 
     def add_cell(self, cell: CellStat) -> None:
         self.cells.append(cell)

@@ -1,0 +1,157 @@
+"""Python client for the sweep service (stdlib ``http.client`` only).
+
+One class, one method per endpoint, JSON in/out. Non-2xx responses
+raise :class:`ServiceError` carrying the HTTP status and the server's
+``error`` message. The client speaks both transports the server binds:
+
+>>> client = ServeClient(port=8177)                   # TCP
+>>> client = ServeClient(socket_path="/tmp/serve.sock")  # unix socket
+
+``submit_sweep`` + ``wait_job`` is the batch pattern; ``query`` with
+``wait=True`` is the interactive one (a cache hit answers in
+milliseconds without touching the queue).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    def __init__(self, path: str, timeout: Optional[float] = None):
+        super().__init__("localhost", timeout=timeout)
+        self._unix_path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._unix_path)
+        self.sock = sock
+
+
+class ServeClient:
+    """Thin JSON-over-HTTP client; one connection per request."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8177,
+                 socket_path: Optional[str] = None,
+                 timeout_s: float = 120.0):
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.timeout_s = timeout_s
+
+    # -- transport -----------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self.socket_path:
+            return _UnixHTTPConnection(self.socket_path, self.timeout_s)
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, object]] = None
+                ) -> Tuple[int, Dict[str, object]]:
+        """One round trip; returns ``(status, parsed_json)``."""
+        conn = self._connection()
+        try:
+            payload = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload \
+                else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            parsed = json.loads(raw) if raw else {}
+            return resp.status, parsed
+        finally:
+            conn.close()
+
+    def _ok(self, method: str, path: str,
+            body: Optional[Dict[str, object]] = None,
+            accept: Tuple[int, ...] = (200, 202)) -> Dict[str, object]:
+        status, parsed = self.request(method, path, body)
+        if status not in accept:
+            raise ServiceError(status,
+                               str(parsed.get("error", parsed)))
+        return parsed
+
+    # -- endpoints -----------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return self._ok("GET", "/v1/healthz")
+
+    def stats(self) -> Dict[str, object]:
+        return self._ok("GET", "/v1/stats")
+
+    def submit_sweep(self, spec: Union[str, Dict[str, object]]
+                     ) -> Dict[str, object]:
+        """Submit a shipped spec name or an inline spec; returns the job."""
+        return self._ok("POST", "/v1/sweeps", {"spec": spec})["job"]
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._ok("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._ok("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def job_rows(self, job_id: str) -> List[Dict[str, object]]:
+        return self._ok("GET", f"/v1/jobs/{job_id}/rows")["rows"]
+
+    def query(self, point: Dict[str, object], base: str = "experiment",
+              wait: bool = False, timeout_s: Optional[float] = None
+              ) -> Dict[str, object]:
+        """Single-cell query; returns the response envelope
+        (``cached``, ``row``, ``job``)."""
+        body: Dict[str, object] = {"point": point, "base": base,
+                                   "wait": wait}
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._ok("POST", "/v1/query", body)
+
+    def result(self, hash_: str) -> Dict[str, object]:
+        return self._ok("GET", f"/v1/results/{hash_}")["row"]
+
+    def shutdown(self) -> Dict[str, object]:
+        return self._ok("POST", "/v1/shutdown")
+
+    # -- conveniences --------------------------------------------------
+    def wait_job(self, job_id: str, timeout_s: float = 600.0,
+                 poll_s: float = 0.05) -> Dict[str, object]:
+        """Poll a job to a terminal state (``done``/``failed``)."""
+        deadline = time.monotonic() + timeout_s
+        delay = poll_s
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after "
+                    f"{timeout_s:g}s")
+            time.sleep(delay)
+            delay = min(delay * 1.5, 1.0)
+
+    def wait_until_up(self, timeout_s: float = 30.0) -> Dict[str, object]:
+        """Poll ``/v1/healthz`` until the service answers."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            try:
+                return self.health()
+            except (ConnectionError, OSError, ServiceError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+
+__all__ = ["ServeClient", "ServiceError"]

@@ -1,0 +1,65 @@
+"""Wire protocol of the sweep service: endpoints, job states, schemas.
+
+Everything operator-visible about the API is declared here as data —
+the endpoint registry (:data:`ENDPOINTS`), the job lifecycle states
+(:data:`JOB_STATES`) — so ``tools/check_docs.py`` can require each of
+them to be documented in ``docs/SERVICE.md`` and the server/handler
+dispatch can be driven by the same table the docs are checked against.
+
+All request and response bodies are JSON. Errors are
+``{"error": "<message>"}`` with a 4xx/5xx status. Success envelopes are
+documented per endpoint in ``docs/SERVICE.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: bump when a request/response schema changes incompatibly
+API_VERSION = 1
+
+#: job lifecycle, in order: a job is ``queued`` from submission until
+#: its first dataset group starts executing, ``running`` while any of
+#: its points are in flight, and ends ``done`` (every point has an
+#: ``ok`` row) or ``failed`` (at least one point's row is ``failed``).
+#: A job whose every point is already stored ``ok`` is born ``done``.
+JOB_STATES: Tuple[str, ...] = ("queued", "running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One operator-visible HTTP route."""
+
+    method: str
+    path: str
+    summary: str
+
+
+ENDPOINTS: Tuple[Endpoint, ...] = (
+    Endpoint("GET", "/v1/healthz",
+             "liveness probe: uptime, store row count, API version"),
+    Endpoint("GET", "/v1/stats",
+             "service counters: hit ratio, queue depth, queue latency, "
+             "points/sec"),
+    Endpoint("POST", "/v1/sweeps",
+             "submit a sweep spec (shipped name or inline JSON spec); "
+             "returns the job"),
+    Endpoint("GET", "/v1/jobs",
+             "list known jobs, newest last"),
+    Endpoint("GET", "/v1/jobs/{id}",
+             "one job's lifecycle state and point counts"),
+    Endpoint("GET", "/v1/jobs/{id}/rows",
+             "the result rows a job's points have produced so far"),
+    Endpoint("POST", "/v1/query",
+             "single-cell query: one sweep point; answers from the "
+             "store when cached, else enqueues (optionally waits)"),
+    Endpoint("GET", "/v1/results/{hash}",
+             "indexed lookup of one stored row by content hash"),
+    Endpoint("POST", "/v1/shutdown",
+             "clean shutdown: stop accepting work, close the pool and "
+             "store, exit"),
+)
+
+
+__all__ = ["API_VERSION", "ENDPOINTS", "Endpoint", "JOB_STATES"]

@@ -13,6 +13,12 @@ Two invariants keep the documentation layer honest:
 3. Every builtin machine document and every machine-schema field
    (:func:`repro.machine.schema.schema_fields`) is documented in the
    README's machine-description section.
+4. Every operator-visible surface of the sweep service is documented in
+   ``docs/SERVICE.md``: each endpoint in
+   :data:`repro.serve.protocol.ENDPOINTS` (as ``METHOD /path``), each
+   job lifecycle state, each ``python -m repro.serve`` CLI flag, and
+   each ``REPRO_SERVE_*`` environment variable — and the README links
+   the guide.
 
 Exit status 0 when all hold; 1 with a per-violation listing otherwise.
 """
@@ -28,7 +34,9 @@ SRC = REPO / "src" / "repro"
 ARCH = REPO / "docs" / "ARCHITECTURE.md"
 README = REPO / "README.md"
 
-ENV_RE = re.compile(r"\bREPRO_[A-Z0-9_]+\b")
+# trailing [A-Z0-9]: docstrings refer to the variable family as
+# ``REPRO_SERVE_*``, which is a glob, not a variable name
+ENV_RE = re.compile(r"\bREPRO_[A-Z0-9_]*[A-Z0-9]\b")
 
 
 def module_tokens() -> list[str]:
@@ -107,9 +115,42 @@ def check_machine_docs() -> list[str]:
     return problems
 
 
+def check_service_docs() -> list[str]:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro import envcfg
+    from repro.serve.__main__ import build_parser
+    from repro.serve.protocol import ENDPOINTS, JOB_STATES
+
+    service = REPO / "docs" / "SERVICE.md"
+    if not service.exists():
+        return [f"missing {service.relative_to(REPO)}"]
+    text = service.read_text(encoding="utf-8")
+    problems = []
+    for ep in ENDPOINTS:
+        if f"{ep.method} {ep.path}" not in text:
+            problems.append(f"serve endpoint `{ep.method} {ep.path}` "
+                            f"missing from docs/SERVICE.md")
+    for state in JOB_STATES:
+        if f"`{state}`" not in text:
+            problems.append(f"job lifecycle state `{state}` missing "
+                            f"from docs/SERVICE.md")
+    for action in build_parser()._actions:
+        for opt in action.option_strings:
+            if opt.startswith("--") and f"`{opt}`" not in text:
+                problems.append(f"serve CLI flag `{opt}` missing from "
+                                f"docs/SERVICE.md")
+    for var in envcfg.ENV_VARS:
+        if var.name.startswith("REPRO_SERVE_") \
+                and f"`{var.name}`" not in text:
+            problems.append(f"{var.name} missing from docs/SERVICE.md")
+    if "docs/SERVICE.md" not in README.read_text(encoding="utf-8"):
+        problems.append("README does not link docs/SERVICE.md")
+    return problems
+
+
 def main() -> int:
     problems = (check_architecture() + check_env_vars()
-                + check_machine_docs())
+                + check_machine_docs() + check_service_docs())
     for p in problems:
         print(f"check_docs: {p}", file=sys.stderr)
     if problems:
@@ -117,9 +158,11 @@ def main() -> int:
         return 1
     sys.path.insert(0, str(REPO / "src"))
     from repro.machine.schema import schema_fields
+    from repro.serve.protocol import ENDPOINTS
     print("check_docs: OK "
-          f"({len(module_tokens())} modules, README env table and "
-          f"{len(schema_fields())} machine schema fields in sync)")
+          f"({len(module_tokens())} modules, README env table, "
+          f"{len(schema_fields())} machine schema fields and "
+          f"{len(ENDPOINTS)} serve endpoints in sync)")
     return 0
 
 
